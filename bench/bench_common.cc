@@ -1,0 +1,172 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "sim/bpred_sim.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/strutil.hh"
+
+namespace bwsa::bench
+{
+
+BenchOptions
+parseBenchOptions(int &argc, char **argv)
+{
+    CliOptions cli = CliOptions::parse(
+        argc, argv, {"scale", "benchmarks", "csv", "threshold"});
+
+    BenchOptions options;
+    options.scale = cli.getDouble("scale", 1.0);
+    options.threshold = cli.getUint("threshold", 100);
+    options.csv_path = cli.getString("csv", "");
+    if (cli.has("benchmarks")) {
+        for (const std::string &name :
+             split(cli.getString("benchmarks", ""), ','))
+            if (!trim(name).empty())
+                options.benchmarks.push_back(trim(name));
+    }
+    if (options.scale <= 0.0)
+        bwsa_fatal("--scale must be positive");
+    return options;
+}
+
+namespace
+{
+
+bool
+wanted(const BenchOptions &options, const std::string &preset,
+       const std::vector<std::string> &exclude)
+{
+    if (std::find(exclude.begin(), exclude.end(), preset) !=
+        exclude.end())
+        return false;
+    if (options.benchmarks.empty())
+        return true;
+    return std::find(options.benchmarks.begin(),
+                     options.benchmarks.end(),
+                     preset) != options.benchmarks.end();
+}
+
+} // namespace
+
+std::vector<BenchmarkRun>
+defaultRuns(const BenchOptions &options,
+            const std::vector<std::string> &exclude)
+{
+    std::vector<BenchmarkRun> runs;
+    for (const std::string &name : presetNames()) {
+        if (!wanted(options, name, exclude))
+            continue;
+        runs.push_back({name, name, presetInputs(name)[0].label});
+    }
+    return runs;
+}
+
+std::vector<BenchmarkRun>
+perInputRuns(const BenchOptions &options,
+             const std::vector<std::string> &exclude)
+{
+    std::vector<BenchmarkRun> runs;
+    for (const std::string &name : presetNames()) {
+        if (!wanted(options, name, exclude))
+            continue;
+        std::vector<NamedInput> inputs = presetInputs(name);
+        for (const NamedInput &input : inputs) {
+            std::string display = name;
+            if (inputs.size() > 1)
+                display += "_" + input.label;
+            runs.push_back({display, name, input.label});
+        }
+    }
+    return runs;
+}
+
+void
+emitTable(const std::string &title, const TextTable &table,
+          const BenchOptions &options)
+{
+    printBanner(std::cout, title);
+    std::cout << table.render() << std::flush;
+    if (!options.csv_path.empty()) {
+        std::ofstream out(options.csv_path);
+        if (!out)
+            bwsa_fatal("cannot open CSV output: ", options.csv_path);
+        table.writeCsv(out);
+        std::cout << "(csv written to " << options.csv_path << ")\n";
+    }
+}
+
+void
+runAllocationFigure(const BenchOptions &options, bool classification,
+                    const std::string &title)
+{
+    TextTable table({"benchmark", "PAg-1024 %", "alloc-16 %",
+                     "alloc-128 %", "alloc-1024 %", "ideal %",
+                     "1024 gain %"});
+
+    std::vector<RunningStat> columns(6);
+
+    for (const BenchmarkRun &run : defaultRuns(options)) {
+        Workload w =
+            makeWorkload(run.preset, run.input_label, options.scale);
+        WorkloadTraceSource source = w.source();
+
+        PipelineConfig config;
+        config.allocation.edge_threshold = options.threshold;
+        config.allocation.use_classification = classification;
+        AllocationPipeline pipeline(config);
+        pipeline.addProfile(source);
+
+        PredictorPtr base = makePredictor(paperBaselineSpec());
+        PredictorPtr a16 = makePredictor(pipeline.predictorSpec(16));
+        PredictorPtr a128 = makePredictor(pipeline.predictorSpec(128));
+        PredictorPtr a1024 =
+            makePredictor(pipeline.predictorSpec(1024));
+        PredictorPtr ideal = makePredictor(interferenceFreeSpec());
+
+        std::vector<Predictor *> contenders{base.get(), a16.get(),
+                                            a128.get(), a1024.get(),
+                                            ideal.get()};
+        std::vector<PredictionStats> results =
+            comparePredictors(source, contenders);
+
+        double base_rate = results[0].mispredictPercent();
+        double alloc1024_rate = results[3].mispredictPercent();
+        double gain =
+            base_rate > 0.0
+                ? 100.0 * (base_rate - alloc1024_rate) / base_rate
+                : 0.0;
+
+        std::vector<double> row_values{
+            base_rate, results[1].mispredictPercent(),
+            results[2].mispredictPercent(), alloc1024_rate,
+            results[4].mispredictPercent(), gain};
+        for (std::size_t i = 0; i < row_values.size(); ++i)
+            columns[i].add(row_values[i]);
+
+        table.addRow({run.display, fixedString(row_values[0], 3),
+                      fixedString(row_values[1], 3),
+                      fixedString(row_values[2], 3),
+                      fixedString(row_values[3], 3),
+                      fixedString(row_values[4], 3),
+                      fixedString(row_values[5], 1)});
+        std::cout << "." << std::flush; // progress
+    }
+    std::cout << "\n";
+
+    table.addRow({"average", fixedString(columns[0].mean(), 3),
+                  fixedString(columns[1].mean(), 3),
+                  fixedString(columns[2].mean(), 3),
+                  fixedString(columns[3].mean(), 3),
+                  fixedString(columns[4].mean(), 3),
+                  fixedString(columns[5].mean(), 1)});
+
+    emitTable(title, table, options);
+}
+
+} // namespace bwsa::bench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction harnesses.
+ *
+ * Every bench binary accepts:
+ *   --scale=<x>       multiply run lengths (default 1.0; the paper's
+ *                     scale would be ~30-50x)
+ *   --benchmarks=a,b  restrict to a comma-separated preset subset
+ *   --csv=<path>      also write the table as CSV
+ *   --threshold=<n>   conflict-edge threshold (default 100)
+ */
+
+#ifndef BWSA_BENCH_COMMON_HH
+#define BWSA_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "report/table.hh"
+#include "util/cli.hh"
+#include "workload/presets.hh"
+
+namespace bwsa::bench
+{
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    std::uint64_t threshold = 100;
+    std::vector<std::string> benchmarks;
+    std::string csv_path;
+};
+
+/** Parse the common options out of argc/argv. */
+BenchOptions parseBenchOptions(int &argc, char **argv);
+
+/**
+ * The benchmark/input rows of one experiment.
+ *
+ * Tables 1/3/4 use named inputs (perl_a, perl_b, ss_a, ss_b as
+ * separate rows); Table 2 and the figures use one row per benchmark.
+ */
+struct BenchmarkRun
+{
+    std::string display;     ///< row label, e.g. "perl_a"
+    std::string preset;      ///< preset name, e.g. "perl"
+    std::string input_label; ///< input label, e.g. "a"
+};
+
+/** Rows with one entry per preset (default input). */
+std::vector<BenchmarkRun>
+defaultRuns(const BenchOptions &options,
+            const std::vector<std::string> &exclude = {});
+
+/** Rows with one entry per preset/input pair (Tables 1/3/4). */
+std::vector<BenchmarkRun>
+perInputRuns(const BenchOptions &options,
+             const std::vector<std::string> &exclude = {});
+
+/** Emit a finished table to stdout (and CSV when requested). */
+void emitTable(const std::string &title, const TextTable &table,
+               const BenchOptions &options);
+
+/**
+ * Shared driver for the Figure 3 / Figure 4 misprediction sweeps:
+ * for every benchmark, simulate the baseline PAg (1024-entry BHT,
+ * PC-indexed), branch-allocation PAg at 16/128/1024 entries, and the
+ * interference-free PAg, all over a single trace replay; print one
+ * row per benchmark plus the arithmetic-mean row the paper's figures
+ * show as "average".
+ *
+ * @param options        common bench options
+ * @param classification enable the Section 5.2 refinement (Figure 4)
+ * @param title          banner/table title
+ */
+void runAllocationFigure(const BenchOptions &options,
+                         bool classification,
+                         const std::string &title);
+
+} // namespace bwsa::bench
+
+#endif // BWSA_BENCH_COMMON_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 3 reproduction: misprediction rates of branch allocation
+ * *without* classification -- PAg with a conventional 1024-entry BHT
+ * vs. allocation-indexed PAg at 16/128/1024 BHT entries vs. the
+ * interference-free PAg (the paper's 2M-entry BHT).  All predictors
+ * use a 4096-entry PHT and 12 bits of per-branch history.
+ *
+ * Expected shape (paper): alloc-1024 outperforms the baseline and
+ * approximates the interference-free predictor everywhere except
+ * gcc, whose >16k static branches pressure the tables to the limit.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    bwsa::bench::BenchOptions options =
+        bwsa::bench::parseBenchOptions(argc, argv);
+    bwsa::bench::runAllocationFigure(
+        options, false,
+        "Figure 3: branch allocation misprediction rates "
+        "(no classification)");
+    return 0;
+}

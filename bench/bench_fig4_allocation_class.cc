@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 4 reproduction: misprediction rates of branch allocation
+ * *with* branch classification (Section 5.2).
+ *
+ * Expected shape (paper): the 128-entry allocated BHT already matches
+ * or beats the conventional 1024-entry BHT (except gcc), and the
+ * 1024-entry allocated BHT improves accuracy by roughly 16% --
+ * approximating an interference-free first-level table.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    bwsa::bench::BenchOptions options =
+        bwsa::bench::parseBenchOptions(argc, argv);
+    bwsa::bench::runAllocationFigure(
+        options, true,
+        "Figure 4: branch allocation misprediction rates "
+        "(with classification)");
+    return 0;
+}

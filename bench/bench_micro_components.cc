@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's performance-
+ * critical components: synthetic execution, interleave tracking,
+ * predictor step rates, graph pruning, coloring, and working-set
+ * extraction.  These quantify the analysis costs the infrastructure
+ * papers of the era cared about (profile-based tools must keep
+ * analysis time proportional to trace length).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/allocation.hh"
+#include "core/working_set.hh"
+#include "predict/factory.hh"
+#include "profile/interleave.hh"
+#include "sim/bpred_sim.hh"
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+#include "workload/presets.hh"
+
+using namespace bwsa;
+
+namespace
+{
+
+/** Cached small workload trace shared across benchmarks. */
+const MemoryTrace &
+cachedTrace()
+{
+    static const MemoryTrace trace = [] {
+        Workload w = makeWorkload("m88ksim", "", 0.1);
+        MemoryTrace t;
+        w.source().replay(t);
+        return t;
+    }();
+    return trace;
+}
+
+/** Cached conflict graph of the same workload. */
+const ConflictGraph &
+cachedGraph()
+{
+    static const ConflictGraph graph = profileTrace(cachedTrace());
+    return graph;
+}
+
+void
+BM_SyntheticExecution(benchmark::State &state)
+{
+    Workload w = makeWorkload("compress", "", 0.2);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        TraceStatsCollector sink;
+        SyntheticExecutor exec(w.program, w.config);
+        ExecutionResult r = exec.run(sink);
+        instructions += r.instructions;
+        benchmark::DoNotOptimize(r.dynamic_branches);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+
+void
+BM_InterleaveTracking(benchmark::State &state)
+{
+    const MemoryTrace &trace = cachedTrace();
+    for (auto _ : state) {
+        ConflictGraph graph;
+        InterleaveTracker tracker(graph);
+        trace.replay(tracker);
+        benchmark::DoNotOptimize(graph.edgeCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_PredictorStep(benchmark::State &state, PredictorSpec spec)
+{
+    const MemoryTrace &trace = cachedTrace();
+    PredictorPtr predictor = makePredictor(spec);
+    for (auto _ : state) {
+        PredictionSim sim(*predictor);
+        trace.replay(sim);
+        benchmark::DoNotOptimize(sim.stats().mispredicts.events());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_GraphPrune(benchmark::State &state)
+{
+    const ConflictGraph &graph = cachedGraph();
+    for (auto _ : state) {
+        ConflictGraph pruned =
+            graph.pruned(static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(pruned.edgeCount());
+    }
+}
+
+void
+BM_Allocation(benchmark::State &state)
+{
+    const ConflictGraph &graph = cachedGraph();
+    AllocationConfig config;
+    for (auto _ : state) {
+        AllocationResult result = allocateBranches(
+            graph, static_cast<std::uint64_t>(state.range(0)),
+            config);
+        benchmark::DoNotOptimize(result.residual_conflict);
+    }
+}
+
+void
+BM_WorkingSets(benchmark::State &state, WorkingSetDefinition def)
+{
+    static const ConflictGraph pruned = cachedGraph().pruned(100);
+    for (auto _ : state) {
+        WorkingSetResult result = findWorkingSets(pruned, def);
+        benchmark::DoNotOptimize(result.sets.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_SyntheticExecution)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterleaveTracking)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PredictorStep, pag_modulo, paperBaselineSpec())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PredictorStep, pag_ideal, interferenceFreeSpec())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PredictorStep, gshare, [] {
+    PredictorSpec spec;
+    spec.kind = PredictorKind::Gshare;
+    return spec;
+}())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GraphPrune)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Allocation)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WorkingSets, seeded_clique,
+                  WorkingSetDefinition::SeededClique)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WorkingSets, greedy_partition,
+                  WorkingSetDefinition::GreedyPartition)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

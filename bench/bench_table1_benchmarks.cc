@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 1 reproduction: benchmarks, input sets, total dynamic
+ * branches, dynamic branches analyzed, and percentage analyzed after
+ * the frequency-based static branch reduction.
+ *
+ * The paper reduces each benchmark's static conditional branches by
+ * dynamic frequency, then reports what share of the dynamic stream
+ * the retained branches cover (99.8%+ everywhere except gcc's
+ * 93.74%).  We reproduce the same reduction at a coverage target of
+ * 99.9% -- except for the gcc preset, where the paper's much tighter
+ * static budget is modelled with an explicit cap.
+ */
+
+#include "bench_common.hh"
+
+#include "trace/frequency_filter.hh"
+#include "trace/trace_stats.hh"
+#include "util/strutil.hh"
+
+using namespace bwsa;
+using namespace bwsa::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv);
+
+    TextTable table({"benchmark", "input set", "total dynamic",
+                     "analyzed dynamic", "% analyzed",
+                     "static branches", "static kept"});
+
+    for (const BenchmarkRun &run : perInputRuns(options)) {
+        Workload w =
+            makeWorkload(run.preset, run.input_label, options.scale);
+        WorkloadTraceSource source = w.source();
+
+        TraceStatsCollector stats;
+        source.replay(stats);
+
+        // The paper's gcc analyzed only 93.74% of the stream because
+        // its static budget bit hardest there; emulate with a cap.
+        std::size_t max_static =
+            run.preset == "gcc" ? stats.staticBranches() / 3 : 0;
+        FrequencySelection selection =
+            selectByFrequency(stats, 0.999, max_static);
+
+        table.addRow({run.display, "seed-" + run.input_label,
+                      withCommas(stats.dynamicBranches()),
+                      withCommas(selection.analyzed_dynamic),
+                      percentString(selection.coverage(), 2),
+                      withCommas(stats.staticBranches()),
+                      withCommas(selection.selected.size())});
+    }
+
+    emitTable("Table 1: benchmarks, inputs and branch coverage",
+              table, options);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Head-to-head comparison of every predictor family in the library
+ * over one benchmark's trace -- the quickest way to see where the
+ * paper's PAg baseline sits relative to its contemporaries (bimodal,
+ * GAg, gshare, PAs, tournament, static schemes) and how far branch
+ * allocation moves it.
+ *
+ * Usage:
+ *   ./predictor_zoo [--preset=li] [--scale=0.5]
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "predict/static_pred.hh"
+#include "report/table.hh"
+#include "sim/bpred_sim.hh"
+#include "util/cli.hh"
+#include "util/strutil.hh"
+#include "workload/presets.hh"
+
+using namespace bwsa;
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli =
+        CliOptions::parse(argc, argv, {"preset", "scale"});
+    std::string preset = cli.getString("preset", "li");
+    double scale = cli.getDouble("scale", 0.5);
+
+    Workload w = makeWorkload(preset, "", scale);
+    WorkloadTraceSource source = w.source();
+
+    // Profile once for the allocated PAg and the profile-static
+    // scheme.
+    PipelineConfig config;
+    config.allocation.use_classification = true;
+    AllocationPipeline pipeline(config);
+    pipeline.addProfile(source);
+
+    std::unordered_map<BranchPc, bool> majorities;
+    for (const ConflictNode &node : pipeline.graph().nodes())
+        majorities[node.pc] = node.takenRate() >= 0.5;
+
+    std::vector<PredictorPtr> predictors;
+    predictors.push_back(
+        std::make_unique<AlwaysTakenPredictor>());
+    predictors.push_back(std::make_unique<ProfileStaticPredictor>(
+        std::move(majorities)));
+    for (PredictorKind kind :
+         {PredictorKind::Bimodal, PredictorKind::GAg,
+          PredictorKind::Gshare, PredictorKind::PAs,
+          PredictorKind::PAgModulo, PredictorKind::Tournament}) {
+        PredictorSpec spec;
+        spec.kind = kind;
+        predictors.push_back(makePredictor(spec));
+    }
+    predictors.push_back(makePredictor(pipeline.predictorSpec(1024)));
+    predictors.push_back(makePredictor(interferenceFreeSpec()));
+
+    std::vector<Predictor *> raw;
+    for (const PredictorPtr &p : predictors)
+        raw.push_back(p.get());
+    std::vector<PredictionStats> results =
+        comparePredictors(source, raw);
+
+    TextTable table({"predictor", "mispredict %", "accuracy %"});
+    for (const PredictionStats &r : results)
+        table.addRow({r.predictor_name,
+                      fixedString(r.mispredictPercent(), 3),
+                      fixedString(r.accuracyPercent(), 3)});
+
+    std::printf("predictor comparison on %s (%s dynamic "
+                "branches):\n\n%s",
+                preset.c_str(),
+                withCommas(results[0].mispredicts.total()).c_str(),
+                table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,316 @@
+#include "core/allocation.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+namespace
+{
+
+/** Weighted adjacency restricted to edges the allocator must honour. */
+struct FilteredGraph
+{
+    /** adjacency[v] = sorted (neighbour, weight) pairs. */
+    std::vector<std::vector<std::pair<NodeId, std::uint64_t>>> adj;
+
+    /** Classification of every node (all Mixed when disabled). */
+    std::vector<BranchClass> classes;
+};
+
+/**
+ * Prune edges below the threshold and, with classification on, drop
+ * edges between branches of the same biased class (their shared
+ * history is identical, so the conflict is harmless).
+ */
+FilteredGraph
+buildFiltered(const ConflictGraph &graph,
+              const AllocationConfig &config)
+{
+    FilteredGraph fg;
+    fg.adj.resize(graph.nodeCount());
+
+    if (config.use_classification) {
+        BranchClassifier classifier(config.bias_cutoff);
+        fg.classes = classifier.classifyGraph(graph);
+    } else {
+        fg.classes.assign(graph.nodeCount(), BranchClass::Mixed);
+    }
+
+    for (const auto &[key, count] : graph.edges()) {
+        if (count < config.edge_threshold)
+            continue;
+        auto [a, b] = ConflictGraph::unpackEdge(key);
+        if (config.use_classification) {
+            BranchClass ca = fg.classes[a];
+            BranchClass cb = fg.classes[b];
+            if (ca == cb && ca != BranchClass::Mixed)
+                continue; // same biased class: harmless conflict
+        }
+        fg.adj[a].emplace_back(b, count);
+        fg.adj[b].emplace_back(a, count);
+    }
+    for (auto &list : fg.adj)
+        std::sort(list.begin(), list.end());
+    return fg;
+}
+
+} // namespace
+
+AllocationResult
+allocateBranches(const ConflictGraph &graph, std::uint64_t table_size,
+                 const AllocationConfig &config)
+{
+    AllocationResult result;
+    result.table_size = table_size;
+
+    FilteredGraph fg = buildFiltered(graph, config);
+    std::size_t n = graph.nodeCount();
+
+    std::uint32_t reserved = config.use_classification ? 2u : 0u;
+    if (table_size <= reserved)
+        bwsa_fatal("branch allocation needs a table larger than its ",
+                   reserved, " reserved entries, got ", table_size);
+    result.reserved_entries = reserved;
+    std::uint64_t colors = table_size - reserved;
+
+    // Nodes the coloring phase must place: mixed-class only (biased
+    // branches are pinned to the reserved entries below).
+    std::vector<bool> colorable(n, false);
+    for (NodeId v = 0; v < n; ++v)
+        colorable[v] = (fg.classes[v] == BranchClass::Mixed);
+
+    // --- Simplify: peel nodes of degree < colors (min degree first);
+    // when none qualifies, optimistically push the node with the
+    // least incident interleave weight as a share candidate.
+    std::vector<std::size_t> degree(n, 0);
+    std::vector<std::uint64_t> weight(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+        if (!colorable[v])
+            continue;
+        for (const auto &[u, w] : fg.adj[v]) {
+            if (colorable[u]) {
+                ++degree[v];
+                weight[v] += w;
+            }
+        }
+    }
+
+    std::vector<NodeId> stack;
+    stack.reserve(n);
+    std::vector<bool> removed(n, false);
+
+    // Bucketed min-degree extraction; amortized near-linear.
+    std::size_t remaining = 0;
+    for (NodeId v = 0; v < n; ++v)
+        if (colorable[v])
+            ++remaining;
+
+    std::vector<std::vector<NodeId>> buckets;
+    auto bucket_of = [&](NodeId v) {
+        std::size_t d = degree[v];
+        if (d >= buckets.size())
+            buckets.resize(d + 1);
+        return d;
+    };
+    for (NodeId v = 0; v < n; ++v)
+        if (colorable[v])
+            buckets[bucket_of(v)].push_back(v);
+
+    auto remove_node = [&](NodeId v) {
+        removed[v] = true;
+        stack.push_back(v);
+        --remaining;
+        for (const auto &[u, w] : fg.adj[v]) {
+            if (colorable[u] && !removed[u]) {
+                --degree[u];
+                buckets[bucket_of(u)].push_back(u);
+            }
+        }
+    };
+
+    while (remaining > 0) {
+        // Find the lowest-degree live node (lazily deleted buckets).
+        NodeId pick = invalid_node;
+        for (std::size_t d = 0; d < buckets.size() && d < colors;
+             ++d) {
+            while (!buckets[d].empty()) {
+                NodeId v = buckets[d].back();
+                buckets[d].pop_back();
+                if (!removed[v] && degree[v] == d) {
+                    pick = v;
+                    break;
+                }
+            }
+            if (pick != invalid_node)
+                break;
+        }
+
+        if (pick == invalid_node) {
+            // No trivially colorable node: optimistically push a
+            // share candidate -- by fewest conflicts (the paper's
+            // rule) or by lowest degree (the configurable ablation).
+            std::uint64_t best_score = 0;
+            for (NodeId v = 0; v < n; ++v) {
+                if (!colorable[v] || removed[v])
+                    continue;
+                std::uint64_t score =
+                    config.share_policy ==
+                            SharePolicy::FewestConflicts
+                        ? weight[v]
+                        : degree[v];
+                if (pick == invalid_node || score < best_score) {
+                    pick = v;
+                    best_score = score;
+                }
+            }
+        }
+        remove_node(pick);
+    }
+
+    // --- Select: pop in reverse removal order, preferring a color no
+    // conflicting neighbour holds; otherwise the color minimizing the
+    // interleave weight shared with same-colored neighbours.
+    constexpr std::uint32_t uncolored = ~std::uint32_t(0);
+    std::vector<std::uint32_t> color(n, uncolored);
+    std::vector<std::uint64_t> clash(colors, 0);
+    std::vector<std::uint32_t> touched;
+
+    while (!stack.empty()) {
+        NodeId v = stack.back();
+        stack.pop_back();
+
+        touched.clear();
+        for (const auto &[u, w] : fg.adj[v]) {
+            if (color[u] != uncolored && colorable[u]) {
+                if (clash[color[u]] == 0)
+                    touched.push_back(color[u]);
+                clash[color[u]] += w;
+            }
+        }
+
+        std::uint32_t chosen = uncolored;
+        if (touched.size() < colors) {
+            // A conflict-free color exists; spread load by picking
+            // v's PC-preferred slot when free, else the first free.
+            std::uint64_t preferred =
+                (graph.node(v).pc >> config.insn_shift) % colors;
+            if (clash[preferred] == 0) {
+                chosen = static_cast<std::uint32_t>(preferred);
+            } else {
+                for (std::uint32_t c = 0;
+                     c < static_cast<std::uint32_t>(colors); ++c) {
+                    if (clash[c] == 0) {
+                        chosen = c;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Must share: minimize added contention.
+            std::uint64_t best = ~std::uint64_t(0);
+            for (std::uint32_t c = 0;
+                 c < static_cast<std::uint32_t>(colors); ++c) {
+                if (clash[c] < best) {
+                    best = clash[c];
+                    chosen = c;
+                }
+            }
+            result.residual_conflict += best;
+            ++result.shared_nodes;
+        }
+        color[v] = chosen;
+
+        for (std::uint32_t c : touched)
+            clash[c] = 0;
+    }
+
+    // --- Emit the assignment: mixed nodes at reserved + color,
+    // biased nodes pinned to the two reserved entries.
+    for (NodeId v = 0; v < n; ++v) {
+        std::uint32_t entry;
+        switch (fg.classes[v]) {
+          case BranchClass::BiasedTaken:
+            entry = 0;
+            break;
+          case BranchClass::BiasedNotTaken:
+            entry = 1;
+            break;
+          case BranchClass::Mixed:
+          default:
+            entry = reserved + color[v];
+            break;
+        }
+        result.assignment.emplace(graph.node(v).pc, entry);
+    }
+    return result;
+}
+
+std::uint64_t
+moduloConflict(const ConflictGraph &graph, std::uint64_t table_size,
+               const AllocationConfig &config)
+{
+    if (table_size == 0)
+        bwsa_panic("moduloConflict requires a nonzero table");
+    std::uint64_t conflict = 0;
+    for (const auto &[key, count] : graph.edges()) {
+        if (count < config.edge_threshold)
+            continue;
+        auto [a, b] = ConflictGraph::unpackEdge(key);
+        std::uint64_t ia =
+            (graph.node(a).pc >> config.insn_shift) % table_size;
+        std::uint64_t ib =
+            (graph.node(b).pc >> config.insn_shift) % table_size;
+        if (ia == ib)
+            conflict += count;
+    }
+    return conflict;
+}
+
+RequiredSizeResult
+requiredTableSize(const ConflictGraph &graph,
+                  const AllocationConfig &config,
+                  std::uint64_t baseline_entries,
+                  std::uint64_t max_entries)
+{
+    RequiredSizeResult result;
+    result.baseline_conflict =
+        moduloConflict(graph, baseline_entries, config);
+
+    std::uint64_t lo = config.use_classification ? 3 : 1;
+    if (max_entries < lo)
+        bwsa_fatal("requiredTableSize: search bound ", max_entries,
+                   " below minimum ", lo);
+
+    auto good = [&](std::uint64_t size) {
+        return allocateBranches(graph, size, config)
+                   .residual_conflict <= result.baseline_conflict;
+    };
+
+    if (!good(max_entries))
+        return result; // not achieved within the bound
+
+    // Greedy coloring is not perfectly monotone in the table size, so
+    // binary-search to a candidate, then walk down while still good.
+    std::uint64_t hi = max_entries;
+    std::uint64_t low = lo;
+    while (low < hi) {
+        std::uint64_t mid = low + (hi - low) / 2;
+        if (good(mid))
+            hi = mid;
+        else
+            low = mid + 1;
+    }
+    while (hi > lo && good(hi - 1))
+        --hi;
+
+    result.required_entries = hi;
+    result.achieved = true;
+    result.allocation = allocateBranches(graph, hi, config);
+    return result;
+}
+
+} // namespace bwsa

@@ -1,0 +1,73 @@
+#include "core/classification.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+std::string
+branchClassName(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::BiasedTaken:
+        return "biased-taken";
+      case BranchClass::BiasedNotTaken:
+        return "biased-not-taken";
+      case BranchClass::Mixed:
+        return "mixed";
+    }
+    bwsa_panic("unknown BranchClass ", static_cast<int>(cls));
+}
+
+BranchClassifier::BranchClassifier(double bias_cutoff)
+    : _cutoff(bias_cutoff)
+{
+    if (bias_cutoff <= 0.5 || bias_cutoff > 1.0)
+        bwsa_panic("bias cutoff must be in (0.5, 1], got ", bias_cutoff);
+}
+
+BranchClass
+BranchClassifier::classify(const ConflictNode &node) const
+{
+    // Compare both directions against the cutoff itself rather than
+    // its complement (1 - cutoff is not exactly representable, which
+    // would make the two boundaries asymmetric).
+    double rate = node.takenRate();
+    if (rate > _cutoff)
+        return BranchClass::BiasedTaken;
+    if (1.0 - rate > _cutoff)
+        return BranchClass::BiasedNotTaken;
+    return BranchClass::Mixed;
+}
+
+std::vector<BranchClass>
+BranchClassifier::classifyGraph(const ConflictGraph &graph) const
+{
+    std::vector<BranchClass> classes;
+    classes.reserve(graph.nodeCount());
+    for (const ConflictNode &node : graph.nodes())
+        classes.push_back(classify(node));
+    return classes;
+}
+
+ClassCounts
+countClasses(const std::vector<BranchClass> &classes)
+{
+    ClassCounts counts;
+    for (BranchClass cls : classes) {
+        switch (cls) {
+          case BranchClass::BiasedTaken:
+            ++counts.biased_taken;
+            break;
+          case BranchClass::BiasedNotTaken:
+            ++counts.biased_not_taken;
+            break;
+          case BranchClass::Mixed:
+            ++counts.mixed;
+            break;
+        }
+    }
+    return counts;
+}
+
+} // namespace bwsa

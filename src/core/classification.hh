@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Taken-frequency branch classification (Section 5.2, after
+ * P.-Y. Chang et al.).
+ *
+ * Branches taken more than a cutoff fraction of the time (or less
+ * than its complement) are "highly biased"; their histories are all
+ * alike, so branches in the same biased class can share one BHT entry
+ * with no accuracy loss.  The allocator uses the classification to
+ * ignore same-class conflicts and to reserve two table entries, one
+ * per biased direction.
+ */
+
+#ifndef BWSA_CORE_CLASSIFICATION_HH
+#define BWSA_CORE_CLASSIFICATION_HH
+
+#include <string>
+#include <vector>
+
+#include "profile/conflict_graph.hh"
+
+namespace bwsa
+{
+
+/** Bias classes of Section 5.2. */
+enum class BranchClass
+{
+    BiasedTaken,    ///< taken rate above the cutoff
+    BiasedNotTaken, ///< taken rate below 1 - cutoff
+    Mixed           ///< everything else
+};
+
+/** Name of a class for reports. */
+std::string branchClassName(BranchClass cls);
+
+/**
+ * Profile-based classifier with a configurable bias cutoff.
+ */
+class BranchClassifier
+{
+  public:
+    /** @param bias_cutoff paper value 0.99: >99% or <1% taken */
+    explicit BranchClassifier(double bias_cutoff = 0.99);
+
+    /** Classify one profiled branch. */
+    BranchClass classify(const ConflictNode &node) const;
+
+    /** Classify every node of a graph, indexed by NodeId. */
+    std::vector<BranchClass>
+    classifyGraph(const ConflictGraph &graph) const;
+
+    double biasCutoff() const { return _cutoff; }
+
+  private:
+    double _cutoff;
+};
+
+/** Per-class population counts over a graph. */
+struct ClassCounts
+{
+    std::size_t biased_taken = 0;
+    std::size_t biased_not_taken = 0;
+    std::size_t mixed = 0;
+
+    std::size_t
+    total() const
+    {
+        return biased_taken + biased_not_taken + mixed;
+    }
+};
+
+/** Count class populations. */
+ClassCounts countClasses(const std::vector<BranchClass> &classes);
+
+} // namespace bwsa
+
+#endif // BWSA_CORE_CLASSIFICATION_HH

@@ -1,0 +1,91 @@
+#include "core/pipeline.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+AllocationPipeline::AllocationPipeline(const PipelineConfig &config)
+    : _config(config)
+{
+    if (config.coverage <= 0.0 || config.coverage > 1.0)
+        bwsa_fatal("pipeline coverage must be in (0, 1], got ",
+                   config.coverage);
+}
+
+void
+AllocationPipeline::addProfile(const TraceSource &source)
+{
+    // Pass 1: per-branch frequencies for the static reduction.
+    _stats.clear();
+    source.replay(_stats);
+    _selection = selectByFrequency(_stats, _config.coverage,
+                                   _config.max_static);
+
+    // Pass 2: interleave analysis over the retained branches, merged
+    // into the cumulative graph (Section 5.2's multi-input profiles).
+    ConflictGraph run_graph;
+    InterleaveTracker tracker(run_graph, _config.interleave);
+    FilteredSink filter(_selection, tracker);
+    source.replay(filter);
+
+    if (_profiles == 0)
+        _graph = std::move(run_graph);
+    else
+        _graph.mergeFrom(run_graph);
+    ++_profiles;
+}
+
+AllocationResult
+AllocationPipeline::allocate(std::uint64_t table_size) const
+{
+    if (_profiles == 0)
+        bwsa_fatal("AllocationPipeline::allocate before any profile");
+    return allocateBranches(_graph, table_size, _config.allocation);
+}
+
+RequiredSizeResult
+AllocationPipeline::requiredSize(std::uint64_t baseline_entries,
+                                 std::uint64_t max_entries) const
+{
+    if (_profiles == 0)
+        bwsa_fatal(
+            "AllocationPipeline::requiredSize before any profile");
+    return requiredTableSize(_graph, _config.allocation,
+                             baseline_entries, max_entries);
+}
+
+PredictorSpec
+AllocationPipeline::predictorSpec(std::uint64_t table_size) const
+{
+    AllocationResult alloc = allocate(table_size);
+    return allocatedSpec(std::move(alloc.assignment), table_size);
+}
+
+PredictorSpec
+AllocationPipeline::staticFilterSpec(std::uint64_t table_size) const
+{
+    if (!_config.allocation.use_classification)
+        bwsa_fatal("staticFilterSpec requires classification to be "
+                   "enabled in the pipeline config");
+
+    PredictorSpec spec = predictorSpec(table_size);
+    spec.kind = PredictorKind::StaticFilteredPAg;
+
+    BranchClassifier classifier(_config.allocation.bias_cutoff);
+    for (const ConflictNode &node : _graph.nodes()) {
+        switch (classifier.classify(node)) {
+          case BranchClass::BiasedTaken:
+            spec.static_directions.emplace(node.pc, true);
+            break;
+          case BranchClass::BiasedNotTaken:
+            spec.static_directions.emplace(node.pc, false);
+            break;
+          case BranchClass::Mixed:
+            break;
+        }
+    }
+    return spec;
+}
+
+} // namespace bwsa

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * End-to-end branch allocation pipeline.
+ *
+ * Packages the full compiler-side flow the paper describes: profile
+ * one or more runs (cumulative profiles merge into one conflict
+ * graph), reduce the static branch population by dynamic frequency
+ * (Table 1), and hand the graph to the allocator to produce a BHT
+ * assignment or a required-size measurement.  The emitted
+ * PredictorSpec plugs straight into the trace simulator.
+ */
+
+#ifndef BWSA_CORE_PIPELINE_HH
+#define BWSA_CORE_PIPELINE_HH
+
+#include <cstdint>
+
+#include "core/allocation.hh"
+#include "predict/factory.hh"
+#include "profile/interleave.hh"
+#include "trace/frequency_filter.hh"
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace bwsa
+{
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    /** Interleave analysis knobs. */
+    InterleaveConfig interleave;
+
+    /** Allocator knobs (threshold, classification). */
+    AllocationConfig allocation;
+
+    /**
+     * Fraction of the dynamic branch stream the retained static
+     * branches must cover (Table 1; 0.999 keeps 99.9%).  1.0 disables
+     * the reduction.
+     */
+    double coverage = 0.999;
+
+    /** Optional cap on retained static branches (0 = none). */
+    std::size_t max_static = 0;
+};
+
+/**
+ * Accumulates profiles and produces allocations.
+ */
+class AllocationPipeline
+{
+  public:
+    explicit AllocationPipeline(const PipelineConfig &config = {});
+
+    /**
+     * Profile one run and merge it into the cumulative conflict
+     * graph.  Replays @p source twice: a statistics pass to pick the
+     * frequency-selected branch set, then the interleave pass over
+     * the filtered stream.
+     */
+    void addProfile(const TraceSource &source);
+
+    /** Number of profile runs merged so far. */
+    std::size_t profileCount() const { return _profiles; }
+
+    /** Cumulative conflict graph (frequency-filtered branches only). */
+    const ConflictGraph &graph() const { return _graph; }
+
+    /** Whole-stream statistics of the most recent profile run. */
+    const TraceStatsCollector &lastStats() const { return _stats; }
+
+    /** Frequency selection of the most recent profile run. */
+    const FrequencySelection &lastSelection() const
+    {
+        return _selection;
+    }
+
+    /** Allocate the cumulative graph into @p table_size entries. */
+    AllocationResult allocate(std::uint64_t table_size) const;
+
+    /** Run the Table 3/4 required-size search. */
+    RequiredSizeResult
+    requiredSize(std::uint64_t baseline_entries = 1024,
+                 std::uint64_t max_entries = 4096) const;
+
+    /**
+     * PredictorSpec for a branch-allocation PAg with @p table_size
+     * BHT entries (paper-default history and PHT sizes).
+     */
+    PredictorSpec predictorSpec(std::uint64_t table_size) const;
+
+    /**
+     * PredictorSpec implementing the Section 5.2 ISA option: branches
+     * the profile classifies as highly biased are statically
+     * predicted in their bias direction, and only the mixed branches
+     * go through an allocation-indexed PAg of @p table_size entries.
+     * Requires classification to be enabled in the config.
+     */
+    PredictorSpec staticFilterSpec(std::uint64_t table_size) const;
+
+    const PipelineConfig &config() const { return _config; }
+
+  private:
+    PipelineConfig _config;
+    ConflictGraph _graph;
+    TraceStatsCollector _stats;
+    FrequencySelection _selection;
+    std::size_t _profiles = 0;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_CORE_PIPELINE_HH

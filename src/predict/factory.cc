@@ -1,0 +1,153 @@
+#include "predict/factory.hh"
+
+#include "predict/agree.hh"
+#include "predict/bimodal.hh"
+#include "predict/index_policy.hh"
+#include "predict/static_filter.hh"
+#include "predict/static_pred.hh"
+#include "predict/tournament.hh"
+#include "predict/twolevel.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+std::string
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::AlwaysTaken:
+        return "always-taken";
+      case PredictorKind::AlwaysNotTaken:
+        return "always-not-taken";
+      case PredictorKind::Bimodal:
+        return "bimodal";
+      case PredictorKind::GAg:
+        return "GAg";
+      case PredictorKind::Gshare:
+        return "gshare";
+      case PredictorKind::PAgModulo:
+        return "PAg";
+      case PredictorKind::PAgAllocated:
+        return "PAg-alloc";
+      case PredictorKind::PAgIdeal:
+        return "PAg-ideal";
+      case PredictorKind::PAs:
+        return "PAs";
+      case PredictorKind::Tournament:
+        return "tournament";
+      case PredictorKind::Agree:
+        return "agree";
+      case PredictorKind::StaticFilteredPAg:
+        return "static-filtered-PAg";
+    }
+    bwsa_panic("unknown PredictorKind ", static_cast<int>(kind));
+}
+
+PredictorPtr
+makePredictor(const PredictorSpec &spec)
+{
+    switch (spec.kind) {
+      case PredictorKind::AlwaysTaken:
+        return std::make_unique<AlwaysTakenPredictor>();
+
+      case PredictorKind::AlwaysNotTaken:
+        return std::make_unique<AlwaysNotTakenPredictor>();
+
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(
+            std::make_unique<ModuloIndexer>(spec.bht_entries,
+                                            spec.insn_shift),
+            spec.counter_bits);
+
+      case PredictorKind::GAg:
+        return std::make_unique<GAgPredictor>(spec.history_bits,
+                                              spec.counter_bits);
+
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(
+            spec.history_bits, spec.counter_bits, spec.insn_shift);
+
+      case PredictorKind::PAgModulo:
+        return std::make_unique<PAgPredictor>(
+            std::make_unique<ModuloIndexer>(spec.bht_entries,
+                                            spec.insn_shift),
+            spec.history_bits, spec.pht_entries, spec.counter_bits);
+
+      case PredictorKind::PAgAllocated:
+        return std::make_unique<PAgPredictor>(
+            std::make_unique<AllocatedIndexer>(spec.assignment,
+                                               spec.bht_entries,
+                                               spec.insn_shift),
+            spec.history_bits, spec.pht_entries, spec.counter_bits);
+
+      case PredictorKind::PAgIdeal:
+        return std::make_unique<PAgPredictor>(
+            std::make_unique<IdealIndexer>(), spec.history_bits,
+            spec.pht_entries, spec.counter_bits);
+
+      case PredictorKind::PAs:
+        return std::make_unique<PAsPredictor>(
+            std::make_unique<ModuloIndexer>(spec.bht_entries,
+                                            spec.insn_shift),
+            spec.history_bits, spec.pht_sets, spec.counter_bits,
+            spec.insn_shift);
+
+      case PredictorKind::Agree:
+        return std::make_unique<AgreePredictor>(
+            spec.history_bits, spec.counter_bits, spec.insn_shift);
+
+      case PredictorKind::StaticFilteredPAg: {
+        PredictorSpec inner_spec = spec;
+        inner_spec.kind = spec.assignment.empty()
+                              ? PredictorKind::PAgModulo
+                              : PredictorKind::PAgAllocated;
+        return std::make_unique<StaticFilterPredictor>(
+            spec.static_directions, makePredictor(inner_spec));
+      }
+
+      case PredictorKind::Tournament: {
+        PredictorSpec gshare_spec = spec;
+        gshare_spec.kind = PredictorKind::Gshare;
+        PredictorSpec bimodal_spec = spec;
+        bimodal_spec.kind = PredictorKind::Bimodal;
+        return std::make_unique<TournamentPredictor>(
+            makePredictor(bimodal_spec), makePredictor(gshare_spec),
+            spec.pht_entries, spec.insn_shift);
+      }
+    }
+    bwsa_panic("unknown PredictorKind ", static_cast<int>(spec.kind));
+}
+
+PredictorSpec
+paperBaselineSpec()
+{
+    PredictorSpec spec;
+    spec.kind = PredictorKind::PAgModulo;
+    spec.bht_entries = 1024;
+    spec.pht_entries = 4096;
+    spec.history_bits = 12;
+    return spec;
+}
+
+PredictorSpec
+interferenceFreeSpec()
+{
+    PredictorSpec spec = paperBaselineSpec();
+    spec.kind = PredictorKind::PAgIdeal;
+    return spec;
+}
+
+PredictorSpec
+allocatedSpec(std::unordered_map<BranchPc, std::uint32_t> assignment,
+              std::uint64_t bht_entries)
+{
+    PredictorSpec spec = paperBaselineSpec();
+    spec.kind = PredictorKind::PAgAllocated;
+    spec.bht_entries = bht_entries;
+    spec.assignment = std::move(assignment);
+    return spec;
+}
+
+} // namespace bwsa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Declarative construction of predictors for benches and examples.
+ */
+
+#ifndef BWSA_PREDICT_FACTORY_HH
+#define BWSA_PREDICT_FACTORY_HH
+
+#include <unordered_map>
+
+#include "predict/predictor.hh"
+
+namespace bwsa
+{
+
+/** Predictor families the factory can build. */
+enum class PredictorKind
+{
+    AlwaysTaken,
+    AlwaysNotTaken,
+    Bimodal,      ///< PC-indexed counter table
+    GAg,          ///< global history, global PHT
+    Gshare,       ///< global history XOR PC
+    PAgModulo,    ///< paper baseline: PAg with PC-hash BHT indexing
+    PAgAllocated, ///< paper proposal: PAg with compiler-assigned BHT
+    PAgIdeal,     ///< interference-free PAg (private BHT per branch)
+    PAs,          ///< per-address history, per-set PHTs
+    Tournament,   ///< gshare vs bimodal with a chooser
+    Agree,        ///< agree predictor (Sprangle et al., ref [18])
+    StaticFilteredPAg ///< profile-static biased branches + PAg for
+                      ///< the mixed remainder (Section 5.2 ISA option)
+};
+
+/** Name of a predictor kind for reports. */
+std::string predictorKindName(PredictorKind kind);
+
+/** Everything needed to build one predictor. */
+struct PredictorSpec
+{
+    PredictorKind kind = PredictorKind::PAgModulo;
+
+    /** First-level table entries (BHT / bimodal table). */
+    std::uint64_t bht_entries = 1024;
+
+    /** Second-level PHT entries. */
+    std::uint64_t pht_entries = 4096;
+
+    /** History register length (two-level kinds). */
+    unsigned history_bits = 12;
+
+    /** Saturating counter width. */
+    unsigned counter_bits = 2;
+
+    /** PAs second-level set count. */
+    std::uint64_t pht_sets = 4;
+
+    /** Static BHT assignment (PAgAllocated, StaticFilteredPAg). */
+    std::unordered_map<BranchPc, std::uint32_t> assignment;
+
+    /**
+     * Statically predicted branches and their directions
+     * (StaticFilteredPAg only).
+     */
+    std::unordered_map<BranchPc, bool> static_directions;
+
+    /** Instruction alignment shift of the traced ISA. */
+    unsigned insn_shift = 3;
+};
+
+/** Build a predictor; panics on inconsistent specs. */
+PredictorPtr makePredictor(const PredictorSpec &spec);
+
+/** Paper-baseline spec: PAg, 1024-entry BHT, 4096-entry PHT. */
+PredictorSpec paperBaselineSpec();
+
+/** Interference-free reference spec (unbounded BHT). */
+PredictorSpec interferenceFreeSpec();
+
+/** Branch-allocation spec over @p assignment with @p bht_entries. */
+PredictorSpec allocatedSpec(
+    std::unordered_map<BranchPc, std::uint32_t> assignment,
+    std::uint64_t bht_entries);
+
+} // namespace bwsa
+
+#endif // BWSA_PREDICT_FACTORY_HH

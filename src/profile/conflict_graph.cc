@@ -1,0 +1,181 @@
+#include "profile/conflict_graph.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+NodeId
+ConflictGraph::addOrGetNode(BranchPc pc)
+{
+    auto it = _pc_to_node.find(pc);
+    if (it != _pc_to_node.end())
+        return it->second;
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    ConflictNode node;
+    node.pc = pc;
+    _nodes.push_back(node);
+    _pc_to_node.emplace(pc, id);
+    return id;
+}
+
+NodeId
+ConflictGraph::findNode(BranchPc pc) const
+{
+    auto it = _pc_to_node.find(pc);
+    return it == _pc_to_node.end() ? invalid_node : it->second;
+}
+
+void
+ConflictGraph::recordExecution(NodeId id, bool taken)
+{
+    if (id >= _nodes.size())
+        bwsa_panic("recordExecution: node ", id, " out of range");
+    ++_nodes[id].executed;
+    if (taken)
+        ++_nodes[id].taken;
+    ++_total_executions;
+}
+
+void
+ConflictGraph::addInterleave(NodeId a, NodeId b, std::uint64_t count)
+{
+    if (a == b)
+        bwsa_panic("addInterleave: self edge on node ", a);
+    if (a >= _nodes.size() || b >= _nodes.size())
+        bwsa_panic("addInterleave: node out of range");
+    _edges[packEdge(a, b)] += count;
+}
+
+std::uint64_t
+ConflictGraph::interleaveCount(NodeId a, NodeId b) const
+{
+    auto it = _edges.find(packEdge(a, b));
+    return it == _edges.end() ? 0 : it->second;
+}
+
+const ConflictNode &
+ConflictGraph::node(NodeId id) const
+{
+    if (id >= _nodes.size())
+        bwsa_panic("node ", id, " out of range");
+    return _nodes[id];
+}
+
+ConflictGraph
+ConflictGraph::pruned(std::uint64_t threshold) const
+{
+    ConflictGraph out;
+    out._nodes = _nodes;
+    out._pc_to_node = _pc_to_node;
+    out._total_executions = _total_executions;
+    out._edges.reserve(_edges.size());
+    for (const auto &[key, count] : _edges)
+        if (count >= threshold)
+            out._edges.emplace(key, count);
+    return out;
+}
+
+void
+ConflictGraph::mergeFrom(const ConflictGraph &other)
+{
+    // Node ids differ between graphs; translate through PCs.
+    std::vector<NodeId> remap(other._nodes.size());
+    for (NodeId id = 0; id < other._nodes.size(); ++id) {
+        const ConflictNode &n = other._nodes[id];
+        NodeId mine = addOrGetNode(n.pc);
+        _nodes[mine].executed += n.executed;
+        _nodes[mine].taken += n.taken;
+        remap[id] = mine;
+    }
+    _total_executions += other._total_executions;
+    for (const auto &[key, count] : other._edges) {
+        auto [a, b] = unpackEdge(key);
+        addInterleave(remap[a], remap[b], count);
+    }
+}
+
+std::vector<std::vector<std::pair<NodeId, std::uint64_t>>>
+ConflictGraph::adjacency() const
+{
+    std::vector<std::vector<std::pair<NodeId, std::uint64_t>>> adj(
+        _nodes.size());
+    for (const auto &[key, count] : _edges) {
+        auto [a, b] = unpackEdge(key);
+        adj[a].emplace_back(b, count);
+        adj[b].emplace_back(a, count);
+    }
+    for (auto &list : adj)
+        std::sort(list.begin(), list.end());
+    return adj;
+}
+
+void
+ConflictGraph::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        bwsa_fatal("cannot open conflict graph file for writing: ",
+                   path);
+    out << "BWSG v1\n";
+    out << "nodes " << _nodes.size() << "\n";
+    for (const ConflictNode &n : _nodes)
+        out << n.pc << ' ' << n.executed << ' ' << n.taken << '\n';
+    out << "edges " << _edges.size() << "\n";
+    for (const auto &[key, count] : _edges) {
+        auto [a, b] = unpackEdge(key);
+        out << a << ' ' << b << ' ' << count << '\n';
+    }
+    if (!out)
+        bwsa_fatal("error writing conflict graph file: ", path);
+}
+
+ConflictGraph
+ConflictGraph::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        bwsa_fatal("cannot open conflict graph file: ", path);
+
+    std::string magic, version;
+    in >> magic >> version;
+    if (magic != "BWSG" || version != "v1")
+        bwsa_fatal("not a BWSG v1 conflict graph file: ", path);
+
+    ConflictGraph graph;
+    std::string tag;
+    std::size_t count = 0;
+
+    in >> tag >> count;
+    if (tag != "nodes" || !in)
+        bwsa_fatal("malformed node header in ", path);
+    for (std::size_t i = 0; i < count; ++i) {
+        BranchPc pc;
+        std::uint64_t executed, taken;
+        in >> pc >> executed >> taken;
+        if (!in)
+            bwsa_fatal("truncated node table in ", path);
+        NodeId id = graph.addOrGetNode(pc);
+        graph._nodes[id].executed = executed;
+        graph._nodes[id].taken = taken;
+        graph._total_executions += executed;
+    }
+
+    in >> tag >> count;
+    if (tag != "edges" || !in)
+        bwsa_fatal("malformed edge header in ", path);
+    for (std::size_t i = 0; i < count; ++i) {
+        NodeId a, b;
+        std::uint64_t c;
+        in >> a >> b >> c;
+        if (!in)
+            bwsa_fatal("truncated edge table in ", path);
+        graph.addInterleave(a, b, c);
+    }
+    return graph;
+}
+
+} // namespace bwsa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The branch conflict graph (Section 4.1, Figure 2).
+ *
+ * Nodes are static conditional branches annotated with execution and
+ * taken counts; an edge between two nodes carries the number of times
+ * their execution interleaved during profiling.  The graph is the
+ * central artifact of branch working set analysis: working sets are
+ * complete subgraphs of its thresholded form, and the branch allocator
+ * colors it to assign BHT entries.
+ */
+
+#ifndef BWSA_PROFILE_CONFLICT_GRAPH_HH
+#define BWSA_PROFILE_CONFLICT_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace bwsa
+{
+
+/** Dense node index within one ConflictGraph. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalid_node = ~NodeId(0);
+
+/** Per-node profile annotations. */
+struct ConflictNode
+{
+    BranchPc pc = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t taken = 0;
+
+    /** Fraction of dynamic instances resolved taken. */
+    double
+    takenRate() const
+    {
+        return executed ? static_cast<double>(taken) /
+                              static_cast<double>(executed)
+                        : 0.0;
+    }
+};
+
+/**
+ * Undirected multigraph-with-counters over static branches.
+ */
+class ConflictGraph
+{
+  public:
+    ConflictGraph() = default;
+
+    /** Node id for @p pc, creating the node on first sight. */
+    NodeId addOrGetNode(BranchPc pc);
+
+    /** Node id for @p pc, or invalid_node when absent. */
+    NodeId findNode(BranchPc pc) const;
+
+    /** Record one dynamic execution of a node. */
+    void recordExecution(NodeId id, bool taken);
+
+    /** Add @p count interleavings between two distinct nodes. */
+    void addInterleave(NodeId a, NodeId b, std::uint64_t count = 1);
+
+    /** Interleave count between two nodes (0 when no edge). */
+    std::uint64_t interleaveCount(NodeId a, NodeId b) const;
+
+    /** Number of nodes. */
+    std::size_t nodeCount() const { return _nodes.size(); }
+
+    /** Number of distinct edges. */
+    std::size_t edgeCount() const { return _edges.size(); }
+
+    /** Node annotations. */
+    const ConflictNode &node(NodeId id) const;
+
+    /** All nodes in id order. */
+    const std::vector<ConflictNode> &nodes() const { return _nodes; }
+
+    /** Raw edge map: key packs (min_id, max_id), value is the count. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    edges() const
+    {
+        return _edges;
+    }
+
+    /** Unpack an edge key into its two node ids. */
+    static std::pair<NodeId, NodeId>
+    unpackEdge(std::uint64_t key)
+    {
+        return {static_cast<NodeId>(key >> 32),
+                static_cast<NodeId>(key & 0xffffffffu)};
+    }
+
+    /**
+     * Copy of this graph with every edge below @p threshold removed
+     * (Section 4.2's refinement; nodes are kept even if isolated).
+     */
+    ConflictGraph pruned(std::uint64_t threshold) const;
+
+    /**
+     * Merge @p other into this graph: node counts and edge counts add
+     * up, matching the paper's cumulative multi-input profiles
+     * (Section 5.2).
+     */
+    void mergeFrom(const ConflictGraph &other);
+
+    /**
+     * Adjacency lists with counts, sorted by neighbour id.  O(V + E);
+     * build once per analysis pass.
+     */
+    std::vector<std::vector<std::pair<NodeId, std::uint64_t>>>
+    adjacency() const;
+
+    /** Total dynamic executions over all nodes. */
+    std::uint64_t totalExecutions() const { return _total_executions; }
+
+    /** Save to a versioned text file; fatal() on I/O errors. */
+    void save(const std::string &path) const;
+
+    /** Load from a file written by save(). */
+    static ConflictGraph load(const std::string &path);
+
+  private:
+    static std::uint64_t
+    packEdge(NodeId a, NodeId b)
+    {
+        if (a > b)
+            std::swap(a, b);
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    }
+
+    std::vector<ConflictNode> _nodes;
+    std::unordered_map<BranchPc, NodeId> _pc_to_node;
+    std::unordered_map<std::uint64_t, std::uint64_t> _edges;
+    std::uint64_t _total_executions = 0;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_PROFILE_CONFLICT_GRAPH_HH

@@ -1,0 +1,117 @@
+#include "profile/interleave.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+InterleaveTracker::InterleaveTracker(ConflictGraph &graph,
+                                     const InterleaveConfig &config)
+    : _graph(graph), _config(config)
+{
+}
+
+void
+InterleaveTracker::ensureNode(NodeId id)
+{
+    if (id >= _list.size()) {
+        _list.resize(id + 1);
+        _pair_counts.resize(id + 1);
+    }
+}
+
+void
+InterleaveTracker::unlink(NodeId id)
+{
+    ListNode &n = _list[id];
+    if (n.prev != invalid_node)
+        _list[n.prev].next = n.next;
+    else
+        _head = n.next;
+    if (n.next != invalid_node)
+        _list[n.next].prev = n.prev;
+    else
+        _tail = n.prev;
+    n.prev = invalid_node;
+    n.next = invalid_node;
+    n.in_list = false;
+    --_window_size;
+}
+
+void
+InterleaveTracker::appendTail(NodeId id)
+{
+    ListNode &n = _list[id];
+    n.prev = _tail;
+    n.next = invalid_node;
+    n.in_list = true;
+    if (_tail != invalid_node)
+        _list[_tail].next = id;
+    else
+        _head = id;
+    _tail = id;
+    ++_window_size;
+}
+
+void
+InterleaveTracker::evictHead()
+{
+    if (_head == invalid_node)
+        bwsa_panic("evictHead on empty window");
+    unlink(_head);
+}
+
+void
+InterleaveTracker::onBranch(const BranchRecord &record)
+{
+    NodeId id = _graph.addOrGetNode(record.pc);
+    ensureNode(id);
+    _graph.recordExecution(id, record.taken);
+
+    ListNode &node = _list[id];
+    if (node.in_list) {
+        // Every branch after this node's position last ran after this
+        // branch's previous instance: record each interleaving.
+        FlatCounterMap &counts = _pair_counts[id];
+        for (NodeId cur = node.next; cur != invalid_node;
+             cur = _list[cur].next) {
+            counts.increment(cur);
+            ++_pair_increments;
+        }
+        unlink(id);
+    } else if (node.seen) {
+        // Evicted from the window: its true interleave set spans more
+        // than max_window distinct branches; treated as fresh.
+        ++_evicted_reentries;
+    }
+    node.seen = true;
+    appendTail(id);
+
+    if (_config.max_window != 0 && _window_size > _config.max_window)
+        evictHead();
+}
+
+void
+InterleaveTracker::onEnd()
+{
+    for (NodeId a = 0; a < _pair_counts.size(); ++a) {
+        FlatCounterMap &counts = _pair_counts[a];
+        if (counts.empty())
+            continue;
+        counts.forEach([&](std::uint32_t b, std::uint64_t count) {
+            _graph.addInterleave(a, b, count);
+        });
+        counts = FlatCounterMap(); // release the buffer
+    }
+}
+
+ConflictGraph
+profileTrace(const TraceSource &source, const InterleaveConfig &config)
+{
+    ConflictGraph graph;
+    InterleaveTracker tracker(graph, config);
+    source.replay(tracker);
+    return graph;
+}
+
+} // namespace bwsa

@@ -1,0 +1,123 @@
+#include "report/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace bwsa
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        bwsa_panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        bwsa_panic("TextTable row has ", cells.size(),
+                   " cells, expected ", _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::vector<std::size_t>
+TextTable::widths() const
+{
+    std::vector<std::size_t> w(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        w[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            w[c] = std::max(w[c], row[c].size());
+    return w;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> w = widths();
+    std::string out;
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                out += "  ";
+            // Left-align the first column (names), right-align data.
+            out += (c == 0) ? padRight(cells[c], w[c])
+                            : padLeft(cells[c], w[c]);
+        }
+        out += '\n';
+    };
+
+    line(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < w.size(); ++c)
+        total += w[c] + (c == 0 ? 0 : 2);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &row : _rows)
+        line(row);
+    return out;
+}
+
+std::string
+TextTable::renderMarkdown() const
+{
+    std::string out = "|";
+    for (const std::string &h : _headers)
+        out += " " + h + " |";
+    out += "\n|";
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        out += c == 0 ? " --- |" : " ---: |";
+    out += "\n";
+    for (const auto &row : _rows) {
+        out += "|";
+        for (const std::string &cell : row)
+            out += " " + cell + " |";
+        out += "\n";
+    }
+    return out;
+}
+
+void
+TextTable::writeCsv(std::ostream &out) const
+{
+    auto field = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string quoted = "\"";
+        for (char c : s) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                out << ',';
+            out << field(cells[c]);
+        }
+        out << '\n';
+    };
+    line(_headers);
+    for (const auto &row : _rows)
+        line(row);
+}
+
+void
+printBanner(std::ostream &out, const std::string &title)
+{
+    out << '\n'
+        << "==== " << title << " "
+        << std::string(title.size() < 70 ? 70 - title.size() : 4, '=')
+        << '\n';
+}
+
+} // namespace bwsa

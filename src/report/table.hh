@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text / markdown / CSV table rendering shared by the benchmark
+ * harnesses, so every reproduced paper table prints in one consistent
+ * format.
+ */
+
+#ifndef BWSA_REPORT_TABLE_HH
+#define BWSA_REPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bwsa
+{
+
+/**
+ * Column-aligned text table builder.
+ */
+class TextTable
+{
+  public:
+    /** @param headers column titles */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render as an aligned ASCII table. */
+    std::string render() const;
+
+    /** Render as GitHub-flavoured markdown. */
+    std::string renderMarkdown() const;
+
+    /** Write RFC-4180-ish CSV (quotes fields containing commas). */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    std::vector<std::size_t> widths() const;
+
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &out, const std::string &title);
+
+} // namespace bwsa
+
+#endif // BWSA_REPORT_TABLE_HH

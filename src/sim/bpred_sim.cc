@@ -1,0 +1,53 @@
+#include "sim/bpred_sim.hh"
+
+namespace bwsa
+{
+
+PredictionSim::PredictionSim(Predictor &predictor, bool per_branch)
+    : _predictor(predictor), _per_branch(per_branch)
+{
+    _stats.predictor_name = predictor.name();
+}
+
+void
+PredictionSim::onBranch(const BranchRecord &record)
+{
+    bool predicted = _predictor.predict(record.pc);
+    bool miss = (predicted != record.taken);
+    _stats.mispredicts.record(miss);
+    if (_per_branch)
+        _stats.per_branch[record.pc].record(miss);
+    _predictor.update(record.pc, record.taken);
+}
+
+PredictionStats
+simulatePredictor(const TraceSource &source, Predictor &predictor,
+                  bool per_branch)
+{
+    PredictionSim sim(predictor, per_branch);
+    source.replay(sim);
+    return sim.stats();
+}
+
+std::vector<PredictionStats>
+comparePredictors(const TraceSource &source,
+                  const std::vector<Predictor *> &predictors)
+{
+    std::vector<PredictionSim> sims;
+    sims.reserve(predictors.size());
+    FanoutSink fanout;
+    for (Predictor *p : predictors) {
+        sims.emplace_back(*p);
+        // Safe: sims is reserved, so elements never relocate.
+        fanout.addSink(sims.back());
+    }
+    source.replay(fanout);
+
+    std::vector<PredictionStats> out;
+    out.reserve(sims.size());
+    for (const PredictionSim &sim : sims)
+        out.push_back(sim.stats());
+    return out;
+}
+
+} // namespace bwsa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace-driven branch prediction simulation (the sim-bpred role).
+ *
+ * Drives a dynamic branch stream through one or more predictors,
+ * collecting misprediction statistics overall and, optionally, per
+ * static branch.  Several predictors can consume a single trace replay
+ * simultaneously, which keeps the Figure 3/4 sweeps at one execution
+ * per benchmark instead of one per predictor.
+ */
+
+#ifndef BWSA_SIM_BPRED_SIM_HH
+#define BWSA_SIM_BPRED_SIM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/predictor.hh"
+#include "trace/trace.hh"
+#include "util/stats.hh"
+
+namespace bwsa
+{
+
+/** Outcome of simulating one predictor over one trace. */
+struct PredictionStats
+{
+    std::string predictor_name;
+
+    /** Aggregate misprediction ratio. */
+    RatioStat mispredicts;
+
+    /** Per-static-branch misprediction ratios (when requested). */
+    std::unordered_map<BranchPc, RatioStat> per_branch;
+
+    /** Misprediction rate in percent, the paper's reporting unit. */
+    double mispredictPercent() const { return mispredicts.percent(); }
+
+    /** Prediction accuracy in percent. */
+    double
+    accuracyPercent() const
+    {
+        return 100.0 - mispredicts.percent();
+    }
+};
+
+/**
+ * TraceSink wiring a predictor to the stream.
+ */
+class PredictionSim : public TraceSink
+{
+  public:
+    /**
+     * @param predictor  predictor under test (not owned)
+     * @param per_branch also collect per-static-branch ratios
+     */
+    explicit PredictionSim(Predictor &predictor,
+                           bool per_branch = false);
+
+    void onBranch(const BranchRecord &record) override;
+
+    /** Statistics collected so far. */
+    const PredictionStats &stats() const { return _stats; }
+
+  private:
+    Predictor &_predictor;
+    bool _per_branch;
+    PredictionStats _stats;
+};
+
+/** Simulate one predictor over a full trace. */
+PredictionStats simulatePredictor(const TraceSource &source,
+                                  Predictor &predictor,
+                                  bool per_branch = false);
+
+/**
+ * Simulate many predictors over a single replay of the trace.
+ *
+ * @param source     the trace
+ * @param predictors predictors under test (not owned)
+ * @return one PredictionStats per predictor, in input order
+ */
+std::vector<PredictionStats>
+comparePredictors(const TraceSource &source,
+                  const std::vector<Predictor *> &predictors);
+
+} // namespace bwsa
+
+#endif // BWSA_SIM_BPRED_SIM_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Misprediction clustering analysis -- the open question the paper
+ * poses in its future work: "Are the clustered branch mispredictions
+ * found in recent work on dynamic prediction caused by changes in
+ * working set?"
+ *
+ * This analysis runs a predictor over a trace while simultaneously
+ * (a) grouping mispredictions into bursts (maximal runs of misses
+ * separated by fewer than a gap of correctly predicted branches) and
+ * (b) detecting working-set shifts as low Jaccard similarity between
+ * the distinct-branch populations of consecutive trace windows.  It
+ * then contrasts the miss rate in the aftermath of a shift against
+ * the steady-state miss rate, quantifying how much of the clustering
+ * is attributable to working-set change.
+ */
+
+#ifndef BWSA_SIM_CLUSTER_ANALYSIS_HH
+#define BWSA_SIM_CLUSTER_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "predict/predictor.hh"
+#include "trace/trace.hh"
+#include "util/stats.hh"
+
+namespace bwsa
+{
+
+/** Knobs of the clustering analysis. */
+struct ClusterConfig
+{
+    /** Dynamic branches per working-set observation window. */
+    std::size_t window = 512;
+
+    /**
+     * Number of preceding windows whose union forms the "resident"
+     * branch set a new window is compared against.  Comparing against
+     * the union (not just the previous window) keeps the detector
+     * quiet while a phase's procedures interleave and loud only when
+     * genuinely new code arrives.
+     */
+    std::size_t resident_windows = 4;
+
+    /**
+     * Fraction of a window's distinct branches that must be absent
+     * from the resident set to declare a working-set shift.
+     */
+    double shift_novelty = 0.45;
+
+    /** Misses separated by fewer correct branches fuse into a burst. */
+    std::size_t burst_gap = 8;
+
+    /** Minimum misses for a run to count as a burst. */
+    std::size_t burst_min = 4;
+
+    /** Branches after a shift considered "near" the shift. */
+    std::size_t aftermath = 512;
+};
+
+/** Results of the clustering analysis. */
+struct ClusterReport
+{
+    std::uint64_t branches = 0;      ///< dynamic branches simulated
+    std::uint64_t misses = 0;        ///< total mispredictions
+
+    std::uint64_t bursts = 0;        ///< qualifying miss bursts
+    std::uint64_t burst_misses = 0;  ///< misses inside bursts
+    double avg_burst_length = 0.0;   ///< mean misses per burst
+
+    std::uint64_t shifts = 0;        ///< working-set shifts observed
+
+    /** Miss ratio within `aftermath` branches of a shift. */
+    RatioStat near_shift;
+
+    /** Miss ratio everywhere else (steady state). */
+    RatioStat steady;
+
+    /** Fraction of all misses that occur inside bursts. */
+    double
+    burstMissFraction() const
+    {
+        return misses ? static_cast<double>(burst_misses) /
+                            static_cast<double>(misses)
+                      : 0.0;
+    }
+
+    /**
+     * How many times likelier a miss is near a working-set shift
+     * than in steady state (>1 supports the paper's conjecture).
+     */
+    double
+    shiftMissAmplification() const
+    {
+        double steady_rate = steady.ratio();
+        return steady_rate > 0.0 ? near_shift.ratio() / steady_rate
+                                 : 0.0;
+    }
+};
+
+/**
+ * Run the clustering analysis over one trace with one predictor.
+ */
+ClusterReport
+analyzeMispredictionClustering(const TraceSource &source,
+                               Predictor &predictor,
+                               const ClusterConfig &config = {});
+
+} // namespace bwsa
+
+#endif // BWSA_SIM_CLUSTER_ANALYSIS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The dynamic conditional-branch trace record.
+ *
+ * Every analysis in this library (working-set analysis, branch
+ * allocation, prediction simulation) consumes only the dynamic stream
+ * of conditional branches, exactly as the paper's SimpleScalar-based
+ * profiler did.  A record carries the static branch identity (PC), the
+ * resolved direction, and the retired-instruction count at which the
+ * branch executed -- the "time stamp" of Section 4.1.
+ */
+
+#ifndef BWSA_TRACE_BRANCH_RECORD_HH
+#define BWSA_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+
+namespace bwsa
+{
+
+/** Static branch identity: the instruction address of the branch. */
+using BranchPc = std::uint64_t;
+
+/** One dynamic conditional-branch instance. */
+struct BranchRecord
+{
+    /** Instruction address of the static branch. */
+    BranchPc pc = 0;
+
+    /**
+     * Retired-instruction count when this branch executed.  Strictly
+     * increasing along a trace; this is the paper's time stamp.
+     */
+    std::uint64_t timestamp = 0;
+
+    /** Resolved direction: true = taken. */
+    bool taken = false;
+
+    friend bool
+    operator==(const BranchRecord &a, const BranchRecord &b)
+    {
+        return a.pc == b.pc && a.timestamp == b.timestamp &&
+               a.taken == b.taken;
+    }
+};
+
+} // namespace bwsa
+
+#endif // BWSA_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,33 @@
+#include "trace/frequency_filter.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+FrequencySelection
+selectByFrequency(const TraceStatsCollector &stats,
+                  double target_coverage, std::size_t max_static)
+{
+    if (target_coverage <= 0.0 || target_coverage > 1.0)
+        bwsa_fatal("selectByFrequency coverage must be in (0, 1], got ",
+                   target_coverage);
+
+    FrequencySelection sel;
+    sel.total_dynamic = stats.dynamicBranches();
+
+    std::uint64_t needed = static_cast<std::uint64_t>(
+        target_coverage * static_cast<double>(sel.total_dynamic));
+
+    for (BranchPc pc : stats.branchesByFrequency()) {
+        if (max_static != 0 && sel.selected.size() >= max_static)
+            break;
+        if (sel.analyzed_dynamic >= needed)
+            break;
+        sel.selected.insert(pc);
+        sel.analyzed_dynamic += stats.counts(pc).executed;
+    }
+    return sel;
+}
+
+} // namespace bwsa

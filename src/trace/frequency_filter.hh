@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Frequency-based static branch selection.
+ *
+ * The paper reduces the static branch population of each benchmark
+ * "based on the frequency of occurrences" so that the analysis stays
+ * tractable, then reports in Table 1 what fraction of the dynamic
+ * stream the retained branches cover (99.8%+ for most benchmarks,
+ * 93.74% for gcc).  FrequencySelection reproduces that reduction: it
+ * keeps the hottest static branches until a target coverage of the
+ * dynamic stream is reached, optionally capped at a static budget.
+ */
+
+#ifndef BWSA_TRACE_FREQUENCY_FILTER_HH
+#define BWSA_TRACE_FREQUENCY_FILTER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace bwsa
+{
+
+/** Result of a frequency-based branch selection. */
+struct FrequencySelection
+{
+    /** Retained static branches. */
+    std::unordered_set<BranchPc> selected;
+
+    /** Total dynamic branches in the profiled stream. */
+    std::uint64_t total_dynamic = 0;
+
+    /** Dynamic branches covered by the retained static set. */
+    std::uint64_t analyzed_dynamic = 0;
+
+    /** Coverage of the dynamic stream by the retained set. */
+    double
+    coverage() const
+    {
+        return total_dynamic
+                   ? static_cast<double>(analyzed_dynamic) /
+                         static_cast<double>(total_dynamic)
+                   : 0.0;
+    }
+
+    /** True when @p pc survived the selection. */
+    bool contains(BranchPc pc) const { return selected.count(pc) != 0; }
+};
+
+/**
+ * Select the hottest static branches until @p target_coverage of the
+ * dynamic stream is covered.
+ *
+ * @param stats           per-branch counts from a profiling pass
+ * @param target_coverage fraction of dynamic branches to cover (0, 1]
+ * @param max_static      optional cap on retained static branches
+ *                        (0 = unlimited); the cap wins over coverage
+ */
+FrequencySelection selectByFrequency(const TraceStatsCollector &stats,
+                                     double target_coverage,
+                                     std::size_t max_static = 0);
+
+/**
+ * Pass-through sink forwarding only records whose branch survived a
+ * FrequencySelection; everything else is dropped, exactly like the
+ * paper's reduced-branch analysis runs.
+ */
+class FilteredSink : public TraceSink
+{
+  public:
+    /** Neither argument is owned; both must outlive the sink. */
+    FilteredSink(const FrequencySelection &selection, TraceSink &inner)
+        : _selection(selection), _inner(inner)
+    {}
+
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        if (_selection.contains(record.pc))
+            _inner.onBranch(record);
+        else
+            ++_dropped;
+    }
+
+    void onEnd() override { _inner.onEnd(); }
+
+    /** Records dropped so far. */
+    std::uint64_t dropped() const { return _dropped; }
+
+  private:
+    const FrequencySelection &_selection;
+    TraceSink &_inner;
+    std::uint64_t _dropped = 0;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_TRACE_FREQUENCY_FILTER_HH

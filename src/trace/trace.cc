@@ -1,0 +1,14 @@
+#include "trace/trace.hh"
+
+namespace bwsa
+{
+
+void
+MemoryTrace::replay(TraceSink &sink) const
+{
+    for (const BranchRecord &r : _records)
+        sink.onBranch(r);
+    sink.onEnd();
+}
+
+} // namespace bwsa

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trace stream abstractions.
+ *
+ * Producers (the synthetic executor, trace file readers) push records
+ * into a TraceSink; consumers that need to re-read a stream use a
+ * TraceSource.  MemoryTrace implements both so small traces can be
+ * captured once and replayed into several analyses.
+ */
+
+#ifndef BWSA_TRACE_TRACE_HH
+#define BWSA_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace bwsa
+{
+
+/**
+ * Consumer of a dynamic branch stream.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Deliver one dynamic branch instance; timestamps must ascend. */
+    virtual void onBranch(const BranchRecord &record) = 0;
+
+    /** Signal end of the stream. Default: nothing to finalize. */
+    virtual void onEnd() {}
+};
+
+/**
+ * Re-readable producer of a dynamic branch stream.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Push the whole stream into @p sink, followed by onEnd().
+     * Must be callable repeatedly, replaying the identical stream.
+     */
+    virtual void replay(TraceSink &sink) const = 0;
+};
+
+/**
+ * In-memory trace buffer; both a sink and a replayable source.
+ */
+class MemoryTrace : public TraceSink, public TraceSource
+{
+  public:
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        _records.push_back(record);
+    }
+
+    void replay(TraceSink &sink) const override;
+
+    /** Number of buffered records. */
+    std::size_t size() const { return _records.size(); }
+
+    bool empty() const { return _records.empty(); }
+
+    /** Random access to buffered records. */
+    const BranchRecord &operator[](std::size_t i) const
+    {
+        return _records[i];
+    }
+
+    const std::vector<BranchRecord> &records() const { return _records; }
+
+    /** Drop all buffered records. */
+    void clear() { _records.clear(); }
+
+    /** Reserve space for an expected record count. */
+    void reserve(std::size_t n) { _records.reserve(n); }
+
+  private:
+    std::vector<BranchRecord> _records;
+};
+
+/**
+ * Broadcast sink delivering each record to several downstream sinks,
+ * so one pass over a trace can feed the profiler and a predictor
+ * simulation simultaneously.
+ */
+class FanoutSink : public TraceSink
+{
+  public:
+    /** Append a downstream sink (not owned; must outlive the fanout). */
+    void addSink(TraceSink &sink) { _sinks.push_back(&sink); }
+
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        for (TraceSink *s : _sinks)
+            s->onBranch(record);
+    }
+
+    void
+    onEnd() override
+    {
+        for (TraceSink *s : _sinks)
+            s->onEnd();
+    }
+
+    std::size_t sinkCount() const { return _sinks.size(); }
+
+  private:
+    std::vector<TraceSink *> _sinks;
+};
+
+/**
+ * Sink that stops accepting records after a fixed budget, mirroring
+ * the paper's "run for the first 500 million instructions" rule.
+ */
+class TruncatingSink : public TraceSink
+{
+  public:
+    /**
+     * @param inner           downstream sink (not owned)
+     * @param max_instructions highest timestamp forwarded (0 = no limit)
+     */
+    TruncatingSink(TraceSink &inner, std::uint64_t max_instructions)
+        : _inner(inner), _limit(max_instructions)
+    {}
+
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        if (_limit != 0 && record.timestamp > _limit) {
+            _saturated = true;
+            return;
+        }
+        _inner.onBranch(record);
+    }
+
+    void onEnd() override { _inner.onEnd(); }
+
+    /** True when the limit actually truncated anything. */
+    bool saturated() const { return _saturated; }
+
+  private:
+    TraceSink &_inner;
+    std::uint64_t _limit;
+    bool _saturated = false;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_TRACE_TRACE_HH

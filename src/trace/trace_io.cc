@@ -1,0 +1,221 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> trace_magic = {'B', 'W', 'S', 'T'};
+
+/** Zig-zag encode a signed delta into an unsigned varint payload. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzag(). */
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putU32(std::ofstream &out, std::uint32_t v)
+{
+    char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(buf, 4);
+}
+
+void
+putU64(std::ofstream &out, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(buf, 8);
+}
+
+std::uint32_t
+getU32(std::ifstream &in)
+{
+    char buf[4];
+    in.read(buf, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::ifstream &in)
+{
+    char buf[8];
+    in.read(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+bool
+getVarint(std::ifstream &in, std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            return false;
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift >= 64)
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : _out(path, std::ios::binary), _path(path)
+{
+    if (!_out)
+        bwsa_fatal("cannot open trace file for writing: ", path);
+    _out.write(trace_magic.data(), trace_magic.size());
+    putU32(_out, trace_format_version);
+    putU64(_out, 0); // record count placeholder, fixed up in close()
+    _open = true;
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        _out.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    _out.put(static_cast<char>(v));
+}
+
+void
+TraceFileWriter::onBranch(const BranchRecord &record)
+{
+    if (!_open)
+        bwsa_panic("TraceFileWriter::onBranch after close");
+    if (_count != 0 && record.timestamp <= _last_timestamp)
+        bwsa_fatal("trace timestamps must strictly ascend (",
+                   record.timestamp, " after ", _last_timestamp, ")");
+    std::int64_t pc_delta = static_cast<std::int64_t>(record.pc) -
+                            static_cast<std::int64_t>(_last_pc);
+    std::uint64_t ts_delta =
+        _count == 0 ? record.timestamp
+                    : record.timestamp - _last_timestamp;
+    putVarint(zigzag(pc_delta));
+    putVarint((ts_delta << 1) | (record.taken ? 1u : 0u));
+    _last_pc = record.pc;
+    _last_timestamp = record.timestamp;
+    ++_count;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!_open)
+        return;
+    _open = false;
+    _out.seekp(8); // past magic + version
+    putU64(_out, _count);
+    _out.close();
+    if (!_out)
+        bwsa_fatal("error finalizing trace file: ", _path);
+}
+
+TraceFileReader::TraceFileReader(const std::string &path) : _path(path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        bwsa_fatal("cannot open trace file: ", path);
+    std::array<char, 4> magic;
+    in.read(magic.data(), magic.size());
+    if (!in || magic != trace_magic)
+        bwsa_fatal("not a BWSA trace file: ", path);
+    std::uint32_t version = getU32(in);
+    if (version != trace_format_version)
+        bwsa_fatal("unsupported trace format version ", version,
+                   " in ", path);
+    _count = getU64(in);
+    if (!in)
+        bwsa_fatal("truncated trace header: ", path);
+}
+
+void
+TraceFileReader::replay(TraceSink &sink) const
+{
+    std::ifstream in(_path, std::ios::binary);
+    if (!in)
+        bwsa_fatal("cannot reopen trace file: ", _path);
+    in.seekg(16); // magic + version + count
+
+    std::uint64_t pc = 0;
+    std::uint64_t timestamp = 0;
+    for (std::uint64_t i = 0; i < _count; ++i) {
+        std::uint64_t pc_raw = 0, ts_raw = 0;
+        if (!getVarint(in, pc_raw) || !getVarint(in, ts_raw))
+            bwsa_fatal("truncated trace body in ", _path, " at record ",
+                       i, " of ", _count);
+        pc = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(pc) + unzigzag(pc_raw));
+        bool taken = (ts_raw & 1) != 0;
+        timestamp += ts_raw >> 1;
+
+        BranchRecord record;
+        record.pc = pc;
+        record.timestamp = timestamp;
+        record.taken = taken;
+        sink.onBranch(record);
+    }
+    sink.onEnd();
+}
+
+std::uint64_t
+writeTraceFile(const std::string &path, const TraceSource &source)
+{
+    TraceFileWriter writer(path);
+    source.replay(writer);
+    return writer.recordCount();
+}
+
+MemoryTrace
+readTraceFile(const std::string &path)
+{
+    TraceFileReader reader(path);
+    MemoryTrace trace;
+    trace.reserve(reader.recordCount());
+    reader.replay(trace);
+    return trace;
+}
+
+} // namespace bwsa

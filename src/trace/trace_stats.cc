@@ -1,0 +1,55 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+
+namespace bwsa
+{
+
+void
+TraceStatsCollector::onBranch(const BranchRecord &record)
+{
+    BranchCounts &c = _counts[record.pc];
+    ++c.executed;
+    if (record.taken)
+        ++c.taken;
+    ++_dynamic;
+    if (record.taken)
+        ++_taken;
+    _last_timestamp = record.timestamp;
+}
+
+BranchCounts
+TraceStatsCollector::counts(BranchPc pc) const
+{
+    auto it = _counts.find(pc);
+    return it == _counts.end() ? BranchCounts{} : it->second;
+}
+
+std::vector<BranchPc>
+TraceStatsCollector::branchesByFrequency() const
+{
+    std::vector<BranchPc> pcs;
+    pcs.reserve(_counts.size());
+    for (const auto &[pc, counts] : _counts)
+        pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end(),
+              [this](BranchPc a, BranchPc b) {
+                  const BranchCounts &ca = _counts.at(a);
+                  const BranchCounts &cb = _counts.at(b);
+                  if (ca.executed != cb.executed)
+                      return ca.executed > cb.executed;
+                  return a < b;
+              });
+    return pcs;
+}
+
+void
+TraceStatsCollector::clear()
+{
+    _counts.clear();
+    _dynamic = 0;
+    _taken = 0;
+    _last_timestamp = 0;
+}
+
+} // namespace bwsa

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by predictors and trace I/O.
+ */
+
+#ifndef BWSA_UTIL_BITFIELD_HH
+#define BWSA_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+namespace bwsa
+{
+
+/** True when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(v); v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Smallest power of two >= v (v must be nonzero, <= 2^63). */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t v)
+{
+    return std::uint64_t(1) << ceilLog2(v);
+}
+
+/** Mask of the low @p bits bits. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t(0)
+                      : (std::uint64_t(1) << bits) - 1;
+}
+
+/** Extract bits [lo, hi] of @p v (inclusive, hi >= lo). */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & lowMask(hi - lo + 1);
+}
+
+/**
+ * Mix a 64-bit value into a well-distributed 64-bit hash
+ * (finalizer from MurmurHash3 / splitmix64).
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_BITFIELD_HH

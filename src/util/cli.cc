@@ -1,0 +1,113 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace bwsa
+{
+
+CliOptions
+CliOptions::parse(int &argc, char **argv,
+                  const std::vector<std::string> &known)
+{
+    CliOptions opts;
+    std::vector<char *> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    kept.push_back(argv[0]);
+
+    auto is_known = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            kept.push_back(argv[i]);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_value = false;
+        std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_value = true;
+        }
+        if (!is_known(name)) {
+            kept.push_back(argv[i]);
+            continue;
+        }
+        if (!has_value && i + 1 < argc &&
+            !startsWith(argv[i + 1], "--")) {
+            value = argv[++i];
+            has_value = true;
+        }
+        opts._values[name] = has_value ? value : "true";
+    }
+
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        argv[i] = kept[i];
+    argc = static_cast<int>(kept.size());
+    return opts;
+}
+
+bool
+CliOptions::has(const std::string &name) const
+{
+    return _values.count(name) != 0;
+}
+
+std::string
+CliOptions::getString(const std::string &name,
+                      const std::string &def) const
+{
+    auto it = _values.find(name);
+    return it == _values.end() ? def : it->second;
+}
+
+std::uint64_t
+CliOptions::getUint(const std::string &name, std::uint64_t def) const
+{
+    auto it = _values.find(name);
+    if (it == _values.end())
+        return def;
+    std::uint64_t out = 0;
+    if (!parseUint64(it->second, out))
+        bwsa_fatal("option --", name, " expects an unsigned integer, ",
+                   "got '", it->second, "'");
+    return out;
+}
+
+double
+CliOptions::getDouble(const std::string &name, double def) const
+{
+    auto it = _values.find(name);
+    if (it == _values.end())
+        return def;
+    double out = 0.0;
+    if (!parseDouble(it->second, out))
+        bwsa_fatal("option --", name, " expects a number, got '",
+                   it->second, "'");
+    return out;
+}
+
+bool
+CliOptions::getBool(const std::string &name, bool def) const
+{
+    auto it = _values.find(name);
+    if (it == _values.end())
+        return def;
+    std::string v = toLower(it->second);
+    if (v == "true" || v == "1" || v == "yes" || v.empty())
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    bwsa_fatal("option --", name, " expects a boolean, got '",
+               it->second, "'");
+}
+
+} // namespace bwsa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal command-line option parsing shared by the example programs
+ * and benchmark harnesses.
+ *
+ * Supports `--name=value`, `--name value` and boolean `--name` forms;
+ * anything it does not recognize is left in place so that wrapping
+ * frameworks (google-benchmark) can consume their own flags.
+ */
+
+#ifndef BWSA_UTIL_CLI_HH
+#define BWSA_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bwsa
+{
+
+/**
+ * Parsed command-line options with typed accessors and defaults.
+ */
+class CliOptions
+{
+  public:
+    /**
+     * Parse options out of argc/argv, consuming recognized entries.
+     *
+     * @param argc   argument count (updated in place)
+     * @param argv   argument vector (compacted in place)
+     * @param known  names (without leading dashes) this program owns;
+     *               unknown flags are left in argv untouched
+     */
+    static CliOptions parse(int &argc, char **argv,
+                            const std::vector<std::string> &known);
+
+    /** True when the flag was present at all. */
+    bool has(const std::string &name) const;
+
+    /** String value, or @p def when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Unsigned integer value; fatal() on malformed input. */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t def) const;
+
+    /** Double value; fatal() on malformed input. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false. */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Expose everything parsed, for diagnostics. */
+    const std::map<std::string, std::string> &values() const
+    {
+        return _values;
+    }
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_CLI_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Open-addressed counter map from 32-bit keys to 64-bit counts.
+ *
+ * The interleave tracker performs hundreds of millions of counter
+ * increments on large workloads; a linear-probing flat table with
+ * power-of-two capacity is several times faster than unordered_map
+ * there and is the difference between benches that run in seconds and
+ * benches that run in minutes.
+ */
+
+#ifndef BWSA_UTIL_FLAT_COUNTER_HH
+#define BWSA_UTIL_FLAT_COUNTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitfield.hh"
+
+namespace bwsa
+{
+
+/**
+ * Linear-probing hash map specialized for counting.
+ *
+ * Keys are 32-bit; the all-ones value is reserved as the empty slot
+ * marker.  Grows at 70% load.  Iteration order is unspecified.
+ */
+class FlatCounterMap
+{
+  public:
+    /** Reserved key marking an empty slot. */
+    static constexpr std::uint32_t empty_key = ~std::uint32_t(0);
+
+    FlatCounterMap() = default;
+
+    /** Add @p delta to the count of @p key (inserting at 0 first). */
+    void
+    increment(std::uint32_t key, std::uint64_t delta = 1)
+    {
+        if (_size + 1 > (_keys.size() * 7) / 10)
+            grow();
+        std::size_t slot = probe(key);
+        if (_keys[slot] == empty_key) {
+            _keys[slot] = key;
+            ++_size;
+        }
+        _values[slot] += delta;
+    }
+
+    /** Count of @p key; 0 when absent. */
+    std::uint64_t
+    count(std::uint32_t key) const
+    {
+        if (_keys.empty())
+            return 0;
+        std::size_t slot = probeConst(key);
+        return _keys[slot] == empty_key ? 0 : _values[slot];
+    }
+
+    /** Number of distinct keys. */
+    std::size_t size() const { return _size; }
+
+    bool empty() const { return _size == 0; }
+
+    /** Visit every (key, count) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _keys.size(); ++i)
+            if (_keys[i] != empty_key)
+                fn(_keys[i], _values[i]);
+    }
+
+    /** Drop everything, keeping capacity. */
+    void
+    clear()
+    {
+        std::fill(_keys.begin(), _keys.end(), empty_key);
+        std::fill(_values.begin(), _values.end(), 0);
+        _size = 0;
+    }
+
+  private:
+    std::size_t
+    mask() const
+    {
+        return _keys.size() - 1;
+    }
+
+    std::size_t
+    probe(std::uint32_t key) const
+    {
+        std::size_t slot =
+            static_cast<std::size_t>(mix64(key)) & mask();
+        while (_keys[slot] != empty_key && _keys[slot] != key)
+            slot = (slot + 1) & mask();
+        return slot;
+    }
+
+    std::size_t probeConst(std::uint32_t key) const { return probe(key); }
+
+    void
+    grow()
+    {
+        std::size_t new_cap = _keys.empty() ? 16 : _keys.size() * 2;
+        std::vector<std::uint32_t> old_keys = std::move(_keys);
+        std::vector<std::uint64_t> old_values = std::move(_values);
+        _keys.assign(new_cap, empty_key);
+        _values.assign(new_cap, 0);
+        _size = 0;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] != empty_key) {
+                std::size_t slot = probe(old_keys[i]);
+                _keys[slot] = old_keys[i];
+                _values[slot] = old_values[i];
+                ++_size;
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> _keys;
+    std::vector<std::uint64_t> _values;
+    std::size_t _size = 0;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_FLAT_COUNTER_HH

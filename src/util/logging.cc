@@ -1,0 +1,54 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bwsa
+{
+
+namespace
+{
+
+LogLevel global_level = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+namespace detail
+{
+
+void
+emitMessage(const char *prefix, const std::string &message)
+{
+    std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", message.c_str(),
+                 file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace bwsa

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status-message and error-exit facilities.
+ *
+ * Follows the simulator convention of separating internal invariant
+ * violations (panic) from user-induced errors (fatal): panic() aborts
+ * with a core dump because the library itself is broken; fatal() exits
+ * cleanly because the caller asked for something impossible (bad
+ * configuration, malformed trace file, ...).  warn() and inform() emit
+ * diagnostics without stopping.
+ */
+
+#ifndef BWSA_UTIL_LOGGING_HH
+#define BWSA_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace bwsa
+{
+
+/** Verbosity levels for runtime diagnostics. */
+enum class LogLevel
+{
+    Quiet,   ///< only fatal/panic messages
+    Normal,  ///< warn + inform
+    Verbose  ///< everything, including debug traces
+};
+
+/** Set the global diagnostic verbosity. Thread-compatible, not safe. */
+void setLogLevel(LogLevel level);
+
+/** Current global diagnostic verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+/** Emit a diagnostic line with a severity prefix. */
+void emitMessage(const char *prefix, const std::string &message);
+
+/** Print the message and abort(); never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Print the message and exit(1); never returns. */
+[[noreturn]] void fatalImpl(const std::string &message);
+
+/** Build a string from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a bug in this library). */
+#define bwsa_panic(...) \
+    ::bwsa::detail::panicImpl(__FILE__, __LINE__, \
+                              ::bwsa::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user error (bad input, bad configuration). */
+#define bwsa_fatal(...) \
+    ::bwsa::detail::fatalImpl(::bwsa::detail::concat(__VA_ARGS__))
+
+/** Non-fatal diagnostic about questionable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emitMessage("warn: ",
+                            detail::concat(std::forward<Args>(args)...));
+}
+
+/** Normal operating status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() != LogLevel::Quiet)
+        detail::emitMessage("info: ",
+                            detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose-only debugging message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() == LogLevel::Verbose)
+        detail::emitMessage("debug: ",
+                            detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_LOGGING_HH

@@ -1,0 +1,179 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : _state(0), _inc((stream << 1u) | 1u)
+{
+    next();
+    _state += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = _state;
+    _state = old * 6364136223846793005ULL + _inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    if (bound == 0)
+        bwsa_panic("Pcg32::nextBounded called with bound 0");
+    // Debiased modulo (Lemire-style rejection on the low threshold).
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint32_t
+Pcg32::nextRange(std::uint32_t lo, std::uint32_t hi)
+{
+    if (lo > hi)
+        bwsa_panic("Pcg32::nextRange: lo ", lo, " > hi ", hi);
+    return lo + nextBounded(hi - lo + 1u);
+}
+
+double
+Pcg32::nextDouble()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Pcg32::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Pcg32::next64()
+{
+    std::uint64_t hi = next();
+    return (hi << 32) | next();
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    if (n == 0)
+        bwsa_panic("ZipfSampler requires n >= 1");
+    if (theta < 0.0 || theta >= 1.0)
+        bwsa_panic("ZipfSampler theta must be in [0, 1), got ", theta);
+    _cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        _cdf[i] = sum;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        _cdf[i] /= sum;
+}
+
+std::size_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    double u = rng.nextDouble();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = _cdf.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (_cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        bwsa_panic("DiscreteSampler requires at least one weight");
+    _cdf.resize(weights.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] < 0.0)
+            bwsa_panic("DiscreteSampler weight ", i, " is negative");
+        sum += weights[i];
+        _cdf[i] = sum;
+    }
+    if (sum <= 0.0)
+        bwsa_panic("DiscreteSampler weights sum to zero");
+    for (double &c : _cdf)
+        c /= sum;
+}
+
+std::size_t
+DiscreteSampler::sample(Pcg32 &rng) const
+{
+    double u = rng.nextDouble();
+    std::size_t lo = 0, hi = _cdf.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (_cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+TripCountSampler::TripCountSampler(double mean_trips,
+                                   std::uint32_t max_trips)
+    : _mean(mean_trips), _max(max_trips)
+{
+    if (mean_trips < 1.0)
+        bwsa_panic("TripCountSampler mean must be >= 1, got ", mean_trips);
+    if (max_trips < 1)
+        bwsa_panic("TripCountSampler max must be >= 1");
+}
+
+std::uint32_t
+TripCountSampler::sample(Pcg32 &rng) const
+{
+    if (_mean <= 1.0)
+        return 1;
+    // Geometric with success probability 1/mean, shifted to start at 1.
+    double p = 1.0 / _mean;
+    double u = rng.nextDouble();
+    // Inverse CDF of geometric: ceil(log(1-u) / log(1-p)).
+    double trips = std::ceil(std::log1p(-u) / std::log1p(-p));
+    if (trips < 1.0)
+        trips = 1.0;
+    if (trips > static_cast<double>(_max))
+        trips = static_cast<double>(_max);
+    return static_cast<std::uint32_t>(trips);
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t master, std::uint64_t index)
+{
+    std::uint64_t state = master ^ (index * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(state);
+}
+
+} // namespace bwsa

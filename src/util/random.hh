@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the distributions
+ * used by the synthetic workload engine.
+ *
+ * Every stochastic component in the library draws from a Pcg32 seeded
+ * explicitly by the caller, so that traces, profiles and benchmark
+ * tables are bit-for-bit reproducible across runs and platforms.  The
+ * standard library engines are avoided because their distributions are
+ * not portable across implementations.
+ */
+
+#ifndef BWSA_UTIL_RANDOM_HH
+#define BWSA_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bwsa
+{
+
+/**
+ * PCG32 (XSH-RR variant) pseudo-random generator.
+ *
+ * Small, fast, statistically solid, and fully portable: the same seed
+ * yields the same stream on every platform.
+ */
+class Pcg32
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit output. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint32_t nextRange(std::uint32_t lo, std::uint32_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** 64-bit uniform value. */
+    std::uint64_t next64();
+
+  private:
+    std::uint64_t _state;
+    std::uint64_t _inc;
+};
+
+/**
+ * Zipf-distributed integer sampler over {0, ..., n-1}.
+ *
+ * Used to model the heavy-tailed distribution of dynamic execution
+ * counts over static branches: a few branches dominate the dynamic
+ * stream, exactly as Table 1 of the paper shows (99.9%+ of dynamic
+ * branches come from a reduced static set).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     number of items (>= 1)
+     * @param theta skew in [0, 1); 0 is uniform, 0.99 is highly skewed
+     */
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Draw one item index in [0, n). */
+    std::size_t sample(Pcg32 &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return _cdf.size(); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+/**
+ * Sampler over a small set of weighted alternatives.
+ *
+ * Used for choosing successor blocks and call targets in the synthetic
+ * control-flow graphs.
+ */
+class DiscreteSampler
+{
+  public:
+    /** Weights need not be normalized; all must be >= 0, sum > 0. */
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw one alternative index. */
+    std::size_t sample(Pcg32 &rng) const;
+
+    /** Number of alternatives. */
+    std::size_t size() const { return _cdf.size(); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+/**
+ * Geometric-like loop trip count sampler with a mean and a hard cap.
+ *
+ * Loop backedges executed trip-1 times taken then once not-taken are
+ * the dominant branch population in integer codes; the trip counts are
+ * drawn once per loop entry.
+ */
+class TripCountSampler
+{
+  public:
+    /**
+     * @param mean_trips expected trip count (>= 1)
+     * @param max_trips  hard upper bound (>= 1)
+     */
+    TripCountSampler(double mean_trips, std::uint32_t max_trips);
+
+    /** Draw a trip count in [1, max_trips]. */
+    std::uint32_t sample(Pcg32 &rng) const;
+
+    double meanTrips() const { return _mean; }
+    std::uint32_t maxTrips() const { return _max; }
+
+  private:
+    double _mean;
+    std::uint32_t _max;
+};
+
+/** SplitMix64 step, handy for deriving sub-seeds from a master seed. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Derive the i-th child seed from a master seed (stateless helper). */
+std::uint64_t deriveSeed(std::uint64_t master, std::uint64_t index);
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_RANDOM_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Saturating counter primitives used throughout the predictor library.
+ */
+
+#ifndef BWSA_UTIL_SAT_COUNTER_HH
+#define BWSA_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+/**
+ * An n-bit up/down saturating counter.
+ *
+ * The classic 2-bit version is the prediction automaton of nearly every
+ * table-based branch predictor: states 0-1 predict not-taken, states
+ * 2-3 predict taken, and the counter moves one step toward the actual
+ * outcome on update.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits    counter width in bits (1..8)
+     * @param initial initial counter value (must fit in @p bits)
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : _bits(bits), _max(static_cast<std::uint8_t>((1u << bits) - 1u)),
+          _value(initial)
+    {
+        if (bits < 1 || bits > 8)
+            bwsa_panic("SatCounter width must be 1..8, got ", bits);
+        if (initial > _max)
+            bwsa_panic("SatCounter initial value ", unsigned(initial),
+                       " exceeds max ", unsigned(_max));
+    }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (_value < _max)
+            ++_value;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (_value > 0)
+            --_value;
+    }
+
+    /** Move one step toward @p taken. */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** True when the counter is in the taken half of its range. */
+    bool predictTaken() const { return _value > (_max >> 1); }
+
+    /** True when the counter is saturated at either end. */
+    bool
+    isSaturated() const
+    {
+        return _value == 0 || _value == _max;
+    }
+
+    /** Raw counter value. */
+    std::uint8_t value() const { return _value; }
+
+    /** Maximum representable value. */
+    std::uint8_t maxValue() const { return _max; }
+
+    /** Counter width in bits. */
+    unsigned bits() const { return _bits; }
+
+    /** Reset to the weakly-not-taken midpoint (floor(max/2)). */
+    void resetWeak() { _value = static_cast<std::uint8_t>(_max >> 1); }
+
+    /** Set the raw value (must fit). */
+    void
+    set(std::uint8_t v)
+    {
+        if (v > _max)
+            bwsa_panic("SatCounter::set value out of range");
+        _value = v;
+    }
+
+  private:
+    unsigned _bits;
+    std::uint8_t _max;
+    std::uint8_t _value;
+};
+
+/**
+ * A shift register holding the last n branch outcomes.
+ *
+ * This is the per-branch history register stored in the BHT of a
+ * two-level predictor; its value indexes the second-level PHT.
+ */
+class HistoryRegister
+{
+  public:
+    /** @param bits history length in bits (1..32) */
+    explicit HistoryRegister(unsigned bits = 12)
+        : _bits(bits), _mask((bits >= 32) ? 0xffffffffu
+                                          : ((1u << bits) - 1u)),
+          _value(0)
+    {
+        if (bits < 1 || bits > 32)
+            bwsa_panic("HistoryRegister width must be 1..32, got ", bits);
+    }
+
+    /** Shift in one outcome (1 = taken) at the low end. */
+    void
+    push(bool taken)
+    {
+        _value = ((_value << 1) | (taken ? 1u : 0u)) & _mask;
+    }
+
+    /** Current history pattern. */
+    std::uint32_t value() const { return _value; }
+
+    /** History length in bits. */
+    unsigned bits() const { return _bits; }
+
+    /** Number of distinct patterns (2^bits). */
+    std::uint64_t
+    patternCount() const
+    {
+        return std::uint64_t(1) << _bits;
+    }
+
+    /** Clear the recorded history. */
+    void clear() { _value = 0; }
+
+  private:
+    unsigned _bits;
+    std::uint32_t _mask;
+    std::uint32_t _value;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_SAT_COUNTER_HH

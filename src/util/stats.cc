@@ -1,0 +1,148 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+void
+RunningStat::add(double x)
+{
+    ++_count;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    if (x < _min)
+        _min = x;
+    if (x > _max)
+        _max = x;
+}
+
+void
+RunningStat::addWeighted(double x, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    // Merge a degenerate accumulator holding `weight` copies of x.
+    RunningStat other;
+    other._count = weight;
+    other._mean = x;
+    other._m2 = 0.0;
+    other._min = x;
+    other._max = x;
+    merge(other);
+}
+
+double
+RunningStat::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    std::uint64_t n = _count + other._count;
+    double delta = other._mean - _mean;
+    double na = static_cast<double>(_count);
+    double nb = static_cast<double>(other._count);
+    double nn = static_cast<double>(n);
+    _m2 = _m2 + other._m2 + delta * delta * na * nb / nn;
+    _mean = _mean + delta * nb / nn;
+    _count = n;
+    if (other._min < _min)
+        _min = other._min;
+    if (other._max > _max)
+        _max = other._max;
+}
+
+void
+Histogram::add(std::int64_t key, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    _bins[key] += count;
+    _total += count;
+}
+
+std::int64_t
+Histogram::percentile(double q) const
+{
+    if (_total == 0)
+        bwsa_panic("Histogram::percentile on empty histogram");
+    if (q <= 0.0 || q > 1.0)
+        bwsa_panic("Histogram::percentile q must be in (0, 1], got ", q);
+    // Number of occurrences that must lie at or below the answer.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (const auto &[key, count] : _bins) {
+        seen += count;
+        if (seen >= target)
+            return key;
+    }
+    return _bins.rbegin()->first;
+}
+
+double
+Histogram::mean() const
+{
+    if (_total == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[key, count] : _bins)
+        sum += static_cast<double>(key) * static_cast<double>(count);
+    return sum / static_cast<double>(_total);
+}
+
+void
+Histogram::clear()
+{
+    _bins.clear();
+    _total = 0;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            bwsa_panic("geometricMean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace bwsa

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by trace analysis, the
+ * prediction simulator and the benchmark harnesses.
+ */
+
+#ifndef BWSA_UTIL_STATS_HH
+#define BWSA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace bwsa
+{
+
+/**
+ * Single-pass mean / variance / extrema accumulator (Welford).
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with an integer weight (x counted weight times). */
+    void addWeighted(double x, std::uint64_t weight);
+
+    /** Number of samples (including weights). */
+    std::uint64_t count() const { return _count; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return _count ? _mean : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return _min; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return _max; }
+
+    /** Sum of all samples. */
+    double sum() const { return _mean * static_cast<double>(_count); }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Discard all samples. */
+    void clear() { *this = RunningStat(); }
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Exact histogram over integer keys with percentile queries.
+ *
+ * Suitable for bounded-cardinality keys (working-set sizes, interleave
+ * distances in buckets, counter values); stores a map from key to
+ * count.
+ */
+class Histogram
+{
+  public:
+    /** Count one occurrence of @p key. */
+    void add(std::int64_t key, std::uint64_t count = 1);
+
+    /** Total number of recorded occurrences. */
+    std::uint64_t total() const { return _total; }
+
+    /** Number of distinct keys. */
+    std::size_t distinct() const { return _bins.size(); }
+
+    /**
+     * Smallest key k such that at least fraction @p q of occurrences
+     * have key <= k.  q in (0, 1]; 0 total is an error.
+     */
+    std::int64_t percentile(double q) const;
+
+    /** Mean of the keys weighted by count; 0 when empty. */
+    double mean() const;
+
+    /** Access the underlying (sorted) bins. */
+    const std::map<std::int64_t, std::uint64_t> &bins() const
+    {
+        return _bins;
+    }
+
+    /** Discard all bins. */
+    void clear();
+
+  private:
+    std::map<std::int64_t, std::uint64_t> _bins;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Misprediction-style ratio counter: events vs. occurrences.
+ */
+class RatioStat
+{
+  public:
+    /** Record one occurrence, flagged as an event (e.g. a miss) or not. */
+    void
+    record(bool event)
+    {
+        ++_total;
+        if (event)
+            ++_events;
+    }
+
+    /** Bulk accumulate. */
+    void
+    accumulate(std::uint64_t events, std::uint64_t total)
+    {
+        _events += events;
+        _total += total;
+    }
+
+    std::uint64_t events() const { return _events; }
+    std::uint64_t total() const { return _total; }
+
+    /** events/total; 0 when total is 0. */
+    double
+    ratio() const
+    {
+        return _total ? static_cast<double>(_events) /
+                            static_cast<double>(_total)
+                      : 0.0;
+    }
+
+    /** Ratio expressed as a percentage. */
+    double percent() const { return ratio() * 100.0; }
+
+    /** Merge another ratio counter into this one. */
+    void
+    merge(const RatioStat &other)
+    {
+        _events += other._events;
+        _total += other._total;
+    }
+
+  private:
+    std::uint64_t _events = 0;
+    std::uint64_t _total = 0;
+};
+
+/** Geometric mean of a list of positive values; 0 when empty. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean of a list; 0 when empty. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_STATS_HH

@@ -1,0 +1,148 @@
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace bwsa
+{
+
+std::string
+withCommas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t lead = digits.size() % 3;
+    if (lead == 0)
+        lead = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i + 3 - lead) % 3 == 0)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+percentString(double ratio, int precision)
+{
+    return fixedString(ratio * 100.0, precision) + "%";
+}
+
+std::string
+fixedString(double value, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t pos = s.find(delim, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+bool
+parseUint64(const std::string &s, std::uint64_t &out)
+{
+    std::string t = trim(s);
+    if (t.empty() || t[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace bwsa

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * String formatting helpers for reports and diagnostics.
+ */
+
+#ifndef BWSA_UTIL_STRUTIL_HH
+#define BWSA_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwsa
+{
+
+/** Format an integer with thousands separators: 1234567 -> "1,234,567". */
+std::string withCommas(std::uint64_t value);
+
+/** Format a ratio as a fixed-precision percentage: 0.12345 -> "12.35%". */
+std::string percentString(double ratio, int precision = 2);
+
+/** Format a double with fixed precision. */
+std::string fixedString(double value, int precision = 2);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Split @p s on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string s);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/**
+ * Parse a string as uint64; returns false on any malformed input
+ * instead of throwing.
+ */
+bool parseUint64(const std::string &s, std::uint64_t &out);
+
+/** Parse a string as double; returns false on malformed input. */
+bool parseDouble(const std::string &s, double &out);
+
+} // namespace bwsa
+
+#endif // BWSA_UTIL_STRUTIL_HH

@@ -1,0 +1,127 @@
+#include "workload/behavior.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+std::string
+behaviorKindName(BehaviorKind kind)
+{
+    switch (kind) {
+      case BehaviorKind::Biased:
+        return "biased";
+      case BehaviorKind::Periodic:
+        return "periodic";
+      case BehaviorKind::Markov:
+        return "markov";
+      case BehaviorKind::DataHash:
+        return "data-hash";
+      case BehaviorKind::InputMode:
+        return "input-mode";
+    }
+    bwsa_panic("unknown BehaviorKind ", static_cast<int>(kind));
+}
+
+BranchBehavior
+BranchBehavior::biased(double p_taken)
+{
+    if (p_taken < 0.0 || p_taken > 1.0)
+        bwsa_panic("biased p_taken out of [0, 1]: ", p_taken);
+    BranchBehavior b;
+    b.kind = BehaviorKind::Biased;
+    b.p_taken = p_taken;
+    return b;
+}
+
+BranchBehavior
+BranchBehavior::periodic(std::uint32_t pattern, unsigned len)
+{
+    if (len < 1 || len > 32)
+        bwsa_panic("periodic pattern length must be 1..32, got ", len);
+    BranchBehavior b;
+    b.kind = BehaviorKind::Periodic;
+    b.pattern = pattern;
+    b.pattern_len = len;
+    return b;
+}
+
+BranchBehavior
+BranchBehavior::markov(double p_repeat, double p_taken_start)
+{
+    if (p_repeat < 0.0 || p_repeat > 1.0)
+        bwsa_panic("markov p_repeat out of [0, 1]: ", p_repeat);
+    BranchBehavior b;
+    b.kind = BehaviorKind::Markov;
+    b.p_repeat = p_repeat;
+    b.p_taken = p_taken_start;
+    return b;
+}
+
+BranchBehavior
+BranchBehavior::inputMode(unsigned bit)
+{
+    if (bit >= 64)
+        bwsa_panic("inputMode bit must be 0..63, got ", bit);
+    BranchBehavior b;
+    b.kind = BehaviorKind::InputMode;
+    b.mode_bit = bit;
+    return b;
+}
+
+BranchBehavior
+BranchBehavior::dataHash(std::uint64_t salt, double threshold)
+{
+    if (threshold < 0.0 || threshold > 1.0)
+        bwsa_panic("dataHash threshold out of [0, 1]: ", threshold);
+    BranchBehavior b;
+    b.kind = BehaviorKind::DataHash;
+    b.hash_salt = salt;
+    b.threshold = threshold;
+    return b;
+}
+
+bool
+resolveBranch(const BranchBehavior &behavior, BehaviorState &state,
+              Pcg32 &rng, std::uint64_t input_seed)
+{
+    switch (behavior.kind) {
+      case BehaviorKind::Biased:
+        return rng.nextBool(behavior.p_taken);
+
+      case BehaviorKind::Periodic: {
+        bool taken = ((behavior.pattern >> state.phase) & 1u) != 0;
+        state.phase = (state.phase + 1u) % behavior.pattern_len;
+        return taken;
+      }
+
+      case BehaviorKind::Markov: {
+        if (!state.initialized) {
+            state.initialized = true;
+            state.last_outcome = rng.nextBool(behavior.p_taken);
+            return state.last_outcome;
+        }
+        bool repeat = rng.nextBool(behavior.p_repeat);
+        state.last_outcome = repeat ? state.last_outcome
+                                    : !state.last_outcome;
+        return state.last_outcome;
+      }
+
+      case BehaviorKind::DataHash: {
+        std::uint64_t h = mix64(state.counter ^ behavior.hash_salt);
+        ++state.counter;
+        double u = static_cast<double>(h >> 11) *
+                   (1.0 / 9007199254740992.0); // 2^53
+        return u < behavior.threshold;
+      }
+
+      case BehaviorKind::InputMode:
+        // Mix the seed so adjacent input seeds disagree on roughly
+        // half of all mode bits, like unrelated input files would.
+        return ((mix64(input_seed) >> behavior.mode_bit) & 1u) != 0;
+    }
+    bwsa_panic("unknown BehaviorKind ", static_cast<int>(behavior.kind));
+}
+
+} // namespace bwsa

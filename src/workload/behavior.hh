@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Stochastic branch direction models for the synthetic workload engine.
+ *
+ * Real integer codes contain a mix of branch populations: highly biased
+ * error checks, loop backedges, periodic pattern branches, strongly
+ * autocorrelated mode flags, and effectively random data-dependent
+ * tests.  Each conditional branch in a synthetic program carries one of
+ * these behaviour models; the model plus a small per-branch runtime
+ * state resolves every dynamic instance.
+ */
+
+#ifndef BWSA_WORKLOAD_BEHAVIOR_HH
+#define BWSA_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+
+namespace bwsa
+{
+
+/** Families of branch direction behaviour. */
+enum class BehaviorKind
+{
+    Biased,   ///< independent Bernoulli with fixed taken probability
+    Periodic, ///< repeats a fixed taken/not-taken bit pattern
+    Markov,   ///< repeats previous outcome with probability pRepeat
+    DataHash, ///< hash of a per-branch counter vs. threshold; this is
+              ///< deterministic per instance but looks random to a
+              ///< history predictor (data-dependent branch)
+    InputMode ///< resolved from one bit of the run's input seed: a
+              ///< configuration flag that is constant within a run but
+              ///< differs across input sets, steering whole program
+              ///< regions on or off (the ss_a/ss_b effect)
+};
+
+/** Human-readable name of a behaviour kind. */
+std::string behaviorKindName(BehaviorKind kind);
+
+/**
+ * Immutable description of how one static branch resolves.
+ */
+struct BranchBehavior
+{
+    BehaviorKind kind = BehaviorKind::Biased;
+
+    /** Biased: probability the branch is taken. */
+    double p_taken = 0.5;
+
+    /** Periodic: pattern bits (LSB first) and length (1..32). */
+    std::uint32_t pattern = 0x1;
+    unsigned pattern_len = 1;
+
+    /** Markov: probability of repeating the previous outcome. */
+    double p_repeat = 0.9;
+
+    /** DataHash: salt mixed into the per-branch counter. */
+    std::uint64_t hash_salt = 0;
+
+    /** DataHash: fraction of hash space resolving taken. */
+    double threshold = 0.5;
+
+    /** InputMode: which bit of the input seed decides the branch. */
+    unsigned mode_bit = 0;
+
+    /** Make a Bernoulli-biased behaviour. */
+    static BranchBehavior biased(double p_taken);
+
+    /** Make a periodic behaviour from pattern bits (LSB first). */
+    static BranchBehavior periodic(std::uint32_t pattern, unsigned len);
+
+    /** Make a two-state Markov behaviour. */
+    static BranchBehavior markov(double p_repeat,
+                                 double p_taken_start = 0.5);
+
+    /** Make a data-dependent hash behaviour. */
+    static BranchBehavior dataHash(std::uint64_t salt,
+                                   double threshold);
+
+    /** Make an input-configuration behaviour. */
+    static BranchBehavior inputMode(unsigned bit);
+};
+
+/**
+ * Mutable per-static-branch runtime state used while resolving.
+ */
+struct BehaviorState
+{
+    bool last_outcome = false;    ///< Markov memory
+    std::uint32_t phase = 0;      ///< Periodic position
+    std::uint64_t counter = 0;    ///< DataHash instance counter
+    bool initialized = false;     ///< Markov first-instance flag
+};
+
+/**
+ * Resolve one dynamic instance of a branch.
+ *
+ * @param behavior   the static behaviour model
+ * @param state      per-branch state, updated in place
+ * @param rng        workload RNG (consulted by stochastic kinds)
+ * @param input_seed the run's input-set seed (read by InputMode)
+ * @return true when the branch is taken
+ */
+bool resolveBranch(const BranchBehavior &behavior, BehaviorState &state,
+                   Pcg32 &rng, std::uint64_t input_seed = 0);
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_BEHAVIOR_HH

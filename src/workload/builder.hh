@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Convenience constructors for building synthetic programs by hand.
+ *
+ * These helpers make tests and examples read like the programs they
+ * model:
+ *
+ * @code
+ *   Program p;
+ *   p.addProcedure("kernel",
+ *       loopOf(100.0, 1000,
+ *           seqOf(compute(10),
+ *                 ifOf(BranchBehavior::biased(0.5), compute(5)))));
+ *   p.finalize();
+ * @endcode
+ */
+
+#ifndef BWSA_WORKLOAD_BUILDER_HH
+#define BWSA_WORKLOAD_BUILDER_HH
+
+#include <utility>
+#include <vector>
+
+#include "workload/program.hh"
+
+namespace bwsa
+{
+
+/** Straight-line block of @p n non-branch instructions. */
+inline StmtPtr
+compute(std::uint32_t n)
+{
+    return Stmt::makeCompute(n);
+}
+
+/** Sequence of statements given as variadic arguments. */
+template <typename... Parts>
+StmtPtr
+seqOf(Parts &&...parts)
+{
+    StmtPtr s = Stmt::makeSequence();
+    (s->stmts.push_back(std::forward<Parts>(parts)), ...);
+    return s;
+}
+
+/** If statement without an else body. */
+inline StmtPtr
+ifOf(const BranchBehavior &behavior, StmtPtr then_body)
+{
+    return Stmt::makeIf(behavior, std::move(then_body));
+}
+
+/** If/else statement. */
+inline StmtPtr
+ifElseOf(const BranchBehavior &behavior, StmtPtr then_body,
+         StmtPtr else_body)
+{
+    return Stmt::makeIf(behavior, std::move(then_body),
+                        std::move(else_body));
+}
+
+/** Counted loop with a geometric trip-count distribution. */
+inline StmtPtr
+loopOf(double mean_trips, std::uint32_t max_trips, StmtPtr body)
+{
+    return Stmt::makeLoop(mean_trips, max_trips, std::move(body));
+}
+
+/**
+ * Loop with an exact trip count (the executor treats mean >= max as a
+ * degenerate, deterministic distribution).
+ */
+inline StmtPtr
+fixedLoopOf(std::uint32_t trips, StmtPtr body)
+{
+    return Stmt::makeLoop(static_cast<double>(trips), trips,
+                          std::move(body));
+}
+
+/** Switch over weighted cases. */
+inline StmtPtr
+switchOf(std::vector<double> weights, std::vector<StmtPtr> cases)
+{
+    return Stmt::makeSwitch(std::move(weights), std::move(cases));
+}
+
+/** Call to the procedure at index @p callee. */
+inline StmtPtr
+callOf(std::size_t callee)
+{
+    return Stmt::makeCall(callee);
+}
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_BUILDER_HH

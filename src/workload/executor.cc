@@ -1,0 +1,156 @@
+#include "workload/executor.hh"
+
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+SyntheticExecutor::SyntheticExecutor(const Program &program,
+                                     const ExecutorConfig &config)
+    : _program(program), _config(config),
+      _rng(config.input_seed, 0x5851f42d4c957f2dULL)
+{
+    if (!program.finalized())
+        bwsa_panic("SyntheticExecutor requires a finalized program");
+    _states.resize(program.staticBranchCount());
+}
+
+void
+SyntheticExecutor::retire(std::uint64_t n)
+{
+    _instructions += n;
+    if (_config.max_instructions != 0 &&
+        _instructions >= _config.max_instructions)
+        _stop = true;
+}
+
+bool
+SyntheticExecutor::emitBranch(BranchId id, BranchPc pc,
+                              const BranchBehavior &behavior,
+                              TraceSink &sink, bool forced,
+                              bool forced_value)
+{
+    retire(1);
+    bool taken = forced ? forced_value
+                        : resolveBranch(behavior, _states[id], _rng,
+                                        _config.input_seed);
+    BranchRecord record;
+    record.pc = pc;
+    record.timestamp = _instructions;
+    record.taken = taken;
+    sink.onBranch(record);
+    ++_branches;
+    return taken;
+}
+
+void
+SyntheticExecutor::execStmt(const Stmt &stmt, TraceSink &sink,
+                            unsigned depth)
+{
+    if (_stop)
+        return;
+    if (depth > _config.max_call_depth)
+        bwsa_fatal("call depth exceeded ", _config.max_call_depth,
+                   " (unexpected for an acyclic call graph)");
+
+    switch (stmt.kind) {
+      case StmtKind::Sequence:
+        for (const StmtPtr &child : stmt.stmts) {
+            execStmt(*child, sink, depth);
+            if (_stop)
+                return;
+        }
+        break;
+
+      case StmtKind::Compute:
+        retire(stmt.instructions);
+        break;
+
+      case StmtKind::If: {
+        bool taken = emitBranch(stmt.branch_id, stmt.branch_pc,
+                                stmt.behavior, sink, false, false);
+        // Convention: the branch is taken when the condition fails,
+        // skipping the then-body (compilers emit branch-on-false).
+        if (!taken) {
+            execStmt(*stmt.then_body, sink, depth);
+        } else if (stmt.else_body) {
+            retire(1); // the jump reaching the else body
+            execStmt(*stmt.else_body, sink, depth);
+        }
+        break;
+      }
+
+      case StmtKind::Loop: {
+        // Degenerate distribution (mean >= max) means a fixed count.
+        std::uint32_t trips;
+        if (stmt.mean_trips >= static_cast<double>(stmt.max_trips)) {
+            trips = stmt.max_trips;
+        } else {
+            TripCountSampler sampler(stmt.mean_trips, stmt.max_trips);
+            trips = sampler.sample(_rng);
+        }
+        for (std::uint32_t i = 0; i < trips && !_stop; ++i) {
+            execStmt(*stmt.body, sink, depth);
+            if (_stop)
+                return;
+            // Backedge: taken while the loop continues.
+            emitBranch(stmt.branch_id, stmt.branch_pc, stmt.behavior,
+                       sink, true, i + 1 < trips);
+        }
+        break;
+      }
+
+      case StmtKind::Switch: {
+        auto it = _switch_samplers.find(&stmt);
+        if (it == _switch_samplers.end())
+            it = _switch_samplers
+                     .emplace(&stmt, DiscreteSampler(stmt.case_weights))
+                     .first;
+        std::size_t chosen = it->second.sample(_rng);
+        // Compare-branch cascade: branch i is taken when case i is
+        // selected, falling through otherwise; the default case is
+        // reached when every compare falls through.
+        for (std::size_t i = 0; i < stmt.case_branch_ids.size(); ++i) {
+            bool taken = (i == chosen);
+            emitBranch(stmt.case_branch_ids[i],
+                       stmt.case_branch_pcs[i], stmt.behavior, sink,
+                       true, taken);
+            if (_stop)
+                return;
+            if (taken)
+                break;
+        }
+        execStmt(*stmt.cases[chosen], sink, depth);
+        if (!_stop)
+            retire(1); // jump to the switch join point
+        break;
+      }
+
+      case StmtKind::Call:
+        retire(1); // the call instruction
+        if (_stop)
+            return;
+        execStmt(*_program.procedure(stmt.callee).body, sink,
+                 depth + 1);
+        if (!_stop)
+            retire(1); // the return instruction
+        break;
+    }
+}
+
+ExecutionResult
+SyntheticExecutor::run(TraceSink &sink)
+{
+    execStmt(*_program.procedure(0).body, sink, 0);
+    sink.onEnd();
+
+    ExecutionResult result;
+    result.instructions = _instructions;
+    result.dynamic_branches = _branches;
+    result.truncated = _stop;
+    return result;
+}
+
+} // namespace bwsa

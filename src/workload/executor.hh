@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic interpreter for finalized synthetic programs.
+ *
+ * Walking the statement tree, the executor maintains a retired
+ * instruction counter and per-static-branch behaviour state, and emits
+ * one BranchRecord per dynamic conditional branch into a TraceSink --
+ * the same interface a SimpleScalar functional simulator presents to
+ * the paper's profiler.
+ *
+ * The "input set" of a run is its input seed: different seeds steer
+ * the stochastic direction models and trip counts into different
+ * program regions, which is how the ss_a/ss_b profile-sensitivity
+ * experiment of Section 5.2 is reproduced.
+ */
+
+#ifndef BWSA_WORKLOAD_EXECUTOR_HH
+#define BWSA_WORKLOAD_EXECUTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workload/program.hh"
+
+namespace bwsa
+{
+
+/** Run-time configuration of one execution. */
+struct ExecutorConfig
+{
+    /** Stop after this many retired instructions (0 = run to end). */
+    std::uint64_t max_instructions = 0;
+
+    /** Input-set seed; all stochastic choices derive from it. */
+    std::uint64_t input_seed = 1;
+
+    /** Call-depth safety cap (the call graph is acyclic anyway). */
+    unsigned max_call_depth = 256;
+};
+
+/** Aggregate result of one execution. */
+struct ExecutionResult
+{
+    std::uint64_t instructions = 0;       ///< instructions retired
+    std::uint64_t dynamic_branches = 0;   ///< conditional branches run
+    bool truncated = false;               ///< stopped by budget
+};
+
+/**
+ * Tree-walking interpreter producing a dynamic branch trace.
+ */
+class SyntheticExecutor
+{
+  public:
+    /**
+     * @param program finalized program to execute (not owned)
+     * @param config  run configuration
+     */
+    SyntheticExecutor(const Program &program,
+                      const ExecutorConfig &config);
+
+    /**
+     * Execute the entry procedure to completion (or budget), pushing
+     * each dynamic conditional branch into @p sink, then onEnd().
+     */
+    ExecutionResult run(TraceSink &sink);
+
+  private:
+    void execStmt(const Stmt &stmt, TraceSink &sink, unsigned depth);
+    bool emitBranch(BranchId id, BranchPc pc,
+                    const BranchBehavior &behavior, TraceSink &sink,
+                    bool forced, bool forced_value);
+    void retire(std::uint64_t n);
+    bool stopped() const { return _stop; }
+
+    const Program &_program;
+    ExecutorConfig _config;
+    Pcg32 _rng;
+    std::vector<BehaviorState> _states;
+    std::unordered_map<const Stmt *, DiscreteSampler> _switch_samplers;
+    std::uint64_t _instructions = 0;
+    std::uint64_t _branches = 0;
+    bool _stop = false;
+};
+
+/**
+ * Replayable TraceSource that re-executes a program on demand.
+ *
+ * Replay is bit-identical across calls because the executor reseeds
+ * from the same input seed every time; this lets the profiling pass
+ * and the prediction simulation passes see the same stream without
+ * buffering hundreds of millions of records.
+ */
+class WorkloadTraceSource : public TraceSource
+{
+  public:
+    /** @param program finalized program (not owned; must outlive) */
+    WorkloadTraceSource(const Program &program,
+                        const ExecutorConfig &config)
+        : _program(program), _config(config)
+    {}
+
+    void
+    replay(TraceSink &sink) const override
+    {
+        SyntheticExecutor exec(_program, _config);
+        exec.run(sink);
+    }
+
+    const ExecutorConfig &config() const { return _config; }
+
+  private:
+    const Program &_program;
+    ExecutorConfig _config;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_EXECUTOR_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Random synthetic-program generation.
+ *
+ * A WorkloadParams bundle describes the *shape* of an application --
+ * how many procedures, how deep its loop nests go, how its branch
+ * population splits across behaviour families, and how execution moves
+ * through phases -- and the generator turns it into a concrete,
+ * finalized Program.  The same structure seed always produces the same
+ * program; the input seed given to the executor then plays the role of
+ * the input data set.
+ *
+ * The phase structure is the load-bearing part for working-set
+ * analysis: procedures active in one phase interleave with each other
+ * (forming working sets) while procedures of different phases meet
+ * only at the weak outer-iteration scale that the paper's conflict
+ * threshold prunes away.
+ */
+
+#ifndef BWSA_WORKLOAD_GENERATOR_HH
+#define BWSA_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/program.hh"
+
+namespace bwsa
+{
+
+/**
+ * Relative frequencies of branch behaviour families.
+ *
+ * The defaults are balanced so a conventional PAg predictor lands in
+ * the high-80s/low-90s accuracy range integer codes exhibit: most
+ * branches are either strongly biased or predictable from their own
+ * history (markov/periodic), with a small genuinely data-dependent
+ * remainder providing the unpredictable tail.
+ */
+struct BehaviorMix
+{
+    double w_biased_high = 0.62; ///< >99% or <1% taken checks
+    double w_biased_mid = 0.05;  ///< 70-90% (or 10-30%) taken tests
+    double w_markov = 0.15;      ///< strongly autocorrelated flags
+    double w_periodic = 0.08;    ///< short repeating patterns
+    double w_datahash = 0.04;    ///< pseudo-random data-dependent
+
+    /** Bias level of the "highly biased" family (taken side). */
+    double bias_high = 0.997;
+};
+
+/** Shape description of one synthetic application. */
+struct WorkloadParams
+{
+    /** Name used in reports. */
+    std::string name = "custom";
+
+    /** Seed fixing the program structure. */
+    std::uint64_t structure_seed = 1;
+
+    /** Total procedures, including the entry procedure. */
+    std::size_t num_procedures = 16;
+
+    /** Number of execution phases in the entry procedure. */
+    std::size_t num_phases = 4;
+
+    /** Procedures invoked per phase (window into the proc list). */
+    std::size_t procs_per_phase = 4;
+
+    /** Procedures shared between adjacent phase windows. */
+    std::size_t phase_overlap = 1;
+
+    /** Mean iterations of each phase loop per outer pass. */
+    std::uint32_t phase_iterations = 30;
+
+    /** Per-procedure static conditional branch budget. */
+    std::size_t branches_per_proc_min = 20;
+    std::size_t branches_per_proc_max = 60;
+
+    /** Maximum loop nesting inside one procedure. */
+    unsigned max_loop_depth = 3;
+
+    /** Statement-kind mix while generating bodies. */
+    double loop_weight = 0.25;
+    double switch_weight = 0.10;
+    double call_weight = 0.10;
+    double if_weight = 0.55;
+
+    /** Inner-loop trip-count distribution. */
+    double mean_inner_trips = 12.0;
+    std::uint32_t max_inner_trips = 200;
+
+    /**
+     * Fraction of loops with a deterministic trip count.  Fixed-trip
+     * loops have perfectly predictable exits (given enough history);
+     * geometric-trip loops model data-dependent iteration.
+     */
+    double fixed_trip_prob = 0.5;
+
+    /**
+     * Fraction of top-level loops that run for hundreds of trips
+     * (scan/copy kernels).  Their backedges are >99% taken and thus
+     * land in the biased-taken class of Section 5.2.
+     */
+    double long_loop_prob = 0.30;
+
+    /** How far ahead a procedure may call (acyclic call window). */
+    std::size_t call_span = 4;
+
+    /**
+     * Maximum generated call sites per procedure body.  Calls are
+     * guarded so they execute rarely; without both measures the
+     * expected cost compounds geometrically down the call chain.
+     */
+    std::size_t max_calls_per_proc = 2;
+
+    /** Probability a guarded call actually runs per visit. */
+    double call_exec_prob = 0.12;
+
+    /** Probability a call cluster is guarded by an input-mode flag. */
+    double input_mode_prob = 0.08;
+
+    /** Branch behaviour family frequencies. */
+    BehaviorMix mix;
+
+    /**
+     * Expected instruction cost budget of one procedure call.  The
+     * generator rescales a procedure's loop trip counts until its
+     * expected cost is near this target, which keeps one pass over
+     * all phases at a predictable total cost.
+     */
+    double target_call_cost = 800.0;
+
+    /**
+     * Default run length in full passes over the phase sequence; the
+     * instruction budget becomes passes * expected cost of one pass.
+     */
+    double passes = 1.3;
+};
+
+/** A generated program plus its cost model outputs. */
+struct GeneratedProgram
+{
+    Program program;
+
+    /** Expected instructions of one pass over every phase. */
+    std::uint64_t expected_pass_instructions = 0;
+};
+
+/**
+ * Generate a finalized program from a shape description.
+ */
+GeneratedProgram generateProgramWithInfo(const WorkloadParams &params);
+
+/** Convenience wrapper discarding the cost model outputs. */
+Program generateProgram(const WorkloadParams &params);
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,347 @@
+#include "workload/presets.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+namespace
+{
+
+/** Static description of one preset. */
+struct PresetDef
+{
+    const char *name;
+    WorkloadParams params;
+    std::vector<NamedInput> inputs;
+};
+
+WorkloadParams
+baseParams(const char *name, std::uint64_t structure_seed)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.structure_seed = structure_seed;
+    return p;
+}
+
+/** Build the full preset table once. */
+std::vector<PresetDef>
+buildPresets()
+{
+    std::vector<PresetDef> defs;
+
+    // compress: tiny kernel code, a handful of hot loops, working
+    // sets of a few dozen branches.
+    {
+        WorkloadParams p = baseParams("compress", 0xc0301);
+        p.num_procedures = 8;
+        p.num_phases = 4;
+        p.procs_per_phase = 1;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 16;
+        p.branches_per_proc_max = 26;
+        p.mean_inner_trips = 25.0;
+        p.phase_iterations = 150;
+        p.mix.w_datahash = 0.10;
+        p.call_span = 1;
+        p.passes = 2.0;
+        defs.push_back({"compress", p, {{"ref", 11}}});
+    }
+
+    // gcc: by far the largest static branch population; many phases
+    // (parsing, RTL passes, ...) with large per-phase working sets.
+    {
+        WorkloadParams p = baseParams("gcc", 0x6cc01);
+        p.num_procedures = 134;
+        p.num_phases = 26;
+        p.procs_per_phase = 5;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 60;
+        p.branches_per_proc_max = 90;
+        p.mean_inner_trips = 7.0;
+        p.phase_iterations = 120;
+        p.mix.w_biased_mid = 0.15;
+        p.call_span = 2;
+        p.mix.w_biased_high = 0.42;
+        p.passes = 1.2;
+        defs.push_back({"gcc", p, {{"ref", 17}}});
+    }
+
+    // ijpeg: few, extremely hot kernels; small working sets, very
+    // high trip counts.
+    {
+        WorkloadParams p = baseParams("ijpeg", 0x13e601);
+        p.num_procedures = 14;
+        p.num_phases = 7;
+        p.procs_per_phase = 1;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 22;
+        p.branches_per_proc_max = 34;
+        p.mean_inner_trips = 50.0;
+        p.max_inner_trips = 512;
+        p.phase_iterations = 160;
+        p.mix.w_periodic = 0.15;
+        p.call_span = 1;
+        p.mix.w_biased_high = 0.55;
+        p.passes = 2.0;
+        defs.push_back({"ijpeg", p, {{"ref", 23}}});
+    }
+
+    // li: interpreter dispatch loops; medium-large working sets.
+    {
+        WorkloadParams p = baseParams("li", 0x11501);
+        p.num_procedures = 44;
+        p.num_phases = 11;
+        p.procs_per_phase = 3;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 40;
+        p.branches_per_proc_max = 60;
+        p.mean_inner_trips = 9.0;
+        p.phase_iterations = 140;
+        p.switch_weight = 0.18;
+        p.call_span = 1;
+        p.passes = 1.4;
+        defs.push_back({"li", p, {{"ref", 31}}});
+    }
+
+    // m88ksim: simulator main loop calling decode/execute helpers.
+    {
+        WorkloadParams p = baseParams("m88ksim", 0x88001);
+        p.num_procedures = 36;
+        p.num_phases = 10;
+        p.procs_per_phase = 3;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 40;
+        p.branches_per_proc_max = 60;
+        p.mean_inner_trips = 12.0;
+        p.phase_iterations = 140;
+        p.call_span = 1;
+        p.passes = 1.5;
+        defs.push_back({"m88ksim", p, {{"ref", 41}}});
+    }
+
+    // perl: interpreter with moderate working sets; the paper
+    // profiles two inputs (scrabbl / primes-like).
+    {
+        WorkloadParams p = baseParams("perl", 0x9e7101);
+        p.num_procedures = 28;
+        p.num_phases = 12;
+        p.procs_per_phase = 2;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 20;
+        p.branches_per_proc_max = 30;
+        p.mean_inner_trips = 8.0;
+        p.phase_iterations = 130;
+        p.switch_weight = 0.16;
+        p.input_mode_prob = 0.14;
+        p.call_span = 1;
+        p.passes = 1.6;
+        defs.push_back({"perl", p, {{"a", 51}, {"b", 0x5eed5eedULL}}});
+    }
+
+    // chess: deep search with many evaluation routines live at once.
+    {
+        WorkloadParams p = baseParams("chess", 0xc4e5501);
+        p.num_procedures = 94;
+        p.num_phases = 18;
+        p.procs_per_phase = 5;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 50;
+        p.branches_per_proc_max = 80;
+        p.mean_inner_trips = 7.0;
+        p.phase_iterations = 120;
+        p.mix.w_biased_mid = 0.15;
+        p.call_span = 1;
+        p.passes = 1.25;
+        defs.push_back({"chess", p, {{"ref", 61}}});
+    }
+
+    // gs: PostScript interpreter; large code, medium working sets.
+    {
+        WorkloadParams p = baseParams("gs", 0x650001);
+        p.num_procedures = 62;
+        p.num_phases = 18;
+        p.procs_per_phase = 3;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 50;
+        p.branches_per_proc_max = 75;
+        p.mean_inner_trips = 9.0;
+        p.phase_iterations = 130;
+        p.switch_weight = 0.14;
+        p.call_span = 1;
+        p.passes = 1.3;
+        defs.push_back({"gs", p, {{"ref", 71}}});
+    }
+
+    // pgp: crypto kernels; small hot loops, biased checks.
+    {
+        WorkloadParams p = baseParams("pgp", 0x960001);
+        p.num_procedures = 20;
+        p.num_phases = 9;
+        p.procs_per_phase = 1;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 20;
+        p.branches_per_proc_max = 35;
+        p.mean_inner_trips = 20.0;
+        p.phase_iterations = 140;
+        p.call_span = 1;
+        p.mix.w_biased_high = 0.55;
+        p.passes = 2.0;
+        defs.push_back({"pgp", p, {{"ref", 83}}});
+    }
+
+    // plot (gnuplot): medium program, distinct plotting phases.
+    {
+        WorkloadParams p = baseParams("plot", 0x97071);
+        p.num_procedures = 56;
+        p.num_phases = 17;
+        p.procs_per_phase = 3;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 50;
+        p.branches_per_proc_max = 75;
+        p.mean_inner_trips = 11.0;
+        p.phase_iterations = 130;
+        p.call_span = 1;
+        p.passes = 1.3;
+        defs.push_back({"plot", p, {{"ref", 97}}});
+    }
+
+    // python: bytecode interpreter; big code, large working sets.
+    {
+        WorkloadParams p = baseParams("python", 0x9f7401);
+        p.num_procedures = 124;
+        p.num_phases = 24;
+        p.procs_per_phase = 5;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 55;
+        p.branches_per_proc_max = 85;
+        p.mean_inner_trips = 7.0;
+        p.phase_iterations = 120;
+        p.switch_weight = 0.18;
+        p.call_span = 2;
+        p.passes = 1.2;
+        defs.push_back({"python", p, {{"ref", 101}}});
+    }
+
+    // ss (SimpleScalar itself): simulator loops; the paper profiles
+    // two inputs with markedly different coverage -- modelled by a
+    // high density of input-mode guards.
+    {
+        WorkloadParams p = baseParams("ss", 0x550001);
+        p.num_procedures = 84;
+        p.num_phases = 16;
+        p.procs_per_phase = 5;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 50;
+        p.branches_per_proc_max = 80;
+        p.mean_inner_trips = 9.0;
+        p.phase_iterations = 120;
+        p.input_mode_prob = 0.18;
+        p.call_span = 1;
+        p.passes = 1.25;
+        defs.push_back(
+            {"ss", p, {{"a", 113}, {"b", 0xabcdef0123ULL}}});
+    }
+
+    // tex: typesetter; medium code with long paragraph loops.
+    {
+        WorkloadParams p = baseParams("tex", 0x7e0001);
+        p.num_procedures = 44;
+        p.num_phases = 15;
+        p.procs_per_phase = 2;
+        p.phase_overlap = 0;
+        p.branches_per_proc_min = 40;
+        p.branches_per_proc_max = 60;
+        p.mean_inner_trips = 14.0;
+        p.phase_iterations = 140;
+        p.call_span = 1;
+        p.passes = 1.5;
+        defs.push_back({"tex", p, {{"ref", 131}}});
+    }
+
+    return defs;
+}
+
+const std::vector<PresetDef> &
+presets()
+{
+    static const std::vector<PresetDef> defs = buildPresets();
+    return defs;
+}
+
+const PresetDef &
+findPreset(const std::string &name)
+{
+    for (const PresetDef &d : presets())
+        if (name == d.name)
+            return d;
+    bwsa_fatal("unknown workload preset '", name,
+               "'; see presetNames()");
+}
+
+} // namespace
+
+std::vector<std::string>
+presetNames()
+{
+    std::vector<std::string> names;
+    for (const PresetDef &d : presets())
+        names.push_back(d.name);
+    return names;
+}
+
+bool
+isPresetName(const std::string &name)
+{
+    for (const PresetDef &d : presets())
+        if (name == d.name)
+            return true;
+    return false;
+}
+
+WorkloadParams
+presetParams(const std::string &name)
+{
+    return findPreset(name).params;
+}
+
+std::vector<NamedInput>
+presetInputs(const std::string &name)
+{
+    return findPreset(name).inputs;
+}
+
+Workload
+makeWorkload(const std::string &name, const std::string &input_label,
+             double scale)
+{
+    const PresetDef &def = findPreset(name);
+    if (scale <= 0.0)
+        bwsa_fatal("workload scale must be positive, got ", scale);
+
+    const NamedInput *input = &def.inputs.front();
+    if (!input_label.empty()) {
+        input = nullptr;
+        for (const NamedInput &i : def.inputs)
+            if (i.label == input_label)
+                input = &i;
+        if (!input)
+            bwsa_fatal("preset '", name, "' has no input set '",
+                       input_label, "'");
+    }
+
+    GeneratedProgram generated = generateProgramWithInfo(def.params);
+
+    Workload w;
+    w.name = def.name;
+    w.input_label = input->label;
+    w.program = std::move(generated.program);
+    w.config.max_instructions = static_cast<std::uint64_t>(
+        scale * def.params.passes *
+        static_cast<double>(generated.expected_pass_instructions));
+    w.config.input_seed = input->seed;
+    return w;
+}
+
+} // namespace bwsa

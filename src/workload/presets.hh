@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Named workload presets standing in for the paper's benchmark suite.
+ *
+ * The paper profiles six SPECint95 programs and seven common UNIX
+ * applications (Table 1).  We cannot ship those binaries, so each name
+ * maps to a WorkloadParams shape tuned to echo the published scale:
+ * `compress` is a small kernel-dominated program with tiny working
+ * sets, `gcc` has by far the largest static branch population and the
+ * biggest working sets, `ijpeg` is a few hot kernels, and so on.
+ * Where the paper profiles two input sets (perl_a/perl_b, ss_a/ss_b)
+ * the preset carries two named input seeds.
+ *
+ * Absolute sizes are scaled down (the paper's gcc has >16,000 static
+ * conditional branches and 31M dynamic branches; our preset uses ~8k
+ * static branches and a few million instructions by default) -- the
+ * analyses are shape metrics and converge long before paper-scale
+ * runs.  Benches expose a --scale knob to lengthen runs.
+ */
+
+#ifndef BWSA_WORKLOAD_PRESETS_HH
+#define BWSA_WORKLOAD_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace bwsa
+{
+
+/** One named input set of a preset (the paper's "input set" column). */
+struct NamedInput
+{
+    std::string label;      ///< e.g. "ref", "a", "b"
+    std::uint64_t seed;     ///< executor input seed
+};
+
+/** All preset names, in the paper's Table 1 order. */
+std::vector<std::string> presetNames();
+
+/** True when @p name is a known preset. */
+bool isPresetName(const std::string &name);
+
+/** Shape parameters of a preset; fatal() on unknown names. */
+WorkloadParams presetParams(const std::string &name);
+
+/** Named input seeds of a preset (first entry is the default). */
+std::vector<NamedInput> presetInputs(const std::string &name);
+
+/**
+ * A generated program plus the executor configuration of one run:
+ * everything needed to produce the dynamic branch trace of a
+ * benchmark/input pair.
+ */
+struct Workload
+{
+    std::string name;          ///< preset name
+    std::string input_label;   ///< which input set
+    Program program;           ///< finalized program
+    ExecutorConfig config;     ///< budget + input seed
+
+    /** Replayable trace source for this run. */
+    WorkloadTraceSource
+    source() const
+    {
+        return WorkloadTraceSource(program, config);
+    }
+};
+
+/**
+ * Instantiate a preset.
+ *
+ * @param name        preset name (see presetNames())
+ * @param input_label input-set label; "" means the preset's default
+ * @param scale       multiplier on the default instruction budget
+ */
+Workload makeWorkload(const std::string &name,
+                      const std::string &input_label = "",
+                      double scale = 1.0);
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_PRESETS_HH

@@ -1,0 +1,248 @@
+#include "workload/program.hh"
+
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+StmtPtr
+Stmt::makeSequence()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Sequence;
+    return s;
+}
+
+StmtPtr
+Stmt::makeCompute(std::uint32_t instructions)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Compute;
+    s->instructions = instructions;
+    return s;
+}
+
+StmtPtr
+Stmt::makeIf(const BranchBehavior &behavior, StmtPtr then_body,
+             StmtPtr else_body)
+{
+    if (!then_body)
+        bwsa_panic("Stmt::makeIf requires a then body");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->behavior = behavior;
+    s->then_body = std::move(then_body);
+    s->else_body = std::move(else_body);
+    return s;
+}
+
+StmtPtr
+Stmt::makeLoop(double mean_trips, std::uint32_t max_trips, StmtPtr body)
+{
+    if (!body)
+        bwsa_panic("Stmt::makeLoop requires a body");
+    if (mean_trips < 1.0 || max_trips < 1)
+        bwsa_panic("Stmt::makeLoop trip counts must be >= 1");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Loop;
+    s->mean_trips = mean_trips;
+    s->max_trips = max_trips;
+    s->body = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::makeSwitch(std::vector<double> case_weights,
+                 std::vector<StmtPtr> cases)
+{
+    if (cases.size() < 2)
+        bwsa_panic("Stmt::makeSwitch requires at least 2 cases");
+    if (case_weights.size() != cases.size())
+        bwsa_panic("Stmt::makeSwitch weights/cases size mismatch");
+    for (const StmtPtr &c : cases)
+        if (!c)
+            bwsa_panic("Stmt::makeSwitch null case body");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Switch;
+    s->case_weights = std::move(case_weights);
+    s->cases = std::move(cases);
+    return s;
+}
+
+StmtPtr
+Stmt::makeCall(std::size_t callee)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Call;
+    s->callee = callee;
+    return s;
+}
+
+std::size_t
+Program::addProcedure(std::string name, StmtPtr body)
+{
+    if (_finalized)
+        bwsa_panic("Program::addProcedure after finalize");
+    if (!body)
+        bwsa_panic("Program::addProcedure requires a body");
+    _procedures.push_back(Procedure{std::move(name), std::move(body)});
+    return _procedures.size() - 1;
+}
+
+const Procedure &
+Program::procedure(std::size_t i) const
+{
+    if (i >= _procedures.size())
+        bwsa_panic("procedure index ", i, " out of range");
+    return _procedures[i];
+}
+
+const StaticBranchInfo &
+Program::branchInfo(BranchId id) const
+{
+    if (id >= _branches.size())
+        bwsa_panic("branch id ", id, " out of range");
+    return _branches[id];
+}
+
+void
+Program::layoutStmt(Stmt &stmt, std::size_t proc_index,
+                    std::uint64_t &cursor)
+{
+    auto emit_branch = [&](BranchRole role) {
+        BranchPc pc = text_base + cursor * insn_size;
+        BranchId id = static_cast<BranchId>(_branches.size());
+        _branches.push_back(StaticBranchInfo{pc, role, proc_index});
+        ++cursor;
+        return std::pair<BranchId, BranchPc>(id, pc);
+    };
+
+    switch (stmt.kind) {
+      case StmtKind::Sequence:
+        for (StmtPtr &child : stmt.stmts)
+            layoutStmt(*child, proc_index, cursor);
+        break;
+
+      case StmtKind::Compute:
+        cursor += stmt.instructions;
+        break;
+
+      case StmtKind::If: {
+        auto [id, pc] = emit_branch(BranchRole::IfBranch);
+        stmt.branch_id = id;
+        stmt.branch_pc = pc;
+        layoutStmt(*stmt.then_body, proc_index, cursor);
+        if (stmt.else_body) {
+            ++cursor; // jump over the else body
+            layoutStmt(*stmt.else_body, proc_index, cursor);
+        }
+        break;
+      }
+
+      case StmtKind::Loop:
+        layoutStmt(*stmt.body, proc_index, cursor);
+        {
+            auto [id, pc] = emit_branch(BranchRole::LoopBackedge);
+            stmt.branch_id = id;
+            stmt.branch_pc = pc;
+        }
+        break;
+
+      case StmtKind::Switch:
+        stmt.case_branch_ids.clear();
+        stmt.case_branch_pcs.clear();
+        // One compare-branch per non-default case, laid out as a
+        // cascade before the case bodies.
+        for (std::size_t i = 0; i + 1 < stmt.cases.size(); ++i) {
+            auto [id, pc] = emit_branch(BranchRole::SwitchCase);
+            stmt.case_branch_ids.push_back(id);
+            stmt.case_branch_pcs.push_back(pc);
+        }
+        for (StmtPtr &c : stmt.cases) {
+            layoutStmt(*c, proc_index, cursor);
+            ++cursor; // jump to the switch join point
+        }
+        break;
+
+      case StmtKind::Call:
+        if (stmt.callee >= _procedures.size())
+            bwsa_fatal("call to nonexistent procedure index ",
+                       stmt.callee);
+        ++cursor; // the call instruction
+        break;
+    }
+}
+
+void
+Program::checkAcyclic() const
+{
+    enum class Mark { White, Grey, Black };
+    std::vector<Mark> marks(_procedures.size(), Mark::White);
+
+    // Iterative DFS over the call graph; grey-on-grey means a cycle
+    // (unbounded recursion the executor cannot run).
+    std::function<void(std::size_t)> visit = [&](std::size_t proc) {
+        marks[proc] = Mark::Grey;
+        std::function<void(const Stmt &)> scan = [&](const Stmt &s) {
+            switch (s.kind) {
+              case StmtKind::Sequence:
+                for (const StmtPtr &c : s.stmts)
+                    scan(*c);
+                break;
+              case StmtKind::If:
+                scan(*s.then_body);
+                if (s.else_body)
+                    scan(*s.else_body);
+                break;
+              case StmtKind::Loop:
+                scan(*s.body);
+                break;
+              case StmtKind::Switch:
+                for (const StmtPtr &c : s.cases)
+                    scan(*c);
+                break;
+              case StmtKind::Call:
+                if (s.callee >= _procedures.size())
+                    bwsa_fatal("call to nonexistent procedure index ",
+                               s.callee);
+                if (marks[s.callee] == Mark::Grey)
+                    bwsa_fatal("recursive call cycle through procedure ",
+                               _procedures[s.callee].name);
+                if (marks[s.callee] == Mark::White)
+                    visit(s.callee);
+                break;
+              case StmtKind::Compute:
+                break;
+            }
+        };
+        scan(*_procedures[proc].body);
+        marks[proc] = Mark::Black;
+    };
+
+    for (std::size_t i = 0; i < _procedures.size(); ++i)
+        if (marks[i] == Mark::White)
+            visit(i);
+}
+
+void
+Program::finalize()
+{
+    if (_finalized)
+        bwsa_panic("Program::finalize called twice");
+    if (_procedures.empty())
+        bwsa_fatal("cannot finalize a program with no procedures");
+
+    checkAcyclic();
+
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < _procedures.size(); ++i) {
+        layoutStmt(*_procedures[i].body, i, cursor);
+        ++cursor; // return instruction
+    }
+    _static_instructions = cursor;
+    _finalized = true;
+}
+
+} // namespace bwsa

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Structured synthetic program model.
+ *
+ * A Program is a set of procedures whose bodies are statement trees
+ * (sequences, straight-line compute, if/else, counted loops, switch
+ * cascades and calls).  Finalizing a program lays its instructions out
+ * in a linear text segment, assigning every conditional branch a dense
+ * BranchId and a realistic instruction address -- so PC-modulo BHT
+ * indexing experiences the same kind of aliasing it does on real
+ * binaries.
+ *
+ * The model substitutes for the SPECint95 binaries the paper runs
+ * under SimpleScalar: executing a finalized program (see
+ * SyntheticExecutor) yields the dynamic conditional-branch trace that
+ * all analyses consume.
+ */
+
+#ifndef BWSA_WORKLOAD_PROGRAM_HH
+#define BWSA_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "workload/behavior.hh"
+
+namespace bwsa
+{
+
+/** Dense index of a static conditional branch within one Program. */
+using BranchId = std::uint32_t;
+
+/** Sentinel for "no branch assigned yet". */
+constexpr BranchId invalid_branch_id = ~BranchId(0);
+
+/** Instruction encoding width of the synthetic ISA (bytes). */
+constexpr std::uint64_t insn_size = 8;
+
+/** Base address of the synthetic text segment. */
+constexpr std::uint64_t text_base = 0x00400000;
+
+/** Statement node kinds. */
+enum class StmtKind
+{
+    Sequence, ///< ordered list of child statements
+    Compute,  ///< straight-line non-branch instructions
+    If,       ///< conditional branch guarding a then (and else) body
+    Loop,     ///< counted loop with a backedge conditional branch
+    Switch,   ///< multiway dispatch lowered to a compare-branch cascade
+    Call      ///< call to another procedure
+};
+
+struct Stmt;
+
+/** Owning pointer to a statement node. */
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/**
+ * One statement node.  Only the fields of the active kind are
+ * meaningful; construction goes through the static factories so that
+ * invariants hold by construction.
+ */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Sequence;
+
+    /// Sequence: children in program order.
+    std::vector<StmtPtr> stmts;
+
+    /// Compute: number of non-branch instructions.
+    std::uint32_t instructions = 0;
+
+    /// If: direction model and bodies (else_body may be null).
+    BranchBehavior behavior{};
+    StmtPtr then_body;
+    StmtPtr else_body;
+
+    /// Loop: trip-count distribution and body.
+    double mean_trips = 1.0;
+    std::uint32_t max_trips = 1;
+    StmtPtr body;
+
+    /// Switch: case selection weights and case bodies; the cascade has
+    /// cases.size()-1 conditional branches.
+    std::vector<double> case_weights;
+    std::vector<StmtPtr> cases;
+
+    /// Call: index of the callee procedure.
+    std::size_t callee = 0;
+
+    /// Assigned by Program::finalize() for If and Loop nodes.
+    BranchId branch_id = invalid_branch_id;
+    BranchPc branch_pc = 0;
+
+    /// Assigned by Program::finalize() for Switch cascade branches.
+    std::vector<BranchId> case_branch_ids;
+    std::vector<BranchPc> case_branch_pcs;
+
+    static StmtPtr makeSequence();
+    static StmtPtr makeCompute(std::uint32_t instructions);
+    static StmtPtr makeIf(const BranchBehavior &behavior,
+                          StmtPtr then_body, StmtPtr else_body = nullptr);
+    static StmtPtr makeLoop(double mean_trips, std::uint32_t max_trips,
+                            StmtPtr body);
+    static StmtPtr makeSwitch(std::vector<double> case_weights,
+                              std::vector<StmtPtr> cases);
+    static StmtPtr makeCall(std::size_t callee);
+};
+
+/** The role a static branch plays in the program structure. */
+enum class BranchRole
+{
+    IfBranch,     ///< guard of an if/else
+    LoopBackedge, ///< loop continuation branch
+    SwitchCase    ///< one compare of a switch cascade
+};
+
+/** Static metadata for one conditional branch, built at finalize. */
+struct StaticBranchInfo
+{
+    BranchPc pc = 0;
+    BranchRole role = BranchRole::IfBranch;
+    std::size_t procedure = 0; ///< owning procedure index
+};
+
+/** A named procedure with a statement-tree body. */
+struct Procedure
+{
+    std::string name;
+    StmtPtr body;
+};
+
+/**
+ * A complete synthetic program.
+ *
+ * Usage: add procedures (index 0 is the entry), then finalize() once;
+ * afterwards the program is immutable and executable.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    Program(const Program &) = delete;
+    Program &operator=(const Program &) = delete;
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    /**
+     * Append a procedure; returns its index.  The first procedure
+     * added is the entry point.
+     */
+    std::size_t addProcedure(std::string name, StmtPtr body);
+
+    /**
+     * Lay out the text segment, assign branch ids and PCs, and
+     * validate the call graph (must be acyclic; callee indices must
+     * exist).  fatal() on an invalid program.
+     */
+    void finalize();
+
+    /** True once finalize() has run. */
+    bool finalized() const { return _finalized; }
+
+    /** Number of procedures. */
+    std::size_t procedureCount() const { return _procedures.size(); }
+
+    /** Access a procedure. */
+    const Procedure &procedure(std::size_t i) const;
+
+    /** Number of static conditional branches (after finalize). */
+    std::size_t staticBranchCount() const { return _branches.size(); }
+
+    /** Metadata of branch @p id (after finalize). */
+    const StaticBranchInfo &branchInfo(BranchId id) const;
+
+    /** All static branch metadata in id order. */
+    const std::vector<StaticBranchInfo> &branches() const
+    {
+        return _branches;
+    }
+
+    /** Total laid-out instruction slots (static code size). */
+    std::uint64_t staticInstructions() const
+    {
+        return _static_instructions;
+    }
+
+  private:
+    void layoutStmt(Stmt &stmt, std::size_t proc_index,
+                    std::uint64_t &cursor);
+    void checkAcyclic() const;
+
+    std::vector<Procedure> _procedures;
+    std::vector<StaticBranchInfo> _branches;
+    std::uint64_t _static_instructions = 0;
+    bool _finalized = false;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the profiling layer: the time-stamp interleave analysis
+ * of Section 4.1 against hand-worked examples, window eviction, and
+ * the conflict graph's pruning / merging / serialization.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "profile/conflict_graph.hh"
+#include "profile/interleave.hh"
+#include "trace/trace.hh"
+#include "util/random.hh"
+
+using namespace bwsa;
+
+namespace
+{
+
+/** Emit a sequence of branch pcs (taken=false) as a trace. */
+MemoryTrace
+traceOf(const std::vector<BranchPc> &pcs)
+{
+    MemoryTrace trace;
+    std::uint64_t ts = 0;
+    for (BranchPc pc : pcs) {
+        ts += 5;
+        trace.onBranch({pc, ts, false});
+    }
+    return trace;
+}
+
+constexpr BranchPc A = 0x1000, B = 0x1008, C = 0x1010, D = 0x1018;
+
+/** Profile a pc sequence with the given window. */
+ConflictGraph
+profileSeq(const std::vector<BranchPc> &pcs, std::size_t window = 0)
+{
+    InterleaveConfig config;
+    config.max_window = window;
+    return profileTrace(traceOf(pcs), config);
+}
+
+std::uint64_t
+edge(const ConflictGraph &g, BranchPc a, BranchPc b)
+{
+    NodeId na = g.findNode(a), nb = g.findNode(b);
+    if (na == invalid_node || nb == invalid_node)
+        return 0;
+    return g.interleaveCount(na, nb);
+}
+
+} // namespace
+
+// ------------------------------------------------- interleave semantics
+
+TEST(Interleave, PaperFigure1Example)
+{
+    // The paper's example: A B C A -- re-executing A finds B and C
+    // with newer time stamps, recording A-B and A-C interleavings.
+    ConflictGraph g = profileSeq({A, B, C, A});
+    EXPECT_EQ(g.nodeCount(), 3u);
+    EXPECT_EQ(edge(g, A, B), 1u);
+    EXPECT_EQ(edge(g, A, C), 1u);
+    EXPECT_EQ(edge(g, B, C), 0u); // B never re-executed
+}
+
+TEST(Interleave, AlternationCountsEachReExecution)
+{
+    // A B A B A: A's 2nd instance sees B (A-B +1); B's 2nd sees A
+    // (+1); A's 3rd sees B (+1) = 3.
+    ConflictGraph g = profileSeq({A, B, A, B, A});
+    EXPECT_EQ(edge(g, A, B), 3u);
+}
+
+TEST(Interleave, RepeatedBranchAloneHasNoEdges)
+{
+    ConflictGraph g = profileSeq({A, A, A, A});
+    EXPECT_EQ(g.nodeCount(), 1u);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_EQ(g.node(0).executed, 4u);
+}
+
+TEST(Interleave, OnlyBranchesSinceLastInstanceCount)
+{
+    // A B A C A: A's 2nd sees {B}; A's 3rd sees {C} only -- B ran
+    // before A's 2nd instance, not after.
+    ConflictGraph g = profileSeq({A, B, A, C, A});
+    EXPECT_EQ(edge(g, A, B), 1u);
+    EXPECT_EQ(edge(g, A, C), 1u);
+    EXPECT_EQ(edge(g, B, C), 0u);
+}
+
+TEST(Interleave, LoopBodyFormsCompleteSubgraph)
+{
+    // (A B C) x 10: in each of the 9 repeat cycles every pair is
+    // recorded twice -- once from each endpoint's re-execution (the
+    // paper counts every instance of interleaving between the pair).
+    std::vector<BranchPc> pcs;
+    for (int i = 0; i < 10; ++i) {
+        pcs.push_back(A);
+        pcs.push_back(B);
+        pcs.push_back(C);
+    }
+    ConflictGraph g = profileSeq(pcs);
+    EXPECT_EQ(edge(g, A, B), 18u);
+    EXPECT_EQ(edge(g, B, C), 18u);
+    EXPECT_EQ(edge(g, A, C), 18u);
+}
+
+TEST(Interleave, ExecutionAndTakenCountsRecorded)
+{
+    MemoryTrace trace;
+    trace.onBranch({A, 5, true});
+    trace.onBranch({A, 10, false});
+    trace.onBranch({A, 15, true});
+    ConflictGraph g = profileTrace(trace);
+    const ConflictNode &node = g.node(g.findNode(A));
+    EXPECT_EQ(node.executed, 3u);
+    EXPECT_EQ(node.taken, 2u);
+    EXPECT_NEAR(node.takenRate(), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(g.totalExecutions(), 3u);
+}
+
+TEST(Interleave, WindowEvictionSuppressesLongRangePairs)
+{
+    // Window of 2: when A re-executes after B and C, A has already
+    // been evicted, so no pair is recorded.
+    InterleaveConfig config;
+    config.max_window = 2;
+    ConflictGraph g;
+    InterleaveTracker tracker(g, config);
+    traceOf({A, B, C, A}).replay(tracker);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_EQ(tracker.evictedReentries(), 1u);
+}
+
+TEST(Interleave, UnboundedWindowMatchesLargeWindow)
+{
+    std::vector<BranchPc> pcs;
+    Pcg32 rng(3);
+    for (int i = 0; i < 5000; ++i)
+        pcs.push_back(0x1000 + 8ull * rng.nextBounded(40));
+    ConflictGraph g0 = profileSeq(pcs, 0);    // unbounded
+    ConflictGraph g1 = profileSeq(pcs, 4096); // way beyond 40
+    ASSERT_EQ(g0.edgeCount(), g1.edgeCount());
+    for (const auto &[key, count] : g0.edges()) {
+        auto [a, b] = ConflictGraph::unpackEdge(key);
+        ASSERT_EQ(g1.interleaveCount(a, b), count);
+    }
+}
+
+TEST(Interleave, PairIncrementsAreCounted)
+{
+    ConflictGraph g;
+    InterleaveTracker tracker(g);
+    traceOf({A, B, C, A}).replay(tracker);
+    EXPECT_EQ(tracker.pairIncrements(), 2u);
+    EXPECT_EQ(tracker.windowSize(), 3u);
+}
+
+// --------------------------------------------------------- conflict graph
+
+TEST(ConflictGraph, NodeIdentityByPc)
+{
+    ConflictGraph g;
+    NodeId a1 = g.addOrGetNode(A);
+    NodeId a2 = g.addOrGetNode(A);
+    NodeId b = g.addOrGetNode(B);
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(g.findNode(A), a1);
+    EXPECT_EQ(g.findNode(0xdead), invalid_node);
+}
+
+TEST(ConflictGraph, EdgePackingRoundTrips)
+{
+    ConflictGraph g;
+    NodeId a = g.addOrGetNode(A);
+    NodeId b = g.addOrGetNode(B);
+    g.addInterleave(b, a, 7); // order-insensitive
+    EXPECT_EQ(g.interleaveCount(a, b), 7u);
+    EXPECT_EQ(g.interleaveCount(b, a), 7u);
+
+    for (const auto &[key, count] : g.edges()) {
+        auto [x, y] = ConflictGraph::unpackEdge(key);
+        EXPECT_EQ(std::min(x, y), std::min(a, b));
+        EXPECT_EQ(std::max(x, y), std::max(a, b));
+        EXPECT_EQ(count, 7u);
+    }
+}
+
+TEST(ConflictGraphDeath, SelfEdgePanics)
+{
+    ConflictGraph g;
+    NodeId a = g.addOrGetNode(A);
+    EXPECT_DEATH(g.addInterleave(a, a), "self edge");
+}
+
+TEST(ConflictGraph, PruneDropsWeakEdges)
+{
+    ConflictGraph g;
+    NodeId a = g.addOrGetNode(A);
+    NodeId b = g.addOrGetNode(B);
+    NodeId c = g.addOrGetNode(C);
+    g.addInterleave(a, b, 1000);
+    g.addInterleave(b, c, 50);
+
+    ConflictGraph pruned = g.pruned(100);
+    EXPECT_EQ(pruned.nodeCount(), 3u); // nodes survive
+    EXPECT_EQ(pruned.edgeCount(), 1u);
+    EXPECT_EQ(pruned.interleaveCount(a, b), 1000u);
+    EXPECT_EQ(pruned.interleaveCount(b, c), 0u);
+
+    // Threshold-boundary edge survives (>= semantics).
+    ConflictGraph boundary = g.pruned(50);
+    EXPECT_EQ(boundary.edgeCount(), 2u);
+}
+
+TEST(ConflictGraph, MergeAccumulatesAcrossInputs)
+{
+    // Section 5.2's cumulative profiles: counts add up, ids remap by
+    // PC even when insertion order differs.
+    ConflictGraph g1;
+    {
+        NodeId a = g1.addOrGetNode(A), b = g1.addOrGetNode(B);
+        g1.recordExecution(a, true);
+        g1.recordExecution(b, false);
+        g1.addInterleave(a, b, 10);
+    }
+    ConflictGraph g2;
+    {
+        NodeId c = g2.addOrGetNode(C), a = g2.addOrGetNode(A);
+        NodeId b = g2.addOrGetNode(B);
+        g2.recordExecution(a, false);
+        g2.recordExecution(c, true);
+        g2.addInterleave(a, b, 5);
+        g2.addInterleave(a, c, 200);
+    }
+    g1.mergeFrom(g2);
+    EXPECT_EQ(g1.nodeCount(), 3u);
+    EXPECT_EQ(edge(g1, A, B), 15u);
+    EXPECT_EQ(edge(g1, A, C), 200u);
+    EXPECT_EQ(g1.node(g1.findNode(A)).executed, 2u);
+    EXPECT_EQ(g1.node(g1.findNode(A)).taken, 1u);
+    EXPECT_EQ(g1.totalExecutions(), 4u);
+}
+
+TEST(ConflictGraph, AdjacencyMatchesEdges)
+{
+    ConflictGraph g = profileSeq({A, B, C, A, B, C, A, D, A});
+    auto adj = g.adjacency();
+    ASSERT_EQ(adj.size(), g.nodeCount());
+    std::size_t total = 0;
+    for (NodeId v = 0; v < adj.size(); ++v) {
+        for (auto [u, w] : adj[v]) {
+            EXPECT_EQ(g.interleaveCount(v, u), w);
+            ++total;
+        }
+        // sorted by neighbour id
+        for (std::size_t i = 1; i < adj[v].size(); ++i)
+            EXPECT_LT(adj[v][i - 1].first, adj[v][i].first);
+    }
+    EXPECT_EQ(total, 2 * g.edgeCount());
+}
+
+TEST(ConflictGraph, SaveLoadRoundTrip)
+{
+    ConflictGraph g = profileSeq({A, B, C, A, B, C, A, D, B});
+    std::string path = (std::filesystem::temp_directory_path() /
+                        "bwsa_test_graph.bwsg")
+                           .string();
+    g.save(path);
+    ConflictGraph loaded = ConflictGraph::load(path);
+
+    EXPECT_EQ(loaded.nodeCount(), g.nodeCount());
+    EXPECT_EQ(loaded.edgeCount(), g.edgeCount());
+    EXPECT_EQ(loaded.totalExecutions(), g.totalExecutions());
+    for (NodeId v = 0; v < g.nodeCount(); ++v) {
+        const ConflictNode &orig = g.node(v);
+        NodeId lv = loaded.findNode(orig.pc);
+        ASSERT_NE(lv, invalid_node);
+        EXPECT_EQ(loaded.node(lv).executed, orig.executed);
+        EXPECT_EQ(loaded.node(lv).taken, orig.taken);
+    }
+    for (const auto &[key, count] : g.edges()) {
+        auto [a, b] = ConflictGraph::unpackEdge(key);
+        NodeId la = loaded.findNode(g.node(a).pc);
+        NodeId lb = loaded.findNode(g.node(b).pc);
+        EXPECT_EQ(loaded.interleaveCount(la, lb), count);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ConflictGraphDeath, LoadRejectsBadMagic)
+{
+    std::string path = (std::filesystem::temp_directory_path() /
+                        "bwsa_test_badmagic.bwsg")
+                           .string();
+    {
+        std::ofstream out(path);
+        out << "WRONG v9\n";
+    }
+    EXPECT_EXIT(ConflictGraph::load(path),
+                ::testing::ExitedWithCode(1), "not a BWSG");
+    std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- multi-replay tracking
+
+TEST(Interleave, TrackerAccumulatesAcrossReplays)
+{
+    // Two replays into the same tracker double every count (the
+    // flush at onEnd merges into the same graph).
+    ConflictGraph g;
+    InterleaveTracker tracker(g);
+    MemoryTrace trace = traceOf({A, B, A, B, A});
+    trace.replay(tracker);
+    std::uint64_t first = edge(g, A, B);
+    trace.replay(tracker);
+    EXPECT_EQ(edge(g, A, B), 2 * first + 1);
+    // (+1: the window persists across replays, so the second replay's
+    // first A sees the B left over from the first replay.)
+}

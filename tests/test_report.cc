@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the report-rendering helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "report/table.hh"
+
+using namespace bwsa;
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "12345"});
+    std::string out = table.render();
+
+    // Header present, separator line, both rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+
+    // Every line has the same length (alignment).
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, MarkdownShape)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"x", "1"});
+    std::string md = table.renderMarkdown();
+    EXPECT_NE(md.find("| a | b |"), std::string::npos);
+    EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+    EXPECT_NE(md.find("| x | 1 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesSpecialFields)
+{
+    TextTable table({"name", "note"});
+    table.addRow({"plain", "with,comma"});
+    table.addRow({"quote\"inside", "ok"});
+    std::ostringstream out;
+    table.writeCsv(out);
+    std::string csv = out.str();
+    EXPECT_NE(csv.find("name,note"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TextTableDeath, RowArityMismatchPanics)
+{
+    TextTable table({"one", "two"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "expected 2");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream out;
+    printBanner(out, "Table 2");
+    EXPECT_NE(out.str().find("Table 2"), std::string::npos);
+}

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit and property tests for the trace substrate: records, stream
+ * plumbing, binary file round-trips, statistics collection, and the
+ * frequency-based static branch reduction of Table 1.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "trace/frequency_filter.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/random.hh"
+
+using namespace bwsa;
+
+namespace
+{
+
+/** Build a simple trace: pcs cycle; every third branch taken. */
+MemoryTrace
+makeCyclicTrace(std::size_t records, std::size_t distinct_pcs)
+{
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 8 * (i % distinct_pcs);
+        r.timestamp = 5 * (i + 1);
+        r.taken = (i % 3 == 0);
+        trace.onBranch(r);
+    }
+    return trace;
+}
+
+/** Random trace with strictly ascending timestamps. */
+MemoryTrace
+makeRandomTrace(std::uint64_t seed, std::size_t records)
+{
+    Pcg32 rng(seed);
+    MemoryTrace trace;
+    std::uint64_t ts = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 8ull * rng.nextBounded(5000);
+        ts += 1 + rng.nextBounded(20);
+        r.timestamp = ts;
+        r.taken = rng.nextBool(0.6);
+        trace.onBranch(r);
+    }
+    return trace;
+}
+
+/** Temp file path helper; unique per test. */
+std::string
+tempPath(const std::string &stem)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("bwsa_test_" + stem + ".trace"))
+        .string();
+}
+
+/** Sink that counts deliveries. */
+class CountingSink : public TraceSink
+{
+  public:
+    void onBranch(const BranchRecord &) override { ++branches; }
+    void onEnd() override { ++ends; }
+    int branches = 0;
+    int ends = 0;
+};
+
+} // namespace
+
+// ------------------------------------------------------------ MemoryTrace
+
+TEST(MemoryTrace, StoresAndReplays)
+{
+    MemoryTrace trace = makeCyclicTrace(10, 3);
+    EXPECT_EQ(trace.size(), 10u);
+    EXPECT_FALSE(trace.empty());
+    EXPECT_EQ(trace[0].pc, 0x400000u);
+    EXPECT_TRUE(trace[0].taken);
+
+    MemoryTrace copy;
+    trace.replay(copy);
+    ASSERT_EQ(copy.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(copy[i], trace[i]);
+}
+
+TEST(MemoryTrace, ReplayIsRepeatable)
+{
+    MemoryTrace trace = makeCyclicTrace(50, 7);
+    CountingSink sink;
+    trace.replay(sink);
+    trace.replay(sink);
+    EXPECT_EQ(sink.branches, 100);
+    EXPECT_EQ(sink.ends, 2);
+}
+
+TEST(MemoryTrace, ClearEmpties)
+{
+    MemoryTrace trace = makeCyclicTrace(5, 2);
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+// ------------------------------------------------------------- FanoutSink
+
+TEST(FanoutSink, DeliversToAll)
+{
+    MemoryTrace trace = makeCyclicTrace(20, 4);
+    CountingSink a, b, c;
+    FanoutSink fan;
+    fan.addSink(a);
+    fan.addSink(b);
+    fan.addSink(c);
+    EXPECT_EQ(fan.sinkCount(), 3u);
+    trace.replay(fan);
+    for (const CountingSink *s : {&a, &b, &c}) {
+        EXPECT_EQ(s->branches, 20);
+        EXPECT_EQ(s->ends, 1);
+    }
+}
+
+// --------------------------------------------------------- TruncatingSink
+
+TEST(TruncatingSink, CutsAtInstructionLimit)
+{
+    MemoryTrace trace = makeCyclicTrace(100, 5); // timestamps 5..500
+    MemoryTrace out;
+    TruncatingSink trunc(out, 250);
+    trace.replay(trunc);
+    EXPECT_EQ(out.size(), 50u);
+    EXPECT_TRUE(trunc.saturated());
+    EXPECT_LE(out[out.size() - 1].timestamp, 250u);
+}
+
+TEST(TruncatingSink, ZeroMeansUnlimited)
+{
+    MemoryTrace trace = makeCyclicTrace(100, 5);
+    MemoryTrace out;
+    TruncatingSink trunc(out, 0);
+    trace.replay(trunc);
+    EXPECT_EQ(out.size(), 100u);
+    EXPECT_FALSE(trunc.saturated());
+}
+
+// ---------------------------------------------------------------- file IO
+
+TEST(TraceIo, RoundTripSmall)
+{
+    std::string path = tempPath("small");
+    MemoryTrace trace = makeCyclicTrace(100, 7);
+    std::uint64_t written = writeTraceFile(path, trace);
+    EXPECT_EQ(written, 100u);
+
+    MemoryTrace read = readTraceFile(path);
+    ASSERT_EQ(read.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(read[i], trace[i]) << "record " << i;
+    std::filesystem::remove(path);
+}
+
+class TraceIoRandom : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceIoRandom, RoundTripRandomTraces)
+{
+    std::string path =
+        tempPath("rand" + std::to_string(GetParam()));
+    MemoryTrace trace = makeRandomTrace(GetParam(), 5000);
+    writeTraceFile(path, trace);
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+    MemoryTrace read;
+    reader.replay(read);
+    ASSERT_EQ(read.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(read[i], trace[i]) << "record " << i;
+    std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoRandom,
+                         ::testing::Values(1u, 2u, 3u, 42u, 999u));
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::string path = tempPath("empty");
+    MemoryTrace empty;
+    EXPECT_EQ(writeTraceFile(path, empty), 0u);
+    MemoryTrace read = readTraceFile(path);
+    EXPECT_TRUE(read.empty());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ReaderReplaysTwiceIdentically)
+{
+    std::string path = tempPath("twice");
+    MemoryTrace trace = makeRandomTrace(7, 1000);
+    writeTraceFile(path, trace);
+
+    TraceFileReader reader(path);
+    MemoryTrace first, second;
+    reader.replay(first);
+    reader.replay(second);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        ASSERT_EQ(first[i], second[i]);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIoDeath, RejectsGarbageFile)
+{
+    std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace file at all", f);
+    std::fclose(f);
+    EXPECT_EXIT({ TraceFileReader reader(path); },
+                ::testing::ExitedWithCode(1), "not a BWSA trace");
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIoDeath, RejectsNonAscendingTimestamps)
+{
+    std::string path = tempPath("descend");
+    auto write_descending = [&] {
+        TraceFileWriter writer(path);
+        BranchRecord a{0x400000, 100, true};
+        BranchRecord b{0x400008, 50, false};
+        writer.onBranch(a);
+        writer.onBranch(b);
+    };
+    EXPECT_EXIT(write_descending(), ::testing::ExitedWithCode(1),
+                "strictly ascend");
+    std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ trace stats
+
+TEST(TraceStats, CountsPerBranch)
+{
+    TraceStatsCollector stats;
+    MemoryTrace trace = makeCyclicTrace(30, 3); // 10 executions each
+    trace.replay(stats);
+
+    EXPECT_EQ(stats.dynamicBranches(), 30u);
+    EXPECT_EQ(stats.staticBranches(), 3u);
+    EXPECT_EQ(stats.lastTimestamp(), 150u);
+
+    // Taken every third record; pc repeats with period 3, so pc 0
+    // absorbs all taken instances.
+    BranchCounts c0 = stats.counts(0x400000);
+    EXPECT_EQ(c0.executed, 10u);
+    EXPECT_EQ(c0.taken, 10u);
+    EXPECT_DOUBLE_EQ(c0.takenRate(), 1.0);
+
+    BranchCounts c1 = stats.counts(0x400008);
+    EXPECT_EQ(c1.executed, 10u);
+    EXPECT_EQ(c1.taken, 0u);
+
+    EXPECT_EQ(stats.counts(0xdead).executed, 0u);
+}
+
+TEST(TraceStats, FrequencyOrderIsDescending)
+{
+    TraceStatsCollector stats;
+    // pc0 x5, pc1 x3, pc2 x1
+    std::uint64_t ts = 0;
+    auto emit = [&](BranchPc pc, int times) {
+        for (int i = 0; i < times; ++i) {
+            BranchRecord r{pc, ++ts, false};
+            stats.onBranch(r);
+        }
+    };
+    emit(0xa0, 5);
+    emit(0xb0, 3);
+    emit(0xc0, 1);
+
+    std::vector<BranchPc> order = stats.branchesByFrequency();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0xa0u);
+    EXPECT_EQ(order[1], 0xb0u);
+    EXPECT_EQ(order[2], 0xc0u);
+}
+
+TEST(TraceStats, ClearResets)
+{
+    TraceStatsCollector stats;
+    makeCyclicTrace(10, 2).replay(stats);
+    stats.clear();
+    EXPECT_EQ(stats.dynamicBranches(), 0u);
+    EXPECT_EQ(stats.staticBranches(), 0u);
+}
+
+// ------------------------------------------------------- frequency filter
+
+TEST(FrequencyFilter, FullCoverageKeepsEverything)
+{
+    TraceStatsCollector stats;
+    makeRandomTrace(11, 2000).replay(stats);
+    FrequencySelection sel = selectByFrequency(stats, 1.0);
+    EXPECT_EQ(sel.selected.size(), stats.staticBranches());
+    EXPECT_DOUBLE_EQ(sel.coverage(), 1.0);
+}
+
+TEST(FrequencyFilter, PartialCoverageDropsColdBranches)
+{
+    TraceStatsCollector stats;
+    std::uint64_t ts = 0;
+    // One dominant branch (90%) plus 10 cold ones.
+    for (int i = 0; i < 90; ++i)
+        stats.onBranch({0x1000, ++ts, true});
+    for (int i = 0; i < 10; ++i)
+        stats.onBranch({0x2000 + 8ull * i, ++ts, false});
+
+    FrequencySelection sel = selectByFrequency(stats, 0.9);
+    EXPECT_EQ(sel.selected.size(), 1u);
+    EXPECT_TRUE(sel.contains(0x1000));
+    EXPECT_GE(sel.coverage(), 0.9);
+}
+
+TEST(FrequencyFilter, CoverageIsMonotoneInTarget)
+{
+    TraceStatsCollector stats;
+    makeRandomTrace(13, 5000).replay(stats);
+    double last_coverage = 0.0;
+    std::size_t last_size = 0;
+    for (double target : {0.5, 0.7, 0.9, 0.99, 1.0}) {
+        FrequencySelection sel = selectByFrequency(stats, target);
+        EXPECT_GE(sel.coverage(), last_coverage);
+        EXPECT_GE(sel.selected.size(), last_size);
+        // Coverage meets the target (the last hot branch may overshoot).
+        EXPECT_GE(sel.coverage(), target - 1e-9);
+        last_coverage = sel.coverage();
+        last_size = sel.selected.size();
+    }
+}
+
+TEST(FrequencyFilter, StaticCapWins)
+{
+    TraceStatsCollector stats;
+    makeRandomTrace(17, 5000).replay(stats);
+    FrequencySelection sel = selectByFrequency(stats, 1.0, 10);
+    EXPECT_EQ(sel.selected.size(), 10u);
+    EXPECT_LT(sel.coverage(), 1.0);
+}
+
+TEST(FrequencyFilter, FilteredSinkDropsUnselected)
+{
+    TraceStatsCollector stats;
+    MemoryTrace trace = makeRandomTrace(19, 3000);
+    trace.replay(stats);
+    FrequencySelection sel = selectByFrequency(stats, 0.8);
+
+    MemoryTrace kept;
+    FilteredSink filter(sel, kept);
+    trace.replay(filter);
+
+    EXPECT_EQ(kept.size() + filter.dropped(), trace.size());
+    EXPECT_EQ(kept.size(), sel.analyzed_dynamic);
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        ASSERT_TRUE(sel.contains(kept[i].pc));
+}

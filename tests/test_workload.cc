@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Tests for the synthetic workload engine: behaviour models, program
+ * construction and layout, the executor, the random generator's
+ * invariants, and the named presets.
+ */
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+#include "workload/builder.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+#include "workload/presets.hh"
+
+using namespace bwsa;
+
+// -------------------------------------------------------------- behaviour
+
+TEST(Behavior, BiasedMatchesProbability)
+{
+    Pcg32 rng(1);
+    BranchBehavior b = BranchBehavior::biased(0.8);
+    BehaviorState state;
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += resolveBranch(b, state, rng);
+    EXPECT_NEAR(taken / double(n), 0.8, 0.02);
+}
+
+TEST(Behavior, PeriodicCyclesExactly)
+{
+    Pcg32 rng(2);
+    BranchBehavior b = BranchBehavior::periodic(0b0011u, 4);
+    BehaviorState state;
+    // Pattern is read LSB-first: 1,1,0,0 repeating.
+    std::vector<bool> expect{true, true, false, false};
+    for (int cycle = 0; cycle < 5; ++cycle)
+        for (int i = 0; i < 4; ++i)
+            ASSERT_EQ(resolveBranch(b, state, rng), expect[i]);
+}
+
+TEST(Behavior, MarkovIsSticky)
+{
+    Pcg32 rng(3);
+    BranchBehavior b = BranchBehavior::markov(0.95);
+    BehaviorState state;
+    bool prev = resolveBranch(b, state, rng);
+    int repeats = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        bool cur = resolveBranch(b, state, rng);
+        repeats += (cur == prev);
+        prev = cur;
+    }
+    EXPECT_NEAR(repeats / double(n), 0.95, 0.01);
+}
+
+TEST(Behavior, DataHashIsDeterministicPerInstance)
+{
+    // Two independent states with the same salt replay identically,
+    // regardless of RNG state -- data-dependent, not random.
+    Pcg32 rng_a(4), rng_b(999);
+    BranchBehavior b = BranchBehavior::dataHash(0xfeed, 0.5);
+    BehaviorState sa, sb;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(resolveBranch(b, sa, rng_a),
+                  resolveBranch(b, sb, rng_b));
+}
+
+TEST(Behavior, DataHashThresholdControlsRate)
+{
+    Pcg32 rng(5);
+    BranchBehavior b = BranchBehavior::dataHash(0x1234, 0.3);
+    BehaviorState state;
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += resolveBranch(b, state, rng);
+    EXPECT_NEAR(taken / double(n), 0.3, 0.02);
+}
+
+TEST(Behavior, InputModeConstantWithinRun)
+{
+    Pcg32 rng(6);
+    BranchBehavior b = BranchBehavior::inputMode(7);
+    BehaviorState state;
+    bool first = resolveBranch(b, state, rng, 42);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(resolveBranch(b, state, rng, 42), first);
+}
+
+TEST(Behavior, InputModeVariesAcrossSeeds)
+{
+    Pcg32 rng(7);
+    BehaviorState state;
+    // Across many bits and two seeds, both outcomes must appear.
+    int differing = 0;
+    for (unsigned bit = 0; bit < 32; ++bit) {
+        BranchBehavior b = BranchBehavior::inputMode(bit);
+        if (resolveBranch(b, state, rng, 1) !=
+            resolveBranch(b, state, rng, 2))
+            ++differing;
+    }
+    EXPECT_GT(differing, 5);
+    EXPECT_LT(differing, 27);
+}
+
+// ---------------------------------------------------------------- program
+
+TEST(Program, FinalizeAssignsDenseIdsAndUniquePcs)
+{
+    Program p;
+    p.addProcedure(
+        "main",
+        seqOf(ifOf(BranchBehavior::biased(0.5), compute(2)),
+              loopOf(3.0, 10,
+                     seqOf(ifOf(BranchBehavior::biased(0.9),
+                                compute(1)),
+                           compute(2))),
+              switchOf({1.0, 1.0, 1.0},
+                       [] {
+                           std::vector<StmtPtr> cases;
+                           cases.push_back(compute(1));
+                           cases.push_back(compute(2));
+                           cases.push_back(compute(3));
+                           return cases;
+                       }())));
+    p.finalize();
+
+    // 1 if + 1 loop backedge + 1 inner if + 2 switch cascade = 5.
+    EXPECT_EQ(p.staticBranchCount(), 5u);
+
+    std::set<BranchPc> pcs;
+    for (BranchId id = 0; id < p.staticBranchCount(); ++id) {
+        const StaticBranchInfo &info = p.branchInfo(id);
+        EXPECT_GE(info.pc, text_base);
+        EXPECT_EQ(info.pc % insn_size, 0u);
+        pcs.insert(info.pc);
+    }
+    EXPECT_EQ(pcs.size(), 5u); // all distinct
+    EXPECT_GT(p.staticInstructions(), 0u);
+}
+
+TEST(Program, RolesAreRecorded)
+{
+    Program p;
+    p.addProcedure("main",
+                   seqOf(ifOf(BranchBehavior::biased(0.5), compute(1)),
+                         loopOf(2.0, 4, compute(1))));
+    p.finalize();
+    ASSERT_EQ(p.staticBranchCount(), 2u);
+    EXPECT_EQ(p.branchInfo(0).role, BranchRole::IfBranch);
+    EXPECT_EQ(p.branchInfo(1).role, BranchRole::LoopBackedge);
+}
+
+TEST(ProgramDeath, RejectsCallCycles)
+{
+    auto build_cycle = [] {
+        Program p;
+        p.addProcedure("a", seqOf(callOf(1), compute(1)));
+        p.addProcedure("b", seqOf(callOf(0), compute(1)));
+        p.finalize();
+    };
+    EXPECT_EXIT(build_cycle(), ::testing::ExitedWithCode(1),
+                "recursive call cycle");
+}
+
+TEST(ProgramDeath, RejectsDanglingCallee)
+{
+    auto build_dangling = [] {
+        Program p;
+        p.addProcedure("main", seqOf(callOf(5), compute(1)));
+        p.finalize();
+    };
+    EXPECT_EXIT(build_dangling(), ::testing::ExitedWithCode(1),
+                "nonexistent procedure");
+}
+
+// --------------------------------------------------------------- executor
+
+namespace
+{
+
+Program
+makeLoopProgram()
+{
+    Program p;
+    p.addProcedure(
+        "main",
+        fixedLoopOf(10, seqOf(compute(3),
+                              ifOf(BranchBehavior::biased(1.0),
+                                   compute(5)))));
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+TEST(Executor, DeterministicAcrossRuns)
+{
+    Program p = makeLoopProgram();
+    ExecutorConfig config;
+    config.input_seed = 5;
+
+    MemoryTrace a, b;
+    SyntheticExecutor(p, config).run(a);
+    SyntheticExecutor(p, config).run(b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Executor, FixedLoopEmitsExactBackedges)
+{
+    Program p = makeLoopProgram();
+    MemoryTrace trace;
+    ExecutorConfig config;
+    ExecutionResult result = SyntheticExecutor(p, config).run(trace);
+
+    // 10 iterations: 10 if branches + 10 backedges.
+    EXPECT_EQ(result.dynamic_branches, 20u);
+    EXPECT_EQ(trace.size(), 20u);
+    EXPECT_FALSE(result.truncated);
+
+    // Backedge taken on all but the last iteration.
+    BranchPc backedge = p.branchInfo(1).pc;
+    int backedge_taken = 0, backedge_seen = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].pc == backedge) {
+            ++backedge_seen;
+            backedge_taken += trace[i].taken;
+        }
+    }
+    EXPECT_EQ(backedge_seen, 10);
+    EXPECT_EQ(backedge_taken, 9);
+}
+
+TEST(Executor, TimestampsStrictlyAscend)
+{
+    Program p = makeLoopProgram();
+    MemoryTrace trace;
+    SyntheticExecutor(p, ExecutorConfig{}).run(trace);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        ASSERT_GT(trace[i].timestamp, trace[i - 1].timestamp);
+}
+
+TEST(Executor, BudgetTruncates)
+{
+    Program p;
+    p.addProcedure("main", fixedLoopOf(1000000, compute(10)));
+    p.finalize();
+
+    ExecutorConfig config;
+    config.max_instructions = 5000;
+    MemoryTrace trace;
+    ExecutionResult result = SyntheticExecutor(p, config).run(trace);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_GE(result.instructions, 5000u);
+    EXPECT_LT(result.instructions, 5200u); // stops promptly
+}
+
+TEST(Executor, IfBranchSemantics)
+{
+    // Taken means the then-body is skipped: a 100%-taken guard must
+    // never execute its body, which we detect via instruction counts.
+    Program p;
+    p.addProcedure("main",
+                   seqOf(ifOf(BranchBehavior::biased(1.0),
+                              compute(1000))));
+    p.finalize();
+    MemoryTrace trace;
+    ExecutionResult r = SyntheticExecutor(p, ExecutorConfig{}).run(trace);
+    EXPECT_LT(r.instructions, 100u);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_TRUE(trace[0].taken);
+}
+
+TEST(Executor, SwitchCascadeSelectsOneCase)
+{
+    // Weight mass on case 1: cascade emits branch0 (not taken) then
+    // branch1 (taken) on nearly every visit.
+    Program p;
+    std::vector<StmtPtr> cases;
+    cases.push_back(compute(1));
+    cases.push_back(compute(2));
+    cases.push_back(compute(3));
+    p.addProcedure("main",
+                   fixedLoopOf(100, switchOf({0.0, 1.0, 0.0},
+                                             std::move(cases))));
+    p.finalize();
+
+    MemoryTrace trace;
+    SyntheticExecutor(p, ExecutorConfig{}).run(trace);
+
+    std::unordered_map<BranchPc, std::pair<int, int>> seen;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto &[count, taken] = seen[trace[i].pc];
+        ++count;
+        taken += trace[i].taken;
+    }
+    // 2 cascade branches + backedge.
+    ASSERT_EQ(seen.size(), 3u);
+    BranchPc b0 = p.branchInfo(0).pc;
+    BranchPc b1 = p.branchInfo(1).pc;
+    EXPECT_EQ(seen[b0].second, 0);            // case 0 never chosen
+    EXPECT_EQ(seen[b1].first, seen[b1].second); // case 1 always
+}
+
+TEST(Executor, ReplayableSourceIsStable)
+{
+    Program p = makeLoopProgram();
+    WorkloadTraceSource source(p, ExecutorConfig{});
+    MemoryTrace a, b;
+    source.replay(a);
+    source.replay(b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Executor, InputSeedChangesTrace)
+{
+    WorkloadParams params;
+    params.num_procedures = 4;
+    params.structure_seed = 77;
+    Program p = generateProgram(params);
+
+    ExecutorConfig ca, cb;
+    ca.input_seed = 1;
+    cb.input_seed = 2;
+    ca.max_instructions = cb.max_instructions = 50000;
+
+    TraceStatsCollector sa, sb;
+    SyntheticExecutor(p, ca).run(sa);
+    SyntheticExecutor(p, cb).run(sb);
+    // Same program, different inputs: traces differ in dynamics.
+    EXPECT_NE(sa.dynamicBranches(), sb.dynamicBranches());
+}
+
+// -------------------------------------------------------------- generator
+
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorSeeds, ProducesValidCalibratedPrograms)
+{
+    WorkloadParams params;
+    params.structure_seed = GetParam();
+    params.num_procedures = 12;
+    params.num_phases = 3;
+    params.procs_per_phase = 2;
+    params.branches_per_proc_min = 10;
+    params.branches_per_proc_max = 30;
+
+    GeneratedProgram g = generateProgramWithInfo(params);
+    EXPECT_TRUE(g.program.finalized());
+    EXPECT_EQ(g.program.procedureCount(), 12u);
+
+    // Branch budget: at least min per procedure (main adds more).
+    EXPECT_GE(g.program.staticBranchCount(),
+              11u * params.branches_per_proc_min);
+
+    // The cost model must produce a sane, bounded pass estimate.
+    EXPECT_GT(g.expected_pass_instructions, 1000u);
+    EXPECT_LT(g.expected_pass_instructions, 100'000'000u);
+
+    // Same seed regenerates the identical program.
+    GeneratedProgram g2 = generateProgramWithInfo(params);
+    EXPECT_EQ(g.program.staticBranchCount(),
+              g2.program.staticBranchCount());
+    EXPECT_EQ(g.expected_pass_instructions,
+              g2.expected_pass_instructions);
+    for (BranchId id = 0; id < g.program.staticBranchCount(); ++id)
+        ASSERT_EQ(g.program.branchInfo(id).pc,
+                  g2.program.branchInfo(id).pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 777u));
+
+TEST(Generator, PassEstimateTracksActualCost)
+{
+    WorkloadParams params;
+    params.structure_seed = 99;
+    params.num_procedures = 10;
+    params.num_phases = 3;
+    params.procs_per_phase = 2;
+    params.phase_iterations = 20;
+
+    GeneratedProgram g = generateProgramWithInfo(params);
+    ExecutorConfig config;
+    config.max_instructions = 4 * g.expected_pass_instructions;
+
+    TraceStatsCollector stats;
+    ExecutionResult r =
+        SyntheticExecutor(g.program, config).run(stats);
+
+    // The run is budget-bounded (effectively infinite outer loop) and
+    // the estimate is within a factor ~3 of reality.
+    EXPECT_TRUE(r.truncated);
+    (void)stats;
+}
+
+// ---------------------------------------------------------------- presets
+
+TEST(Presets, AllNamesResolve)
+{
+    std::vector<std::string> names = presetNames();
+    EXPECT_EQ(names.size(), 13u);
+    for (const std::string &name : names) {
+        EXPECT_TRUE(isPresetName(name));
+        WorkloadParams params = presetParams(name);
+        EXPECT_EQ(params.name, name);
+        EXPECT_FALSE(presetInputs(name).empty());
+    }
+    EXPECT_FALSE(isPresetName("nonexistent"));
+}
+
+TEST(Presets, TwoInputBenchmarksHaveTwoInputs)
+{
+    EXPECT_EQ(presetInputs("perl").size(), 2u);
+    EXPECT_EQ(presetInputs("ss").size(), 2u);
+    EXPECT_EQ(presetInputs("perl")[0].label, "a");
+    EXPECT_EQ(presetInputs("perl")[1].label, "b");
+}
+
+TEST(Presets, MakeWorkloadRunsWithinBudget)
+{
+    // Down-scaled compress run: executes, truncates at the budget,
+    // and exercises a plausible branch population.
+    Workload w = makeWorkload("compress", "", 0.2);
+    EXPECT_EQ(w.name, "compress");
+    EXPECT_GT(w.config.max_instructions, 0u);
+
+    TraceStatsCollector stats;
+    WorkloadTraceSource src = w.source();
+    src.replay(stats);
+    EXPECT_GT(stats.dynamicBranches(), 1000u);
+    EXPECT_GT(stats.staticBranches(), 20u);
+    EXPECT_LE(stats.lastTimestamp(),
+              w.config.max_instructions + 100);
+}
+
+TEST(Presets, InputSetsProduceDifferentRuns)
+{
+    Workload a = makeWorkload("ss", "a", 0.05);
+    Workload b = makeWorkload("ss", "b", 0.05);
+    EXPECT_EQ(a.config.max_instructions, b.config.max_instructions);
+    EXPECT_NE(a.config.input_seed, b.config.input_seed);
+
+    TraceStatsCollector sa, sb;
+    a.source().replay(sa);
+    b.source().replay(sb);
+    EXPECT_NE(sa.dynamicBranches(), sb.dynamicBranches());
+}
+
+TEST(PresetsDeath, UnknownPresetOrInputIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("quake"), ::testing::ExitedWithCode(1),
+                "unknown workload preset");
+    EXPECT_EXIT(makeWorkload("compress", "zzz"),
+                ::testing::ExitedWithCode(1), "no input set");
+}
