@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bias_cutoff.dir/bench_ablation_bias_cutoff.cc.o"
+  "CMakeFiles/bench_ablation_bias_cutoff.dir/bench_ablation_bias_cutoff.cc.o.d"
+  "bench_ablation_bias_cutoff"
+  "bench_ablation_bias_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bias_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wsdef.dir/bench_ablation_wsdef.cc.o"
+  "CMakeFiles/bench_ablation_wsdef.dir/bench_ablation_wsdef.cc.o.d"
+  "bench_ablation_wsdef"
+  "bench_ablation_wsdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wsdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

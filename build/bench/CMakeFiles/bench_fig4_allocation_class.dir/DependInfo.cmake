@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_allocation_class.cc" "bench/CMakeFiles/bench_fig4_allocation_class.dir/bench_fig4_allocation_class.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_allocation_class.dir/bench_fig4_allocation_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bwsa_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bwsa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bwsa_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bwsa_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/bwsa_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_allocation_class.dir/bench_fig4_allocation_class.cc.o"
+  "CMakeFiles/bench_fig4_allocation_class.dir/bench_fig4_allocation_class.cc.o.d"
+  "bench_fig4_allocation_class"
+  "bench_fig4_allocation_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_allocation_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libbwsa_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_zoo.dir/predictor_zoo.cpp.o"
+  "CMakeFiles/predictor_zoo.dir/predictor_zoo.cpp.o.d"
+  "predictor_zoo"
+  "predictor_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_explorer.dir/working_set_explorer.cpp.o"
+  "CMakeFiles/working_set_explorer.dir/working_set_explorer.cpp.o.d"
+  "working_set_explorer"
+  "working_set_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

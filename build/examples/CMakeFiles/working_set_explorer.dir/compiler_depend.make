@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for working_set_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/bwsa_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/bwsa_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/classification.cc" "src/core/CMakeFiles/bwsa_core.dir/classification.cc.o" "gcc" "src/core/CMakeFiles/bwsa_core.dir/classification.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/bwsa_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/bwsa_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/working_set.cc" "src/core/CMakeFiles/bwsa_core.dir/working_set.cc.o" "gcc" "src/core/CMakeFiles/bwsa_core.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/bwsa_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bwsa_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

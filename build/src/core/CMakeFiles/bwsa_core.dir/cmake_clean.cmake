@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_core.dir/allocation.cc.o"
+  "CMakeFiles/bwsa_core.dir/allocation.cc.o.d"
+  "CMakeFiles/bwsa_core.dir/classification.cc.o"
+  "CMakeFiles/bwsa_core.dir/classification.cc.o.d"
+  "CMakeFiles/bwsa_core.dir/pipeline.cc.o"
+  "CMakeFiles/bwsa_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/bwsa_core.dir/working_set.cc.o"
+  "CMakeFiles/bwsa_core.dir/working_set.cc.o.d"
+  "libbwsa_core.a"
+  "libbwsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

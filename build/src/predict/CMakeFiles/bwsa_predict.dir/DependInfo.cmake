@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/agree.cc" "src/predict/CMakeFiles/bwsa_predict.dir/agree.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/agree.cc.o.d"
+  "/root/repo/src/predict/bimodal.cc" "src/predict/CMakeFiles/bwsa_predict.dir/bimodal.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/bimodal.cc.o.d"
+  "/root/repo/src/predict/factory.cc" "src/predict/CMakeFiles/bwsa_predict.dir/factory.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/factory.cc.o.d"
+  "/root/repo/src/predict/index_policy.cc" "src/predict/CMakeFiles/bwsa_predict.dir/index_policy.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/index_policy.cc.o.d"
+  "/root/repo/src/predict/static_filter.cc" "src/predict/CMakeFiles/bwsa_predict.dir/static_filter.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/static_filter.cc.o.d"
+  "/root/repo/src/predict/tournament.cc" "src/predict/CMakeFiles/bwsa_predict.dir/tournament.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/tournament.cc.o.d"
+  "/root/repo/src/predict/twolevel.cc" "src/predict/CMakeFiles/bwsa_predict.dir/twolevel.cc.o" "gcc" "src/predict/CMakeFiles/bwsa_predict.dir/twolevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_predict.dir/agree.cc.o"
+  "CMakeFiles/bwsa_predict.dir/agree.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/bimodal.cc.o"
+  "CMakeFiles/bwsa_predict.dir/bimodal.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/factory.cc.o"
+  "CMakeFiles/bwsa_predict.dir/factory.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/index_policy.cc.o"
+  "CMakeFiles/bwsa_predict.dir/index_policy.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/static_filter.cc.o"
+  "CMakeFiles/bwsa_predict.dir/static_filter.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/tournament.cc.o"
+  "CMakeFiles/bwsa_predict.dir/tournament.cc.o.d"
+  "CMakeFiles/bwsa_predict.dir/twolevel.cc.o"
+  "CMakeFiles/bwsa_predict.dir/twolevel.cc.o.d"
+  "libbwsa_predict.a"
+  "libbwsa_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/conflict_graph.cc" "src/profile/CMakeFiles/bwsa_profile.dir/conflict_graph.cc.o" "gcc" "src/profile/CMakeFiles/bwsa_profile.dir/conflict_graph.cc.o.d"
+  "/root/repo/src/profile/interleave.cc" "src/profile/CMakeFiles/bwsa_profile.dir/interleave.cc.o" "gcc" "src/profile/CMakeFiles/bwsa_profile.dir/interleave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

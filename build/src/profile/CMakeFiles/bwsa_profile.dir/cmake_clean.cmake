@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_profile.dir/conflict_graph.cc.o"
+  "CMakeFiles/bwsa_profile.dir/conflict_graph.cc.o.d"
+  "CMakeFiles/bwsa_profile.dir/interleave.cc.o"
+  "CMakeFiles/bwsa_profile.dir/interleave.cc.o.d"
+  "libbwsa_profile.a"
+  "libbwsa_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_report.dir/table.cc.o"
+  "CMakeFiles/bwsa_report.dir/table.cc.o.d"
+  "libbwsa_report.a"
+  "libbwsa_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

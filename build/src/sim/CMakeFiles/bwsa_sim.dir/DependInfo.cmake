@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bpred_sim.cc" "src/sim/CMakeFiles/bwsa_sim.dir/bpred_sim.cc.o" "gcc" "src/sim/CMakeFiles/bwsa_sim.dir/bpred_sim.cc.o.d"
+  "/root/repo/src/sim/cluster_analysis.cc" "src/sim/CMakeFiles/bwsa_sim.dir/cluster_analysis.cc.o" "gcc" "src/sim/CMakeFiles/bwsa_sim.dir/cluster_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predict/CMakeFiles/bwsa_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

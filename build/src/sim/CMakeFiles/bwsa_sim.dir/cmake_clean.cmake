@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_sim.dir/bpred_sim.cc.o"
+  "CMakeFiles/bwsa_sim.dir/bpred_sim.cc.o.d"
+  "CMakeFiles/bwsa_sim.dir/cluster_analysis.cc.o"
+  "CMakeFiles/bwsa_sim.dir/cluster_analysis.cc.o.d"
+  "libbwsa_sim.a"
+  "libbwsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

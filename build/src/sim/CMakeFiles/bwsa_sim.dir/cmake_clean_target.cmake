@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwsa_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_trace.dir/frequency_filter.cc.o"
+  "CMakeFiles/bwsa_trace.dir/frequency_filter.cc.o.d"
+  "CMakeFiles/bwsa_trace.dir/trace.cc.o"
+  "CMakeFiles/bwsa_trace.dir/trace.cc.o.d"
+  "CMakeFiles/bwsa_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bwsa_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/bwsa_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/bwsa_trace.dir/trace_stats.cc.o.d"
+  "libbwsa_trace.a"
+  "libbwsa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_util.dir/cli.cc.o"
+  "CMakeFiles/bwsa_util.dir/cli.cc.o.d"
+  "CMakeFiles/bwsa_util.dir/logging.cc.o"
+  "CMakeFiles/bwsa_util.dir/logging.cc.o.d"
+  "CMakeFiles/bwsa_util.dir/random.cc.o"
+  "CMakeFiles/bwsa_util.dir/random.cc.o.d"
+  "CMakeFiles/bwsa_util.dir/stats.cc.o"
+  "CMakeFiles/bwsa_util.dir/stats.cc.o.d"
+  "CMakeFiles/bwsa_util.dir/strutil.cc.o"
+  "CMakeFiles/bwsa_util.dir/strutil.cc.o.d"
+  "libbwsa_util.a"
+  "libbwsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behavior.cc" "src/workload/CMakeFiles/bwsa_workload.dir/behavior.cc.o" "gcc" "src/workload/CMakeFiles/bwsa_workload.dir/behavior.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/workload/CMakeFiles/bwsa_workload.dir/executor.cc.o" "gcc" "src/workload/CMakeFiles/bwsa_workload.dir/executor.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/bwsa_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/bwsa_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/presets.cc" "src/workload/CMakeFiles/bwsa_workload.dir/presets.cc.o" "gcc" "src/workload/CMakeFiles/bwsa_workload.dir/presets.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/bwsa_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/bwsa_workload.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bwsa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

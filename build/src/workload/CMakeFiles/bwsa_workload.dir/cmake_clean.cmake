@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwsa_workload.dir/behavior.cc.o"
+  "CMakeFiles/bwsa_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/bwsa_workload.dir/executor.cc.o"
+  "CMakeFiles/bwsa_workload.dir/executor.cc.o.d"
+  "CMakeFiles/bwsa_workload.dir/generator.cc.o"
+  "CMakeFiles/bwsa_workload.dir/generator.cc.o.d"
+  "CMakeFiles/bwsa_workload.dir/presets.cc.o"
+  "CMakeFiles/bwsa_workload.dir/presets.cc.o.d"
+  "CMakeFiles/bwsa_workload.dir/program.cc.o"
+  "CMakeFiles/bwsa_workload.dir/program.cc.o.d"
+  "libbwsa_workload.a"
+  "libbwsa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwsa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
