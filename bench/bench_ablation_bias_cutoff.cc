@@ -21,7 +21,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ablation_bias_cutoff");
     if (options.benchmarks.empty())
         options.benchmarks = {"m88ksim", "li", "plot"};
 
@@ -30,6 +30,7 @@ main(int argc, char **argv)
                      "alloc-1024 miss %"});
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -75,5 +76,5 @@ main(int argc, char **argv)
     }
 
     emitTable("Ablation: classification bias cutoff", table, options);
-    return 0;
+    return finishBench(options);
 }

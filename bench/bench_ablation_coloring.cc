@@ -18,7 +18,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ablation_coloring");
     if (options.benchmarks.empty())
         options.benchmarks = {"m88ksim", "li", "gs", "plot"};
 
@@ -26,6 +26,7 @@ main(int argc, char **argv)
                      "residual @128", "shared @128"});
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -56,5 +57,5 @@ main(int argc, char **argv)
 
     emitTable("Ablation: allocator share-candidate policy", table,
               options);
-    return 0;
+    return finishBench(options);
 }

@@ -27,7 +27,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ablation_profiles");
     if (options.benchmarks.empty())
         options.benchmarks = {"perl", "ss"};
 
@@ -36,6 +36,7 @@ main(int argc, char **argv)
                      "miss b, trained merged %", "miss b, ideal %"});
 
     for (const std::string &preset : options.benchmarks) {
+        RowScope row_scope;
         Workload wa = makeWorkload(preset, "a", options.scale);
         Workload wb = makeWorkload(preset, "b", options.scale);
         WorkloadTraceSource sa = wa.source();
@@ -77,5 +78,5 @@ main(int argc, char **argv)
     emitTable("Ablation: profile input sensitivity and cumulative "
               "profiles (Section 5.2)",
               table, options);
-    return 0;
+    return finishBench(options);
 }

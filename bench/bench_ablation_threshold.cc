@@ -20,7 +20,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ablation_threshold");
     if (options.benchmarks.empty())
         options.benchmarks = {"compress", "perl", "m88ksim", "li"};
 
@@ -29,6 +29,7 @@ main(int argc, char **argv)
                      "BHT required"});
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -59,5 +60,5 @@ main(int argc, char **argv)
     emitTable("Ablation: conflict threshold sensitivity "
               "(paper: no significant difference)",
               table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -19,7 +19,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ablation_wsdef");
     if (options.benchmarks.empty())
         options.benchmarks = {"compress", "ijpeg", "pgp", "perl"};
 
@@ -28,6 +28,7 @@ main(int argc, char **argv)
                      "max size", "truncated"});
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -53,5 +54,5 @@ main(int argc, char **argv)
     }
 
     emitTable("Ablation: working-set definition", table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/pipeline.hh"
+#include "obs/progress.hh"
+#include "obs/run_report.hh"
 #include "sim/bpred_sim.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -14,16 +17,47 @@
 namespace bwsa::bench
 {
 
+namespace
+{
+
+/** Top-level span covering parseBenchOptions() .. finishBench(). */
+std::unique_ptr<obs::PhaseTracer::Span> run_span;
+
+} // namespace
+
 BenchOptions
-parseBenchOptions(int &argc, char **argv)
+parseBenchOptions(int &argc, char **argv,
+                  const std::string &bench_name, bool reject_unknown)
 {
     CliOptions cli = CliOptions::parse(
-        argc, argv, {"scale", "benchmarks", "csv", "threshold"});
+        argc, argv,
+        {"scale", "benchmarks", "csv", "threshold", "json", "trace",
+         "progress", "quiet", "verbose"});
+
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv);
+    if (reject_unknown && !unknown.empty())
+        bwsa_fatal("unknown option '", unknown[0],
+                   "' (supported: --scale --benchmarks --csv "
+                   "--threshold --json --trace --progress --quiet "
+                   "--verbose)");
+
+    applyLogLevelOptions(cli);
 
     BenchOptions options;
     options.scale = cli.getDouble("scale", 1.0);
     options.threshold = cli.getUint("threshold", 100);
     options.csv_path = cli.getString("csv", "");
+    options.json_path = cli.getString("json", "");
+    options.trace_path = cli.getString("trace", "");
+    if (cli.has("progress")) {
+        // Bare --progress means the default 10 second interval.
+        options.progress_sec = cli.getString("progress", "") == "true"
+                                   ? 10.0
+                                   : cli.getDouble("progress", 10.0);
+        if (options.progress_sec <= 0.0)
+            bwsa_fatal("--progress interval must be positive");
+    }
     if (cli.has("benchmarks")) {
         for (const std::string &name :
              split(cli.getString("benchmarks", ""), ','))
@@ -32,7 +66,49 @@ parseBenchOptions(int &argc, char **argv)
     }
     if (options.scale <= 0.0)
         bwsa_fatal("--scale must be positive");
+
+    // Observability: the report always accumulates (cheap); the
+    // tracer only runs when some consumer of its events exists.
+    auto &report = obs::RunReport::global();
+    report.begin(bench_name);
+    report.setConfigValue("scale", cli.getString("scale", "1"));
+    report.setConfigValue("threshold",
+                          cli.getString("threshold", "100"));
+    report.setConfigValues(cli.values());
+
+    bool want_spans = !options.json_path.empty() ||
+                      !options.trace_path.empty() ||
+                      options.progress_sec > 0.0;
+    if (want_spans)
+        obs::PhaseTracer::global().setEnabled(true);
+    if (options.progress_sec > 0.0)
+        obs::ProgressMeter::global().start(options.progress_sec);
+
+    run_span =
+        std::make_unique<obs::PhaseTracer::Span>("bench.run");
     return options;
+}
+
+int
+finishBench(const BenchOptions &options)
+{
+    run_span.reset();
+    obs::ProgressMeter::global().stop();
+    if (!options.trace_path.empty())
+        obs::PhaseTracer::global().writeChromeTrace(
+            options.trace_path);
+    if (!options.json_path.empty()) {
+        obs::RunReport::global().write(options.json_path);
+        std::cout << "(json report written to " << options.json_path
+                  << ")\n";
+    }
+    return 0;
+}
+
+RowScope::RowScope(std::uint64_t work_units) : span("bench.row")
+{
+    span.addWork(work_units);
+    obs::MetricsRegistry::global().counter("bench.rows").inc();
 }
 
 namespace
@@ -90,6 +166,11 @@ void
 emitTable(const std::string &title, const TextTable &table,
           const BenchOptions &options)
 {
+    BWSA_SPAN("report.emit");
+    obs::RunReport::global().addTable(title, table.headers(),
+                                      table.rows());
+    obs::MetricsRegistry::global().counter("report.tables").inc();
+
     printBanner(std::cout, title);
     std::cout << table.render() << std::flush;
     if (!options.csv_path.empty()) {
@@ -112,6 +193,7 @@ runAllocationFigure(const BenchOptions &options, bool classification,
     std::vector<RunningStat> columns(6);
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();

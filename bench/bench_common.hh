@@ -8,6 +8,18 @@
  *   --benchmarks=a,b  restrict to a comma-separated preset subset
  *   --csv=<path>      also write the table as CSV
  *   --threshold=<n>   conflict-edge threshold (default 100)
+ *   --json=<path>     write a machine-readable run report (schema
+ *                     bwsa.run_report.v1) when the run finishes
+ *   --trace=<path>    write a Chrome trace_event JSON of the phase
+ *                     spans (open in chrome://tracing or Perfetto)
+ *   --progress[=sec]  heartbeat line on stderr every sec seconds
+ *                     (default 10) while the run is alive
+ *   --quiet/--verbose log verbosity
+ *
+ * Unknown `--` flags are rejected (typos would otherwise silently run
+ * with defaults).  The lifecycle is: parseBenchOptions() at the top of
+ * main(), RowScope inside per-benchmark loops, emitTable() per result
+ * table, `return finishBench(options)` at the bottom.
  */
 
 #ifndef BWSA_BENCH_COMMON_HH
@@ -16,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "report/table.hh"
 #include "util/cli.hh"
 #include "workload/presets.hh"
@@ -30,10 +44,43 @@ struct BenchOptions
     std::uint64_t threshold = 100;
     std::vector<std::string> benchmarks;
     std::string csv_path;
+    std::string json_path;     ///< --json: run report destination
+    std::string trace_path;    ///< --trace: Chrome trace destination
+    double progress_sec = 0.0; ///< --progress interval; 0 = off
 };
 
-/** Parse the common options out of argc/argv. */
-BenchOptions parseBenchOptions(int &argc, char **argv);
+/**
+ * Parse the common options out of argc/argv, set up the observability
+ * layer (run report, phase tracer, progress heartbeat) and open the
+ * top-level "bench.run" span.  Rejects unrecognized `--` flags.
+ *
+ * @param bench_name     binary name recorded in the run report
+ * @param reject_unknown fatal() on unrecognized `--` flags; pass
+ *                       false when a wrapping framework (google-
+ *                       benchmark) consumes its own flags from argv
+ */
+BenchOptions parseBenchOptions(int &argc, char **argv,
+                               const std::string &bench_name,
+                               bool reject_unknown = true);
+
+/**
+ * Finish the run: close the "bench.run" span, stop the heartbeat and
+ * write the Chrome trace / JSON report when requested.
+ *
+ * @return process exit code (0), so mains can `return finishBench(o)`
+ */
+int finishBench(const BenchOptions &options);
+
+/**
+ * RAII scope for one benchmark row: opens a "bench.row" span and
+ * bumps the bench.rows counter (which the --progress heartbeat
+ * reports as rows finished).
+ */
+struct RowScope
+{
+    explicit RowScope(std::uint64_t work_units = 0);
+    obs::PhaseTracer::Span span;
+};
 
 /**
  * The benchmark/input rows of one experiment.
@@ -58,7 +105,10 @@ std::vector<BenchmarkRun>
 perInputRuns(const BenchOptions &options,
              const std::vector<std::string> &exclude = {});
 
-/** Emit a finished table to stdout (and CSV when requested). */
+/**
+ * Emit a finished table to stdout (and CSV when requested), and
+ * record it into the run report.
+ */
 void emitTable(const std::string &title, const TextTable &table,
                const BenchOptions &options);
 

@@ -23,7 +23,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_ext_clustering");
     if (options.benchmarks.empty())
         options.benchmarks = {"compress", "perl", "m88ksim", "gs",
                               "python"};
@@ -34,6 +34,7 @@ main(int argc, char **argv)
                      "miss steady %", "amplification"});
 
     for (const BenchmarkRun &run : defaultRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -61,5 +62,5 @@ main(int argc, char **argv)
     emitTable("Extension: misprediction clustering vs working-set "
               "shifts (Section 6 future work)",
               table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -17,10 +17,10 @@ int
 main(int argc, char **argv)
 {
     bwsa::bench::BenchOptions options =
-        bwsa::bench::parseBenchOptions(argc, argv);
+        bwsa::bench::parseBenchOptions(argc, argv, "bench_fig3_allocation");
     bwsa::bench::runAllocationFigure(
         options, false,
         "Figure 3: branch allocation misprediction rates "
         "(no classification)");
-    return 0;
+    return bwsa::bench::finishBench(options);
 }

@@ -15,10 +15,10 @@ int
 main(int argc, char **argv)
 {
     bwsa::bench::BenchOptions options =
-        bwsa::bench::parseBenchOptions(argc, argv);
+        bwsa::bench::parseBenchOptions(argc, argv, "bench_fig4_allocation_class");
     bwsa::bench::runAllocationFigure(
         options, true,
         "Figure 4: branch allocation misprediction rates "
         "(with classification)");
-    return 0;
+    return bwsa::bench::finishBench(options);
 }

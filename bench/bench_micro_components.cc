@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/allocation.hh"
 #include "core/working_set.hh"
 #include "predict/factory.hh"
@@ -149,4 +150,19 @@ BENCHMARK_CAPTURE(BM_WorkingSets, greedy_partition,
                   WorkingSetDefinition::GreedyPartition)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the BWSA observability flags (--json,
+// --trace, --progress, --quiet/--verbose) work here too; unknown
+// flags are left for google-benchmark to consume.
+int
+main(int argc, char **argv)
+{
+    bwsa::bench::BenchOptions options = bwsa::bench::parseBenchOptions(
+        argc, argv, "bench_micro_components",
+        /*reject_unknown=*/false);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return bwsa::bench::finishBench(options);
+}

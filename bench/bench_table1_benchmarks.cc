@@ -24,13 +24,14 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_table1_benchmarks");
 
     TextTable table({"benchmark", "input set", "total dynamic",
                      "analyzed dynamic", "% analyzed",
                      "static branches", "static kept"});
 
     for (const BenchmarkRun &run : perInputRuns(options)) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -55,5 +56,5 @@ main(int argc, char **argv)
 
     emitTable("Table 1: benchmarks, inputs and branch coverage",
               table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -25,7 +25,7 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_table2_working_sets");
 
     TextTable table({"benchmark", "total working sets",
                      "avg static size", "avg dynamic size",
@@ -33,6 +33,7 @@ main(int argc, char **argv)
 
     for (const BenchmarkRun &run :
          defaultRuns(options, {"gs", "tex"})) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -54,5 +55,5 @@ main(int argc, char **argv)
     emitTable("Table 2: the sizes of branch working sets (threshold " +
                   std::to_string(options.threshold) + ")",
               table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -19,13 +19,14 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_table3_alloc_size");
 
     TextTable table({"benchmark", "BHT size required",
                      "baseline conflict @1024", "residual conflict",
                      "shared branches"});
 
     for (const BenchmarkRun &run : perInputRuns(options, {"ijpeg"})) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -47,5 +48,5 @@ main(int argc, char **argv)
 
     emitTable("Table 3: BHT size required for branch allocation",
               table, options);
-    return 0;
+    return finishBench(options);
 }

@@ -22,13 +22,14 @@ using namespace bwsa::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv);
+    BenchOptions options = parseBenchOptions(argc, argv, "bench_table4_alloc_class_size");
 
     TextTable table({"benchmark", "BHT size required",
                      "baseline conflict @1024", "biased taken",
                      "biased not-taken", "mixed"});
 
     for (const BenchmarkRun &run : perInputRuns(options, {"ijpeg"})) {
+        RowScope row_scope;
         Workload w =
             makeWorkload(run.preset, run.input_label, options.scale);
         WorkloadTraceSource source = w.source();
@@ -58,5 +59,5 @@ main(int argc, char **argv)
 
     emitTable("Table 4: BHT size required with branch classification",
               table, options);
-    return 0;
+    return finishBench(options);
 }

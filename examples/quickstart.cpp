@@ -8,16 +8,24 @@
  * conventional PC-indexed baseline and the interference-free
  * reference.
  *
- * Run:  ./quickstart
+ * Run:  ./quickstart [--json=<path>] [--quiet|--verbose]
+ *
+ * With --json the run also writes a bwsa.run_report.v1 document
+ * (config echo, per-phase timings, metrics snapshot) -- the same
+ * machinery the bench harnesses use.
  */
 
 #include <cstdio>
 
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
+#include "obs/phase_tracer.hh"
+#include "obs/run_report.hh"
 #include "predict/factory.hh"
 #include "report/table.hh"
 #include "sim/bpred_sim.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "workload/builder.hh"
 #include "workload/executor.hh"
@@ -71,8 +79,24 @@ buildToyProgram()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliOptions cli = CliOptions::parse(
+        argc, argv, {"json", "quiet", "verbose"});
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv);
+    if (!unknown.empty())
+        bwsa_fatal("unknown option '", unknown[0],
+                   "' (supported: --json --quiet --verbose)");
+    applyLogLevelOptions(cli);
+
+    std::string json_path = cli.getString("json", "");
+    if (!json_path.empty()) {
+        obs::PhaseTracer::global().setEnabled(true);
+        obs::RunReport::global().begin("quickstart");
+        obs::RunReport::global().setConfigValues(cli.values());
+    }
+
     // --- 1. Build and execute the program, producing a branch trace.
     Program program = buildToyProgram();
     std::printf("program: %zu procedures, %zu static branches\n",
@@ -135,5 +159,14 @@ main()
                       fixedString(r.mispredictPercent(), 3),
                       fixedString(r.accuracyPercent(), 3)});
     std::printf("\n%s", table.render().c_str());
+
+    if (!json_path.empty()) {
+        obs::RunReport::global().addTable(
+            "quickstart predictor comparison", table.headers(),
+            table.rows());
+        obs::RunReport::global().write(json_path);
+        std::printf("(json report written to %s)\n",
+                    json_path.c_str());
+    }
     return 0;
 }

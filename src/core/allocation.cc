@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -64,6 +66,9 @@ AllocationResult
 allocateBranches(const ConflictGraph &graph, std::uint64_t table_size,
                  const AllocationConfig &config)
 {
+    obs::PhaseTracer::Span span("alloc.color");
+    span.addWork(graph.nodeCount());
+
     AllocationResult result;
     result.table_size = table_size;
 
@@ -246,6 +251,10 @@ allocateBranches(const ConflictGraph &graph, std::uint64_t table_size,
         }
         result.assignment.emplace(graph.node(v).pc, entry);
     }
+
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("alloc.colorings").inc();
+    registry.counter("alloc.shared_nodes").inc(result.shared_nodes);
     return result;
 }
 
@@ -276,6 +285,11 @@ requiredTableSize(const ConflictGraph &graph,
                   std::uint64_t baseline_entries,
                   std::uint64_t max_entries)
 {
+    BWSA_SPAN("alloc.required_size");
+    obs::MetricsRegistry::global()
+        .counter("alloc.size_searches")
+        .inc();
+
     RequiredSizeResult result;
     result.baseline_conflict =
         moduloConflict(graph, baseline_entries, config);

@@ -1,5 +1,7 @@
 #include "core/pipeline.hh"
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -17,17 +19,24 @@ void
 AllocationPipeline::addProfile(const TraceSource &source)
 {
     // Pass 1: per-branch frequencies for the static reduction.
-    _stats.clear();
-    source.replay(_stats);
-    _selection = selectByFrequency(_stats, _config.coverage,
-                                   _config.max_static);
+    {
+        BWSA_SPAN("pipeline.stats_pass");
+        _stats.clear();
+        source.replay(_stats);
+        _selection = selectByFrequency(_stats, _config.coverage,
+                                       _config.max_static);
+    }
 
     // Pass 2: interleave analysis over the retained branches, merged
     // into the cumulative graph (Section 5.2's multi-input profiles).
     ConflictGraph run_graph;
-    InterleaveTracker tracker(run_graph, _config.interleave);
-    FilteredSink filter(_selection, tracker);
-    source.replay(filter);
+    {
+        BWSA_SPAN("pipeline.interleave_pass");
+        InterleaveTracker tracker(run_graph, _config.interleave);
+        FilteredSink filter(_selection, tracker);
+        source.replay(filter);
+    }
+    obs::MetricsRegistry::global().counter("pipeline.profiles").inc();
 
     if (_profiles == 0)
         _graph = std::move(run_graph);

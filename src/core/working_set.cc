@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -317,22 +319,35 @@ WorkingSetResult
 findWorkingSets(const ConflictGraph &graph, WorkingSetDefinition def,
                 const WorkingSetLimits &limits)
 {
+    obs::PhaseTracer::Span span("ws.extract");
+    span.addWork(graph.nodeCount());
+
     std::vector<std::vector<NodeId>> adj = plainAdjacency(graph);
+    WorkingSetResult result;
     switch (def) {
       case WorkingSetDefinition::MaximalClique: {
-        WorkingSetResult result;
         CliqueEnumerator enumerator(adj, limits, result);
         enumerator.run();
-        return result;
+        break;
       }
       case WorkingSetDefinition::SeededClique:
-        return seededCliques(graph, adj);
+        result = seededCliques(graph, adj);
+        break;
       case WorkingSetDefinition::GreedyPartition:
-        return greedyPartition(graph, adj);
+        result = greedyPartition(graph, adj);
+        break;
       case WorkingSetDefinition::ConnectedComponent:
-        return connectedComponents(graph, adj);
+        result = connectedComponents(graph, adj);
+        break;
+      default:
+        bwsa_panic("unknown WorkingSetDefinition ",
+                   static_cast<int>(def));
     }
-    bwsa_panic("unknown WorkingSetDefinition ", static_cast<int>(def));
+
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("ws.extractions").inc();
+    registry.counter("ws.sets_found").inc(result.sets.size());
+    return result;
 }
 
 WorkingSetStats

@@ -1,0 +1,215 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v._kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v._kind = Kind::Object;
+    return v;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    if (_kind != Kind::Array)
+        bwsa_panic("JsonValue::at on non-array");
+    if (index >= _children.size())
+        bwsa_panic("JsonValue::at index ", index, " out of range ",
+                   _children.size());
+    return _children[index].second;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Array;
+    if (_kind != Kind::Array)
+        bwsa_panic("JsonValue::push on non-array");
+    _children.emplace_back(std::string(), std::move(value));
+    return _children.back().second;
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Object;
+    if (_kind != Kind::Object)
+        bwsa_panic("JsonValue::operator[] on non-object");
+    for (auto &[k, v] : _children)
+        if (k == key)
+            return v;
+    _children.emplace_back(key, JsonValue());
+    return _children.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : _children)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+JsonValue::escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace
+{
+
+void
+writeIndent(std::ostream &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.put('\n');
+    for (int i = 0; i < indent * depth; ++i)
+        out.put(' ');
+}
+
+void
+writeDouble(std::ostream &out, double d)
+{
+    if (!std::isfinite(d)) {
+        out << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    out << buf;
+    // Keep the value a JSON number even when %g prints an integer.
+    std::string s(buf);
+    if (s.find_first_of(".eE") == std::string::npos)
+        out << ".0";
+}
+
+} // namespace
+
+void
+JsonValue::dumpImpl(std::ostream &out, int indent, int depth) const
+{
+    switch (_kind) {
+      case Kind::Null:
+        out << "null";
+        break;
+      case Kind::Bool:
+        out << (_bool ? "true" : "false");
+        break;
+      case Kind::Int:
+        out << _int;
+        break;
+      case Kind::Uint:
+        out << _uint;
+        break;
+      case Kind::Double:
+        writeDouble(out, _double);
+        break;
+      case Kind::String:
+        out << escape(_string);
+        break;
+      case Kind::Array:
+        out.put('[');
+        for (std::size_t i = 0; i < _children.size(); ++i) {
+            if (i)
+                out.put(',');
+            writeIndent(out, indent, depth + 1);
+            _children[i].second.dumpImpl(out, indent, depth + 1);
+        }
+        if (!_children.empty())
+            writeIndent(out, indent, depth);
+        out.put(']');
+        break;
+      case Kind::Object:
+        out.put('{');
+        for (std::size_t i = 0; i < _children.size(); ++i) {
+            if (i)
+                out.put(',');
+            writeIndent(out, indent, depth + 1);
+            out << escape(_children[i].first) << ':';
+            if (indent > 0)
+                out.put(' ');
+            _children[i].second.dumpImpl(out, indent, depth + 1);
+        }
+        if (!_children.empty())
+            writeIndent(out, indent, depth);
+        out.put('}');
+        break;
+    }
+}
+
+void
+JsonValue::dump(std::ostream &out, int indent) const
+{
+    dumpImpl(out, indent, 0);
+}
+
+std::string
+JsonValue::dumpString(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+} // namespace bwsa::obs

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal ordered JSON document builder for the observability layer.
+ *
+ * The run reporter and the Chrome trace writer need to emit
+ * well-formed JSON without pulling in an external dependency; this is
+ * a small value tree (null/bool/integer/double/string/array/object)
+ * with insertion-ordered objects so reports serialize in a stable,
+ * diffable key order.  It builds and writes documents only -- parsing
+ * is left to the consumers (jq, python, Chrome's tracing UI).
+ */
+
+#ifndef BWSA_OBS_JSON_HH
+#define BWSA_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bwsa::obs
+{
+
+/**
+ * One JSON value; objects preserve insertion order.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() = default;
+    JsonValue(bool b) : _kind(Kind::Bool), _bool(b) {}
+    JsonValue(std::int64_t i) : _kind(Kind::Int), _int(i) {}
+    JsonValue(std::uint64_t u) : _kind(Kind::Uint), _uint(u) {}
+    JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+    JsonValue(unsigned u) : JsonValue(static_cast<std::uint64_t>(u)) {}
+    JsonValue(double d) : _kind(Kind::Double), _double(d) {}
+    JsonValue(std::string s) : _kind(Kind::String), _string(std::move(s))
+    {}
+    JsonValue(const char *s) : _kind(Kind::String), _string(s) {}
+
+    /** Empty array value. */
+    static JsonValue array();
+
+    /** Empty object value. */
+    static JsonValue object();
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    bool asBool() const { return _bool; }
+    std::int64_t asInt() const { return _int; }
+    std::uint64_t asUint() const { return _uint; }
+    double asDouble() const { return _double; }
+    const std::string &asString() const { return _string; }
+
+    /** Array element access (panics on kind/range misuse). */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Array/object element count. */
+    std::size_t size() const { return _children.size(); }
+
+    /** Append to an array (converts a Null value into an array). */
+    JsonValue &push(JsonValue value);
+
+    /**
+     * Object member access, inserting a Null member on first use
+     * (converts a Null value into an object).
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /** Object member lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return _children;
+    }
+
+    /**
+     * Serialize.  @p indent spaces per level; 0 emits one compact
+     * line.  Doubles that are not finite serialize as null.
+     */
+    void dump(std::ostream &out, int indent = 2) const;
+
+    /** dump() into a string. */
+    std::string dumpString(int indent = 2) const;
+
+    /** Escape @p raw as a JSON string literal (with quotes). */
+    static std::string escape(const std::string &raw);
+
+  private:
+    void dumpImpl(std::ostream &out, int indent, int depth) const;
+
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    std::int64_t _int = 0;
+    std::uint64_t _uint = 0;
+    double _double = 0.0;
+    std::string _string;
+    /** Array elements (first of pair unused) or object members. */
+    std::vector<std::pair<std::string, JsonValue>> _children;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_JSON_HH

@@ -1,0 +1,367 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+const char *
+seriesKindName(SeriesKind kind)
+{
+    switch (kind) {
+      case SeriesKind::Counter:
+        return "counter";
+      case SeriesKind::Gauge:
+        return "gauge";
+      case SeriesKind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+// --- Shard ---------------------------------------------------------
+
+MetricsRegistry::Shard::~Shard()
+{
+    for (auto &slot : blocks)
+        delete slot.load(std::memory_order_acquire);
+}
+
+std::atomic<std::uint64_t> &
+MetricsRegistry::Shard::cell(std::uint32_t index)
+{
+    std::size_t block_index = index >> kBlockBits;
+    if (block_index >= kMaxBlocks)
+        bwsa_panic("metrics shard cell index ", index,
+                   " exceeds capacity");
+    Block *block = blocks[block_index].load(std::memory_order_relaxed);
+    if (!block) {
+        block = new Block();
+        for (auto &c : *block)
+            c.store(0, std::memory_order_relaxed);
+        // Publish for concurrent snapshot readers.
+        blocks[block_index].store(block, std::memory_order_release);
+    }
+    return (*block)[index & (kBlockSize - 1)];
+}
+
+std::uint64_t
+MetricsRegistry::Shard::peek(std::uint32_t index) const
+{
+    std::size_t block_index = index >> kBlockBits;
+    if (block_index >= kMaxBlocks)
+        return 0;
+    const Block *block =
+        blocks[block_index].load(std::memory_order_acquire);
+    if (!block)
+        return 0;
+    return (*block)[index & (kBlockSize - 1)].load(
+        std::memory_order_relaxed);
+}
+
+// --- Registry ------------------------------------------------------
+
+namespace
+{
+
+std::atomic<std::uint64_t> next_registry_generation{1};
+
+/** One thread's cached shard pointer per live registry generation. */
+struct TlsShardCache
+{
+    std::vector<std::pair<std::uint64_t, void *>> entries;
+};
+
+TlsShardCache &
+tlsShardCache()
+{
+    thread_local TlsShardCache cache;
+    return cache;
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : _generation(
+          next_registry_generation.fetch_add(1,
+                                             std::memory_order_relaxed))
+{
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+MetricsRegistry::Shard *
+MetricsRegistry::localShard()
+{
+    TlsShardCache &cache = tlsShardCache();
+    for (const auto &[gen, shard] : cache.entries)
+        if (gen == _generation)
+            return static_cast<Shard *>(shard);
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    _shards.push_back(std::make_unique<Shard>());
+    Shard *shard = _shards.back().get();
+    cache.entries.emplace_back(_generation, shard);
+    return shard;
+}
+
+std::uint32_t
+MetricsRegistry::registerSeries(const std::string &name,
+                                SeriesKind kind, std::uint32_t cells,
+                                std::vector<std::uint64_t> bounds,
+                                SeriesInfo **info_out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const auto &series : _series) {
+        if (series->name != name)
+            continue;
+        if (series->kind != kind)
+            bwsa_fatal("metric series '", name, "' re-registered as ",
+                       seriesKindName(kind), ", was ",
+                       seriesKindName(series->kind));
+        if (kind == SeriesKind::Histogram &&
+            series->bounds != bounds)
+            bwsa_fatal("histogram '", name,
+                       "' re-registered with different buckets");
+        if (info_out)
+            *info_out = series.get();
+        return series->first_cell;
+    }
+
+    auto info = std::make_unique<SeriesInfo>();
+    info->name = name;
+    info->kind = kind;
+    info->first_cell = _next_cell;
+    info->cell_count = cells;
+    info->bounds = std::move(bounds);
+    _next_cell += cells;
+    if (info_out)
+        *info_out = info.get();
+    std::uint32_t first = info->first_cell;
+    _series.push_back(std::move(info));
+    return first;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    return Counter(this,
+                   registerSeries(name, SeriesKind::Counter, 1, {}));
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    SeriesInfo *info = nullptr;
+    registerSeries(name, SeriesKind::Gauge, 0, {}, &info);
+    return Gauge(&info->gauge_bits);
+}
+
+HistogramMetric
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<std::uint64_t> bounds)
+{
+    if (bounds.empty())
+        bwsa_fatal("histogram '", name, "' needs at least one bucket");
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        bwsa_fatal("histogram '", name, "' buckets must ascend");
+    // Cells: [count, sum, bucket 0 .. bucket n-1, overflow].
+    std::uint32_t cells =
+        static_cast<std::uint32_t>(2 + bounds.size() + 1);
+    SeriesInfo *info = nullptr;
+    std::uint32_t first = registerSeries(
+        name, SeriesKind::Histogram, cells, std::move(bounds), &info);
+    return HistogramMetric(this, first, &info->bounds);
+}
+
+std::uint64_t
+MetricsRegistry::sumCell(std::uint32_t index) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &shard : _shards)
+        sum += shard->peek(index);
+    return sum;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    MetricsSnapshot snap;
+    snap.series.reserve(_series.size());
+    for (const auto &info : _series) {
+        SeriesSnapshot s;
+        s.name = info->name;
+        s.kind = info->kind;
+        switch (info->kind) {
+          case SeriesKind::Counter:
+            s.counter = sumCell(info->first_cell);
+            break;
+          case SeriesKind::Gauge:
+            s.gauge = std::bit_cast<double>(
+                info->gauge_bits.load(std::memory_order_relaxed));
+            break;
+          case SeriesKind::Histogram: {
+            s.histogram.count = sumCell(info->first_cell);
+            s.histogram.sum = sumCell(info->first_cell + 1);
+            std::uint32_t base = info->first_cell + 2;
+            for (std::size_t b = 0; b <= info->bounds.size(); ++b) {
+                std::uint64_t bound =
+                    b < info->bounds.size()
+                        ? info->bounds[b]
+                        : ~std::uint64_t(0);
+                s.histogram.buckets.emplace_back(
+                    bound,
+                    sumCell(base + static_cast<std::uint32_t>(b)));
+            }
+            break;
+          }
+        }
+        snap.series.push_back(std::move(s));
+    }
+    std::sort(snap.series.begin(), snap.series.end(),
+              [](const SeriesSnapshot &a, const SeriesSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const auto &shard : _shards) {
+        for (auto &slot : shard->blocks) {
+            Shard::Block *block =
+                slot.load(std::memory_order_acquire);
+            if (!block)
+                continue;
+            for (auto &cell : *block)
+                cell.store(0, std::memory_order_relaxed);
+        }
+    }
+    for (const auto &info : _series)
+        if (info->kind == SeriesKind::Gauge)
+            info->gauge_bits.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+MetricsRegistry::seriesCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _series.size();
+}
+
+std::vector<std::uint64_t>
+MetricsRegistry::timerBoundsNs()
+{
+    // 1us, 10us, 100us, 1ms, 10ms, 100ms, 1s, 10s.
+    return {1'000,         10'000,        100'000,
+            1'000'000,     10'000'000,    100'000'000,
+            1'000'000'000, 10'000'000'000};
+}
+
+// --- Handles -------------------------------------------------------
+
+void
+Counter::inc(std::uint64_t n)
+{
+    if (!_registry)
+        return;
+    _registry->localShard()->cell(_cell).fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+Gauge::set(double value)
+{
+    if (!_cell)
+        return;
+    _cell->store(std::bit_cast<std::uint64_t>(value),
+                 std::memory_order_relaxed);
+}
+
+void
+HistogramMetric::observe(std::uint64_t value)
+{
+    if (!_registry)
+        return;
+    MetricsRegistry::Shard *shard = _registry->localShard();
+    shard->cell(_first_cell).fetch_add(1, std::memory_order_relaxed);
+    shard->cell(_first_cell + 1)
+        .fetch_add(value, std::memory_order_relaxed);
+    std::size_t bucket =
+        std::lower_bound(_bounds->begin(), _bounds->end(), value) -
+        _bounds->begin();
+    shard
+        ->cell(_first_cell + 2 + static_cast<std::uint32_t>(bucket))
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Snapshot ------------------------------------------------------
+
+const SeriesSnapshot *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const SeriesSnapshot &s : series)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    const SeriesSnapshot *s = find(name);
+    return s && s->kind == SeriesKind::Counter ? s->counter : 0;
+}
+
+JsonValue
+MetricsSnapshot::toJson() const
+{
+    JsonValue out = JsonValue::array();
+    for (const SeriesSnapshot &s : series) {
+        JsonValue entry = JsonValue::object();
+        entry["name"] = s.name;
+        entry["kind"] = seriesKindName(s.kind);
+        switch (s.kind) {
+          case SeriesKind::Counter:
+            entry["value"] = s.counter;
+            break;
+          case SeriesKind::Gauge:
+            entry["value"] = s.gauge;
+            break;
+          case SeriesKind::Histogram: {
+            entry["count"] = s.histogram.count;
+            entry["sum"] = s.histogram.sum;
+            entry["mean"] = s.histogram.mean();
+            JsonValue buckets = JsonValue::array();
+            for (const auto &[bound, count] : s.histogram.buckets) {
+                JsonValue b = JsonValue::object();
+                if (bound == ~std::uint64_t(0))
+                    b["le"] = "inf";
+                else
+                    b["le"] = bound;
+                b["count"] = count;
+                buckets.push(std::move(b));
+            }
+            entry["buckets"] = std::move(buckets);
+            break;
+          }
+        }
+        out.push(std::move(entry));
+    }
+    return out;
+}
+
+} // namespace bwsa::obs

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Named-series metrics registry: counters, gauges and fixed-bucket
+ * histograms with scoped timers.
+ *
+ * Design goals, in order:
+ *   1. the hot path (a counter increment, a histogram observation)
+ *      must be lock-free and cheap enough to leave trace replay
+ *      within noise of uninstrumented -- no mutex, no map lookup;
+ *   2. snapshots may be taken from any thread at any time;
+ *   3. series are created once by name and the handle is reused.
+ *
+ * Following the RunningStat::merge pattern used throughout the stats
+ * layer, every thread accumulates into its own *shard* of relaxed
+ * atomic cells; a snapshot walks all shards and sums.  A handle
+ * (Counter/Gauge/HistogramMetric) resolves its series to a fixed cell
+ * index at registration, so the increment itself is one thread-local
+ * lookup plus one relaxed fetch_add.  Shards are owned by the
+ * registry and survive thread exit, so totals are never lost.
+ *
+ * Registration (counter()/gauge()/histogram()) takes a mutex and is
+ * expected at setup time, not per event.
+ */
+
+#ifndef BWSA_OBS_METRICS_HH
+#define BWSA_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace bwsa::obs
+{
+
+class MetricsRegistry;
+
+/** What a series measures. */
+enum class SeriesKind
+{
+    Counter,  ///< monotonically increasing sum
+    Gauge,    ///< last-written value
+    Histogram ///< fixed-bucket distribution with count and sum
+};
+
+/** Printable name of a series kind. */
+const char *seriesKindName(SeriesKind kind);
+
+/** Monotonic counter handle; cheap to copy, owned by its registry. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n to the thread-local shard; lock-free. */
+    void inc(std::uint64_t n = 1);
+
+  private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry *registry, std::uint32_t cell)
+        : _registry(registry), _cell(cell)
+    {}
+
+    MetricsRegistry *_registry = nullptr;
+    std::uint32_t _cell = 0;
+};
+
+/** Last-value gauge handle (doubles; set at phase granularity). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    /** Publish a new value (relaxed store; last write wins). */
+    void set(double value);
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<std::uint64_t> *cell) : _cell(cell) {}
+
+    std::atomic<std::uint64_t> *_cell = nullptr;
+};
+
+/** Fixed-bucket histogram handle. */
+class HistogramMetric
+{
+  public:
+    HistogramMetric() = default;
+
+    /** Record one observation of @p value; lock-free. */
+    void observe(std::uint64_t value);
+
+  private:
+    friend class MetricsRegistry;
+    HistogramMetric(MetricsRegistry *registry, std::uint32_t first_cell,
+                    const std::vector<std::uint64_t> *bounds)
+        : _registry(registry), _first_cell(first_cell), _bounds(bounds)
+    {}
+
+    MetricsRegistry *_registry = nullptr;
+    std::uint32_t _first_cell = 0;
+    /** Upper bucket bounds, owned by the registry (stable address). */
+    const std::vector<std::uint64_t> *_bounds = nullptr;
+};
+
+/** Merged histogram state in a snapshot. */
+struct HistogramData
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /** (inclusive upper bound, count); last entry is the overflow. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+    /** Mean observation; 0 when empty. */
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** One series, merged over all shards. */
+struct SeriesSnapshot
+{
+    std::string name;
+    SeriesKind kind = SeriesKind::Counter;
+    std::uint64_t counter = 0; ///< Counter kinds
+    double gauge = 0.0;        ///< Gauge kinds
+    HistogramData histogram;   ///< Histogram kinds
+};
+
+/** Point-in-time merged view of a registry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<SeriesSnapshot> series;
+
+    /** Series by name; nullptr when absent. */
+    const SeriesSnapshot *find(const std::string &name) const;
+
+    /** Counter value by name; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Serialize as a JSON array of series objects. */
+    JsonValue toJson() const;
+};
+
+/**
+ * Registry of named metric series with per-thread shards.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Process-wide registry used by the built-in instrumentation. */
+    static MetricsRegistry &global();
+
+    /** Get or create a counter series. */
+    Counter counter(const std::string &name);
+
+    /** Get or create a gauge series. */
+    Gauge gauge(const std::string &name);
+
+    /**
+     * Get or create a histogram with inclusive upper bucket
+     * @p bounds (ascending; an implicit overflow bucket is added).
+     * Re-registration must agree on the bounds.
+     */
+    HistogramMetric histogram(const std::string &name,
+                              std::vector<std::uint64_t> bounds);
+
+    /** Merge every shard into one consistent view. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero all cells of all shards and all gauges.  Intended for run
+     * boundaries and tests while writers are quiescent; concurrent
+     * increments may survive the sweep.
+     */
+    void reset();
+
+    /** Number of registered series. */
+    std::size_t seriesCount() const;
+
+    /** Default exponential timer bounds, in nanoseconds (1us..10s). */
+    static std::vector<std::uint64_t> timerBoundsNs();
+
+  private:
+    friend class Counter;
+    friend class HistogramMetric;
+
+    struct SeriesInfo
+    {
+        std::string name;
+        SeriesKind kind;
+        std::uint32_t first_cell = 0;
+        std::uint32_t cell_count = 0;
+        std::vector<std::uint64_t> bounds; ///< histograms only
+        std::atomic<std::uint64_t> gauge_bits{0}; ///< gauges only
+    };
+
+    /**
+     * Per-thread block of relaxed atomic cells, indexed by the flat
+     * cell ids handed out at registration.  Only the owning thread
+     * writes (registry sweeps excepted); any thread may read, so
+     * block pointers are published with release/acquire.
+     */
+    struct Shard
+    {
+        static constexpr std::size_t kBlockBits = 8;
+        static constexpr std::size_t kBlockSize = 1u << kBlockBits;
+        static constexpr std::size_t kMaxBlocks = 64;
+
+        using Block = std::array<std::atomic<std::uint64_t>, kBlockSize>;
+
+        std::array<std::atomic<Block *>, kMaxBlocks> blocks{};
+
+        ~Shard();
+
+        /** Owner-thread cell access, allocating the block lazily. */
+        std::atomic<std::uint64_t> &cell(std::uint32_t index);
+
+        /** Reader-side cell value; 0 when the block was never touched. */
+        std::uint64_t peek(std::uint32_t index) const;
+    };
+
+    Shard *localShard();
+    std::uint32_t registerSeries(const std::string &name,
+                                 SeriesKind kind, std::uint32_t cells,
+                                 std::vector<std::uint64_t> bounds,
+                                 SeriesInfo **info_out = nullptr);
+    std::uint64_t sumCell(std::uint32_t index) const;
+
+    mutable std::mutex _mutex;
+    std::vector<std::unique_ptr<SeriesInfo>> _series;
+    std::vector<std::unique_ptr<Shard>> _shards;
+    std::uint32_t _next_cell = 0;
+    std::uint64_t _generation = 0; ///< distinguishes registries in TLS
+};
+
+/**
+ * RAII wall-clock timer recording elapsed nanoseconds into a
+ * histogram series on destruction.
+ */
+class ScopedTimer
+{
+  public:
+    /** Times into @p registry's histogram @p name (default bounds). */
+    ScopedTimer(MetricsRegistry &registry, const std::string &name)
+        : _metric(registry.histogram(name,
+                                     MetricsRegistry::timerBoundsNs())),
+          _start(std::chrono::steady_clock::now())
+    {}
+
+    /** Times into an already-registered histogram. */
+    explicit ScopedTimer(HistogramMetric metric)
+        : _metric(metric), _start(std::chrono::steady_clock::now())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        auto elapsed = std::chrono::steady_clock::now() - _start;
+        _metric.observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+    }
+
+  private:
+    HistogramMetric _metric;
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_METRICS_HH

@@ -1,0 +1,195 @@
+#include "obs/phase_tracer.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+namespace
+{
+
+/** Small sequential id for the calling thread. */
+std::uint32_t
+localThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+/** Per-thread span nesting depth. */
+std::uint32_t &
+localDepth()
+{
+    thread_local std::uint32_t depth = 0;
+    return depth;
+}
+
+} // namespace
+
+PhaseTracer::PhaseTracer() : _epoch(std::chrono::steady_clock::now())
+{
+}
+
+PhaseTracer &
+PhaseTracer::global()
+{
+    static PhaseTracer *tracer = new PhaseTracer();
+    return *tracer;
+}
+
+void
+PhaseTracer::setEnabled(bool enabled)
+{
+    _enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+PhaseTracer::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _capacity = capacity;
+}
+
+void
+PhaseTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.clear();
+    _dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+PhaseTracer::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - _epoch)
+            .count());
+}
+
+void
+PhaseTracer::record(SpanEvent event)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_events.size() >= _capacity) {
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    _events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent>
+PhaseTracer::events() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events;
+}
+
+std::uint64_t
+PhaseTracer::dropped() const
+{
+    return _dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<PhaseStat>
+PhaseTracer::summarize() const
+{
+    std::map<std::string, PhaseStat> by_name;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (const SpanEvent &e : _events) {
+            PhaseStat &stat = by_name[e.name];
+            if (stat.count == 0) {
+                stat.name = e.name;
+                stat.min_ns = e.dur_ns;
+                stat.max_ns = e.dur_ns;
+            } else {
+                stat.min_ns = std::min(stat.min_ns, e.dur_ns);
+                stat.max_ns = std::max(stat.max_ns, e.dur_ns);
+            }
+            ++stat.count;
+            stat.total_ns += e.dur_ns;
+            stat.work += e.work;
+        }
+    }
+    std::vector<PhaseStat> out;
+    out.reserve(by_name.size());
+    for (auto &[name, stat] : by_name)
+        out.push_back(std::move(stat));
+    std::sort(out.begin(), out.end(),
+              [](const PhaseStat &a, const PhaseStat &b) {
+                  if (a.total_ns != b.total_ns)
+                      return a.total_ns > b.total_ns;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+PhaseTracer::writeChromeTrace(const std::string &path) const
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue trace_events = JsonValue::array();
+    for (const SpanEvent &e : events()) {
+        JsonValue entry = JsonValue::object();
+        entry["name"] = e.name;
+        entry["cat"] = "bwsa";
+        entry["ph"] = "X";
+        entry["ts"] = static_cast<double>(e.start_ns) / 1000.0;
+        entry["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
+        entry["pid"] = 1u;
+        entry["tid"] = e.tid;
+        if (e.work) {
+            JsonValue args = JsonValue::object();
+            args["work"] = e.work;
+            entry["args"] = std::move(args);
+        }
+        trace_events.push(std::move(entry));
+    }
+    doc["traceEvents"] = std::move(trace_events);
+    doc["displayTimeUnit"] = "ms";
+
+    std::ofstream out(path);
+    if (!out)
+        bwsa_fatal("cannot open trace output: ", path);
+    doc.dump(out, 0);
+    out << "\n";
+}
+
+// --- Span ----------------------------------------------------------
+
+PhaseTracer::Span::Span(const char *name) : _name(name)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    if (!tracer.enabled())
+        return;
+    _active = true;
+    _depth = localDepth()++;
+    _start_ns = tracer.nowNs();
+}
+
+PhaseTracer::Span::~Span()
+{
+    if (!_active)
+        return;
+    PhaseTracer &tracer = PhaseTracer::global();
+    --localDepth();
+    SpanEvent event;
+    event.name = _name;
+    event.start_ns = _start_ns;
+    std::uint64_t end_ns = tracer.nowNs();
+    event.dur_ns = end_ns > _start_ns ? end_ns - _start_ns : 0;
+    event.work = _work;
+    event.tid = localThreadId();
+    event.depth = _depth;
+    tracer.record(std::move(event));
+}
+
+} // namespace bwsa::obs

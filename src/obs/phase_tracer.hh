@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Phase tracing: RAII spans recording nested wall-clock intervals.
+ *
+ * A span marks one pipeline phase (`BWSA_SPAN("interleave.analyze")`);
+ * nesting is tracked per thread, and each completed span records its
+ * start, duration, depth and an optional *work* annotation (units
+ * processed -- branches, nodes, rows) so throughput per phase can be
+ * derived.  The tracer aggregates per-name statistics for the run
+ * report and can emit the raw events as a Chrome `trace_event` JSON
+ * file for flame-style inspection in chrome://tracing or Perfetto.
+ *
+ * Spans are phase-granularity, not per-record: recording takes a
+ * mutex.  When the tracer is disabled (the default) a span costs one
+ * relaxed atomic load and nothing is recorded, so library
+ * instrumentation can stay in place unconditionally.  The event
+ * buffer is capped; events beyond the cap are counted as dropped
+ * rather than silently discarded.
+ */
+
+#ifndef BWSA_OBS_PHASE_TRACER_HH
+#define BWSA_OBS_PHASE_TRACER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bwsa::obs
+{
+
+/** One completed span. */
+struct SpanEvent
+{
+    std::string name;
+    std::uint64_t start_ns = 0; ///< relative to tracer epoch
+    std::uint64_t dur_ns = 0;
+    std::uint64_t work = 0;  ///< units processed (0 = unannotated)
+    std::uint32_t tid = 0;   ///< small sequential thread id
+    std::uint32_t depth = 0; ///< nesting depth on its thread
+};
+
+/** Aggregated statistics of all spans sharing a name. */
+struct PhaseStat
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint64_t work = 0;
+
+    /** Mean span duration; 0 when empty. */
+    double
+    meanNs() const
+    {
+        return count ? static_cast<double>(total_ns) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/**
+ * Collector of phase spans.
+ */
+class PhaseTracer
+{
+  public:
+    PhaseTracer();
+
+    /** Process-wide tracer used by BWSA_SPAN. */
+    static PhaseTracer &global();
+
+    /** Turn recording on or off (spans check this at construction). */
+    void setEnabled(bool enabled);
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    /** Cap on buffered events (default 262144). */
+    void setCapacity(std::size_t capacity);
+
+    /** Discard all recorded events and the dropped count. */
+    void clear();
+
+    /** Copy of the recorded events, in completion order. */
+    std::vector<SpanEvent> events() const;
+
+    /** Events discarded because the buffer was full. */
+    std::uint64_t dropped() const;
+
+    /** Per-name aggregates, sorted by descending total time. */
+    std::vector<PhaseStat> summarize() const;
+
+    /**
+     * Write the events as Chrome trace_event JSON ("X" complete
+     * events, microsecond timestamps); fatal() on I/O errors.
+     */
+    void writeChromeTrace(const std::string &path) const;
+
+    /**
+     * RAII span.  Constructed against the global tracer; records one
+     * SpanEvent at destruction when the tracer was enabled at
+     * construction.
+     */
+    class Span
+    {
+      public:
+        /** @param name static phase name (not copied until record) */
+        explicit Span(const char *name);
+        ~Span();
+
+        Span(const Span &) = delete;
+        Span &operator=(const Span &) = delete;
+
+        /** Annotate units of work done inside this span. */
+        void
+        addWork(std::uint64_t units)
+        {
+            _work += units;
+        }
+
+      private:
+        const char *_name;
+        std::uint64_t _start_ns = 0;
+        std::uint64_t _work = 0;
+        std::uint32_t _depth = 0;
+        bool _active = false;
+    };
+
+  private:
+    friend class Span;
+
+    std::uint64_t nowNs() const;
+    void record(SpanEvent event);
+
+    std::chrono::steady_clock::time_point _epoch;
+    std::atomic<bool> _enabled{false};
+    std::atomic<std::uint64_t> _dropped{0};
+    mutable std::mutex _mutex;
+    std::vector<SpanEvent> _events;
+    std::size_t _capacity = 262144;
+};
+
+} // namespace bwsa::obs
+
+#define BWSA_OBS_CONCAT2(a, b) a##b
+#define BWSA_OBS_CONCAT(a, b) BWSA_OBS_CONCAT2(a, b)
+
+/** Open a phase span covering the rest of the enclosing scope. */
+#define BWSA_SPAN(name) \
+    ::bwsa::obs::PhaseTracer::Span BWSA_OBS_CONCAT(bwsa_span_, \
+                                                   __LINE__)(name)
+
+#endif // BWSA_OBS_PHASE_TRACER_HH

@@ -1,0 +1,101 @@
+#include "obs/progress.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+ProgressMeter &
+ProgressMeter::global()
+{
+    static ProgressMeter *meter = new ProgressMeter();
+    return *meter;
+}
+
+void
+ProgressMeter::start(double interval_seconds)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_running)
+        return;
+    _running = true;
+    _stopping = false;
+    interval_seconds = std::max(interval_seconds, 0.1);
+    _thread = std::thread([this, interval_seconds] {
+        loop(interval_seconds);
+    });
+}
+
+void
+ProgressMeter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_running)
+            return;
+        _stopping = true;
+    }
+    _cv.notify_all();
+    _thread.join();
+    std::lock_guard<std::mutex> lock(_mutex);
+    _running = false;
+}
+
+bool
+ProgressMeter::running() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _running;
+}
+
+void
+ProgressMeter::loop(double interval_seconds)
+{
+    auto interval = std::chrono::duration<double>(interval_seconds);
+    auto started = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_stopping) {
+        if (_cv.wait_for(lock, interval, [this] { return _stopping; }))
+            break;
+        lock.unlock();
+        // logLevel() is read from this helper thread; it is an
+        // atomic, so racing a main-thread setLogLevel() is benign.
+        if (logLevel() != LogLevel::Quiet) {
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            beat(elapsed);
+        }
+        lock.lock();
+    }
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - started);
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "progress: done after %.1fs\n",
+                     elapsed.count());
+}
+
+void
+ProgressMeter::beat(double elapsed) const
+{
+    MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    std::uint64_t rows = snap.counterValue("bench.rows");
+    std::uint64_t replayed = snap.counterValue("workload.branches");
+    std::uint64_t simulated = snap.counterValue("sim.branches");
+
+    std::fprintf(stderr,
+                 "progress: %.1fs elapsed, rows=%llu, "
+                 "branches replayed=%llu, simulated=%llu\n",
+                 elapsed,
+                 static_cast<unsigned long long>(rows),
+                 static_cast<unsigned long long>(replayed),
+                 static_cast<unsigned long long>(simulated));
+}
+
+} // namespace bwsa::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Progress heartbeat for long benchmark runs.
+ *
+ * Started with `--progress[=seconds]`, a helper thread periodically
+ * prints a one-line status to stderr -- elapsed wall time plus a few
+ * well-known counters from the global MetricsRegistry (rows finished,
+ * branches replayed/simulated) -- so a long `--scale` run is visibly
+ * alive without polluting the table output on stdout.
+ *
+ * The heartbeat runs on its own thread, which is why the global log
+ * level it consults is an atomic: the main thread may flip verbosity
+ * while a beat is being printed.
+ */
+
+#ifndef BWSA_OBS_PROGRESS_HH
+#define BWSA_OBS_PROGRESS_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace bwsa::obs
+{
+
+/**
+ * Periodic status printer; at most one heartbeat thread per meter.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter() = default;
+    ~ProgressMeter() { stop(); }
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    /** Process-wide meter used by the bench harnesses. */
+    static ProgressMeter &global();
+
+    /**
+     * Start beating every @p interval_seconds (clamped to >= 0.1).
+     * No-op when already running.
+     */
+    void start(double interval_seconds);
+
+    /** Stop and join the heartbeat thread; idempotent. */
+    void stop();
+
+    /** True while the heartbeat thread is live. */
+    bool running() const;
+
+  private:
+    void loop(double interval_seconds);
+    void beat(double elapsed_seconds) const;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::thread _thread;
+    bool _running = false;
+    bool _stopping = false;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_PROGRESS_HH

@@ -1,0 +1,163 @@
+#include "obs/run_report.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+RunReport &
+RunReport::global()
+{
+    static RunReport *report = new RunReport();
+    return *report;
+}
+
+void
+RunReport::begin(const std::string &bench_name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _bench_name = bench_name;
+    _active = true;
+    _started = std::chrono::system_clock::now();
+    _started_steady = std::chrono::steady_clock::now();
+    _config.clear();
+    _notes.clear();
+    _tables.clear();
+}
+
+bool
+RunReport::active() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _active;
+}
+
+void
+RunReport::setConfigValue(const std::string &key,
+                          const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto &[k, v] : _config) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    _config.emplace_back(key, value);
+}
+
+void
+RunReport::setConfigValues(
+    const std::map<std::string, std::string> &kv)
+{
+    for (const auto &[k, v] : kv)
+        setConfigValue(k, v);
+}
+
+void
+RunReport::addNote(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _notes.push_back(text);
+}
+
+void
+RunReport::addTable(const std::string &title,
+                    const std::vector<std::string> &columns,
+                    const std::vector<std::vector<std::string>> &rows)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _tables.push_back({title, columns, rows});
+}
+
+JsonValue
+RunReport::build(const MetricsSnapshot &metrics,
+                 const std::vector<PhaseStat> &phases,
+                 std::uint64_t dropped_spans) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = "bwsa.run_report.v1";
+    doc["bench"] = _bench_name;
+    doc["started_unix_ms"] = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            _started.time_since_epoch())
+            .count());
+    doc["wall_seconds"] =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - _started_steady)
+            .count();
+
+    JsonValue config = JsonValue::object();
+    for (const auto &[k, v] : _config)
+        config[k] = v;
+    doc["config"] = std::move(config);
+
+    JsonValue notes = JsonValue::array();
+    for (const std::string &note : _notes)
+        notes.push(note);
+    doc["notes"] = std::move(notes);
+
+    JsonValue phase_list = JsonValue::array();
+    for (const PhaseStat &stat : phases) {
+        JsonValue entry = JsonValue::object();
+        entry["name"] = stat.name;
+        entry["count"] = stat.count;
+        entry["total_ms"] =
+            static_cast<double>(stat.total_ns) / 1e6;
+        entry["mean_ms"] = stat.meanNs() / 1e6;
+        entry["min_ms"] = static_cast<double>(stat.min_ns) / 1e6;
+        entry["max_ms"] = static_cast<double>(stat.max_ns) / 1e6;
+        entry["work"] = stat.work;
+        phase_list.push(std::move(entry));
+    }
+    doc["phases"] = std::move(phase_list);
+    doc["dropped_spans"] = dropped_spans;
+
+    doc["metrics"] = metrics.toJson();
+
+    JsonValue tables = JsonValue::array();
+    for (const Table &table : _tables) {
+        JsonValue entry = JsonValue::object();
+        entry["title"] = table.title;
+        JsonValue columns = JsonValue::array();
+        for (const std::string &column : table.columns)
+            columns.push(column);
+        entry["columns"] = std::move(columns);
+        JsonValue rows = JsonValue::array();
+        for (const std::vector<std::string> &row : table.rows) {
+            JsonValue cells = JsonValue::array();
+            for (const std::string &cell : row)
+                cells.push(cell);
+            rows.push(std::move(cells));
+        }
+        entry["rows"] = std::move(rows);
+        tables.push(std::move(entry));
+    }
+    doc["tables"] = std::move(tables);
+    return doc;
+}
+
+JsonValue
+RunReport::build() const
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    return build(MetricsRegistry::global().snapshot(),
+                 tracer.summarize(), tracer.dropped());
+}
+
+void
+RunReport::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        bwsa_fatal("cannot open JSON report output: ", path);
+    build().dump(out, 2);
+    out << "\n";
+}
+
+} // namespace bwsa::obs

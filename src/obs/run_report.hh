@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport accumulates everything one benchmark (or example)
+ * execution wants to persist -- a config echo, notes, and the result
+ * tables it printed -- and serializes a single JSON document that
+ * also embeds the per-phase span summary from the PhaseTracer and a
+ * full MetricsRegistry snapshot.  The document follows a stable
+ * schema (`bwsa.run_report.v1`, see DESIGN.md §Observability) so
+ * reports from different runs and revisions can be diffed and
+ * tracked over time.
+ *
+ * Document layout:
+ *
+ *   {
+ *     "schema": "bwsa.run_report.v1",
+ *     "bench": "<binary name>",
+ *     "started_unix_ms": <system clock at begin()>,
+ *     "wall_seconds": <begin() .. build() wall time>,
+ *     "config": { "<flag>": "<value>", ... },
+ *     "notes": [ "<free text>", ... ],
+ *     "phases": [ { "name", "count", "total_ms", "mean_ms",
+ *                   "min_ms", "max_ms", "work" }, ... ],
+ *     "dropped_spans": <count>,
+ *     "metrics": [ <MetricsSnapshot::toJson() entries>, ... ],
+ *     "tables": [ { "title", "columns": [...],
+ *                   "rows": [[cell, ...], ...] }, ... ]
+ *   }
+ */
+
+#ifndef BWSA_OBS_RUN_REPORT_HH
+#define BWSA_OBS_RUN_REPORT_HH
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+
+namespace bwsa::obs
+{
+
+/**
+ * Accumulator for one run's report document.
+ */
+class RunReport
+{
+  public:
+    /** Process-wide report used by the bench harnesses. */
+    static RunReport &global();
+
+    /** Start a run: names it and clears previous content. */
+    void begin(const std::string &bench_name);
+
+    /** True once begin() has been called. */
+    bool active() const;
+
+    /** Echo one configuration key/value. */
+    void setConfigValue(const std::string &key,
+                        const std::string &value);
+
+    /** Echo a whole option map (e.g. CliOptions::values()). */
+    void setConfigValues(const std::map<std::string, std::string> &kv);
+
+    /** Attach a free-text note. */
+    void addNote(const std::string &text);
+
+    /** Record one emitted result table. */
+    void addTable(const std::string &title,
+                  const std::vector<std::string> &columns,
+                  const std::vector<std::vector<std::string>> &rows);
+
+    /**
+     * Build the document from the given snapshot and phase summary.
+     */
+    JsonValue build(const MetricsSnapshot &metrics,
+                    const std::vector<PhaseStat> &phases,
+                    std::uint64_t dropped_spans) const;
+
+    /** build() against the global registry and tracer. */
+    JsonValue build() const;
+
+    /** build() and write to @p path; fatal() on I/O errors. */
+    void write(const std::string &path) const;
+
+  private:
+    struct Table
+    {
+        std::string title;
+        std::vector<std::string> columns;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    mutable std::mutex _mutex;
+    std::string _bench_name;
+    bool _active = false;
+    std::chrono::system_clock::time_point _started{};
+    std::chrono::steady_clock::time_point _started_steady{};
+    std::vector<std::pair<std::string, std::string>> _config;
+    std::vector<std::string> _notes;
+    std::vector<Table> _tables;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_RUN_REPORT_HH

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -68,6 +70,7 @@ ConflictGraph::node(NodeId id) const
 ConflictGraph
 ConflictGraph::pruned(std::uint64_t threshold) const
 {
+    BWSA_SPAN("graph.prune");
     ConflictGraph out;
     out._nodes = _nodes;
     out._pc_to_node = _pc_to_node;
@@ -76,12 +79,20 @@ ConflictGraph::pruned(std::uint64_t threshold) const
     for (const auto &[key, count] : _edges)
         if (count >= threshold)
             out._edges.emplace(key, count);
+
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("graph.prunes").inc();
+    registry.counter("graph.edges_kept").inc(out._edges.size());
+    registry.counter("graph.edges_pruned")
+        .inc(_edges.size() - out._edges.size());
     return out;
 }
 
 void
 ConflictGraph::mergeFrom(const ConflictGraph &other)
 {
+    BWSA_SPAN("graph.merge");
+    obs::MetricsRegistry::global().counter("graph.merges").inc();
     // Node ids differ between graphs; translate through PCs.
     std::vector<NodeId> remap(other._nodes.size());
     for (NodeId id = 0; id < other._nodes.size(); ++id) {

@@ -1,5 +1,7 @@
 #include "profile/interleave.hh"
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -94,6 +96,7 @@ InterleaveTracker::onBranch(const BranchRecord &record)
 void
 InterleaveTracker::onEnd()
 {
+    BWSA_SPAN("profile.flush");
     for (NodeId a = 0; a < _pair_counts.size(); ++a) {
         FlatCounterMap &counts = _pair_counts[a];
         if (counts.empty())
@@ -103,6 +106,23 @@ InterleaveTracker::onEnd()
         });
         counts = FlatCounterMap(); // release the buffer
     }
+
+    // Whole-stream analysis totals; the per-branch loop above and
+    // onBranch() stay uninstrumented (profiling is a hot path).
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("profile.flushes").inc();
+    registry.counter("profile.pair_increments")
+        .inc(_pair_increments - _flushed_pair_increments);
+    registry.counter("profile.evicted_reentries")
+        .inc(_evicted_reentries - _flushed_evictions);
+    _flushed_pair_increments = _pair_increments;
+    _flushed_evictions = _evicted_reentries;
+    registry.gauge("profile.window_size")
+        .set(static_cast<double>(_window_size));
+    registry.gauge("graph.nodes")
+        .set(static_cast<double>(_graph.nodeCount()));
+    registry.gauge("graph.edges")
+        .set(static_cast<double>(_graph.edgeCount()));
 }
 
 ConflictGraph

@@ -111,6 +111,10 @@ class InterleaveTracker : public TraceSink
     std::size_t _window_size = 0;
     std::uint64_t _evicted_reentries = 0;
     std::uint64_t _pair_increments = 0;
+
+    /** Already flushed to the metrics registry (onEnd may repeat). */
+    std::uint64_t _flushed_pair_increments = 0;
+    std::uint64_t _flushed_evictions = 0;
 };
 
 /**

@@ -30,6 +30,18 @@ class TextTable
     /** Number of data rows. */
     std::size_t rowCount() const { return _rows.size(); }
 
+    /** Column titles, for structured (JSON) serialization. */
+    const std::vector<std::string> &headers() const
+    {
+        return _headers;
+    }
+
+    /** Raw row cells, for structured (JSON) serialization. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return _rows;
+    }
+
     /** Render as an aligned ASCII table. */
     std::string render() const;
 

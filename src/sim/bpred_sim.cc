@@ -1,5 +1,8 @@
 #include "sim/bpred_sim.hh"
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+
 namespace bwsa
 {
 
@@ -20,10 +23,26 @@ PredictionSim::onBranch(const BranchRecord &record)
     _predictor.update(record.pc, record.taken);
 }
 
+void
+PredictionSim::onEnd()
+{
+    // Whole-replay totals only; onBranch() is the simulator hot path
+    // and stays uninstrumented.
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("sim.branches")
+        .inc(_stats.mispredicts.total() - _flushed_branches);
+    registry.counter("sim.mispredicts")
+        .inc(_stats.mispredicts.events() - _flushed_mispredicts);
+    _flushed_branches = _stats.mispredicts.total();
+    _flushed_mispredicts = _stats.mispredicts.events();
+}
+
 PredictionStats
 simulatePredictor(const TraceSource &source, Predictor &predictor,
                   bool per_branch)
 {
+    BWSA_SPAN("sim.replay");
+    obs::MetricsRegistry::global().counter("sim.runs").inc();
     PredictionSim sim(predictor, per_branch);
     source.replay(sim);
     return sim.stats();
@@ -33,6 +52,9 @@ std::vector<PredictionStats>
 comparePredictors(const TraceSource &source,
                   const std::vector<Predictor *> &predictors)
 {
+    obs::PhaseTracer::Span span("sim.compare");
+    span.addWork(predictors.size());
+    obs::MetricsRegistry::global().counter("sim.runs").inc();
     std::vector<PredictionSim> sims;
     sims.reserve(predictors.size());
     FanoutSink fanout;

@@ -60,6 +60,13 @@ class PredictionSim : public TraceSink
 
     void onBranch(const BranchRecord &record) override;
 
+    /**
+     * Flush whole-replay totals into the metrics registry.  Safe to
+     * call repeatedly (multi-source replays): only the delta since the
+     * previous flush is added.
+     */
+    void onEnd() override;
+
     /** Statistics collected so far. */
     const PredictionStats &stats() const { return _stats; }
 
@@ -67,6 +74,10 @@ class PredictionSim : public TraceSink
     Predictor &_predictor;
     bool _per_branch;
     PredictionStats _stats;
+
+    /** Totals already flushed to the metrics registry. */
+    std::uint64_t _flushed_branches = 0;
+    std::uint64_t _flushed_mispredicts = 0;
 };
 
 /** Simulate one predictor over a full trace. */

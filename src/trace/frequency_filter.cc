@@ -1,5 +1,7 @@
 #include "trace/frequency_filter.hh"
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -9,6 +11,7 @@ FrequencySelection
 selectByFrequency(const TraceStatsCollector &stats,
                   double target_coverage, std::size_t max_static)
 {
+    BWSA_SPAN("trace.frequency_select");
     if (target_coverage <= 0.0 || target_coverage > 1.0)
         bwsa_fatal("selectByFrequency coverage must be in (0, 1], got ",
                    target_coverage);
@@ -27,6 +30,13 @@ selectByFrequency(const TraceStatsCollector &stats,
         sel.selected.insert(pc);
         sel.analyzed_dynamic += stats.counts(pc).executed;
     }
+
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("select.runs").inc();
+    registry.counter("select.static_kept").inc(sel.selected.size());
+    registry.counter("select.analyzed_dynamic")
+        .inc(sel.analyzed_dynamic);
+    registry.counter("select.total_dynamic").inc(sel.total_dynamic);
     return sel;
 }
 

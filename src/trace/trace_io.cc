@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -174,6 +176,11 @@ TraceFileReader::TraceFileReader(const std::string &path) : _path(path)
 void
 TraceFileReader::replay(TraceSink &sink) const
 {
+    obs::PhaseTracer::Span span("trace.file_replay");
+    span.addWork(_count);
+    obs::MetricsRegistry::global()
+        .counter("trace.file.records_read")
+        .inc(_count);
     std::ifstream in(_path, std::ios::binary);
     if (!in)
         bwsa_fatal("cannot reopen trace file: ", _path);
@@ -203,8 +210,12 @@ TraceFileReader::replay(TraceSink &sink) const
 std::uint64_t
 writeTraceFile(const std::string &path, const TraceSource &source)
 {
+    BWSA_SPAN("trace.file_write");
     TraceFileWriter writer(path);
     source.replay(writer);
+    obs::MetricsRegistry::global()
+        .counter("trace.file.records_written")
+        .inc(writer.recordCount());
     return writer.recordCount();
 }
 

@@ -95,6 +95,25 @@ CliOptions::getDouble(const std::string &name, double def) const
     return out;
 }
 
+std::vector<std::string>
+CliOptions::unknownFlags(int argc, char **argv)
+{
+    std::vector<std::string> unknown;
+    for (int i = 1; i < argc; ++i)
+        if (startsWith(argv[i], "--"))
+            unknown.push_back(argv[i]);
+    return unknown;
+}
+
+void
+applyLogLevelOptions(const CliOptions &options)
+{
+    if (options.getBool("quiet", false))
+        setLogLevel(LogLevel::Quiet);
+    else if (options.getBool("verbose", false))
+        setLogLevel(LogLevel::Verbose);
+}
+
 bool
 CliOptions::getBool(const std::string &name, bool def) const
 {

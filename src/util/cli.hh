@@ -59,9 +59,26 @@ class CliOptions
         return _values;
     }
 
+    /**
+     * `--` arguments still present in argv after parse() -- i.e. the
+     * flags this program did not recognize.  Programs that own their
+     * whole command line call this to reject typos (`--treshold=50`)
+     * instead of silently running with defaults; wrappers around
+     * frameworks with their own flags skip it.
+     */
+    static std::vector<std::string> unknownFlags(int argc,
+                                                 char **argv);
+
   private:
     std::map<std::string, std::string> _values;
 };
+
+/**
+ * Apply the standard verbosity flags of a parsed command line:
+ * `--quiet` selects LogLevel::Quiet, `--verbose` LogLevel::Verbose
+ * (quiet wins when both are given).  No-op when neither is present.
+ */
+void applyLogLevelOptions(const CliOptions &options);
 
 } // namespace bwsa
 

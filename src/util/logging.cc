@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,20 +10,23 @@ namespace bwsa
 namespace
 {
 
-LogLevel global_level = LogLevel::Normal;
+// Atomic because helper threads (the observability progress
+// heartbeat) consult the level while the main thread may change it;
+// relaxed is enough -- a late or early beat is harmless.
+std::atomic<LogLevel> global_level{LogLevel::Normal};
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    global_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return global_level.load(std::memory_order_relaxed);
 }
 
 namespace detail

@@ -27,7 +27,7 @@ enum class LogLevel
     Verbose  ///< everything, including debug traces
 };
 
-/** Set the global diagnostic verbosity. Thread-compatible, not safe. */
+/** Set the global diagnostic verbosity. Thread-safe (relaxed atomic). */
 void setLogLevel(LogLevel level);
 
 /** Current global diagnostic verbosity. */

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -151,6 +153,25 @@ SyntheticExecutor::run(TraceSink &sink)
     result.dynamic_branches = _branches;
     result.truncated = _stop;
     return result;
+}
+
+void
+WorkloadTraceSource::replay(TraceSink &sink) const
+{
+    obs::PhaseTracer::Span span("workload.replay");
+    SyntheticExecutor exec(_program, _config);
+    ExecutionResult result = exec.run(sink);
+    span.addWork(result.dynamic_branches);
+
+    // Flush whole-replay totals once per pass; the per-record loop
+    // above stays uninstrumented (the replay is the hot path).
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("workload.replays").inc();
+    registry.counter("workload.instructions").inc(result.instructions);
+    registry.counter("workload.branches")
+        .inc(result.dynamic_branches);
+    if (result.truncated)
+        registry.counter("workload.truncated_runs").inc();
 }
 
 } // namespace bwsa

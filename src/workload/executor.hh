@@ -102,12 +102,7 @@ class WorkloadTraceSource : public TraceSource
         : _program(program), _config(config)
     {}
 
-    void
-    replay(TraceSink &sink) const override
-    {
-        SyntheticExecutor exec(_program, _config);
-        exec.run(sink);
-    }
+    void replay(TraceSink &sink) const override;
 
     const ExecutorConfig &config() const { return _config; }
 

@@ -1,5 +1,7 @@
 #include "workload/presets.hh"
 
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -316,6 +318,8 @@ Workload
 makeWorkload(const std::string &name, const std::string &input_label,
              double scale)
 {
+    BWSA_SPAN("workload.build");
+    obs::MetricsRegistry::global().counter("workload.builds").inc();
     const PresetDef &def = findPreset(name);
     if (scale <= 0.0)
         bwsa_fatal("workload scale must be positive, got ", scale);

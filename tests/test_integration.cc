@@ -12,6 +12,7 @@
 
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
+#include "obs/phase_tracer.hh"
 #include "predict/factory.hh"
 #include "sim/bpred_sim.hh"
 #include "trace/trace_io.hh"
@@ -188,4 +189,38 @@ TEST(Integration, ProfileInputSensitivity)
     EXPECT_GE(merged.graph().nodeCount(),
               std::max(pa.graph().nodeCount(),
                        pb.graph().nodeCount()));
+}
+
+TEST(Integration, InstrumentationDoesNotPerturbResults)
+{
+    WorkloadTraceSource source = testWorkload().source();
+
+    // The full analysis path, returning everything numeric it decides.
+    auto run = [&] {
+        PipelineConfig config;
+        AllocationPipeline pipeline(config);
+        pipeline.addProfile(source);
+        RequiredSizeResult req = pipeline.requiredSize(1024);
+        PredictorPtr p = makePredictor(pipeline.predictorSpec(128));
+        PredictionStats stats = simulatePredictor(source, *p);
+        return std::make_tuple(
+            pipeline.graph().nodeCount(), pipeline.graph().edgeCount(),
+            req.required_entries, req.baseline_conflict,
+            stats.mispredicts.events(), stats.mispredicts.total());
+    };
+
+    obs::PhaseTracer &tracer = obs::PhaseTracer::global();
+    tracer.setEnabled(false);
+    auto plain = run();
+
+    tracer.clear();
+    tracer.setEnabled(true);
+    auto traced = run();
+    tracer.setEnabled(false);
+
+    // Tracing was live and recorded spans...
+    EXPECT_FALSE(tracer.events().empty());
+    // ...and every analysis decision is bit-identical regardless.
+    EXPECT_EQ(plain, traced);
+    tracer.clear();
 }

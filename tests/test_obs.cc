@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests of the observability layer: JSON building, the metrics
+ * registry (counter/gauge/histogram semantics, cross-thread shard
+ * merging, scoped timers), phase-tracer span nesting and capacity,
+ * and the run-report document round-trip.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+#include "obs/run_report.hh"
+
+using namespace bwsa::obs;
+
+namespace
+{
+
+/** Slurp a whole file. */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Unique temp path per test. */
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + "bwsa_obs_" + stem;
+}
+
+} // namespace
+
+// --- JSON ----------------------------------------------------------
+
+TEST(Json, GoldenCompactDump)
+{
+    JsonValue doc = JsonValue::object();
+    doc["name"] = "bwsa";
+    doc["count"] = std::uint64_t(42);
+    doc["delta"] = std::int64_t(-7);
+    doc["ratio"] = 0.5;
+    doc["whole"] = 2.0;
+    doc["flag"] = true;
+    doc["missing"] = JsonValue();
+    JsonValue list = JsonValue::array();
+    list.push(1);
+    list.push("two");
+    doc["list"] = std::move(list);
+
+    EXPECT_EQ(doc.dumpString(0),
+              "{\"name\":\"bwsa\",\"count\":42,\"delta\":-7,"
+              "\"ratio\":0.5,\"whole\":2.0,\"flag\":true,"
+              "\"missing\":null,\"list\":[1,\"two\"]}");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonValue::escape("a\"b\\c\n\t"),
+              "\"a\\\"b\\\\c\\n\\t\"");
+    // Control characters take the \u00xx form.
+    EXPECT_EQ(JsonValue::escape(std::string(1, '\x01')), "\"\\u0001\"");
+    // Non-ASCII bytes pass through (UTF-8 stays UTF-8).
+    EXPECT_EQ(JsonValue::escape("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    JsonValue doc = JsonValue::object();
+    doc["zulu"] = 1;
+    doc["alpha"] = 2;
+    doc["zulu"] = 3; // overwrite keeps the original position
+
+    ASSERT_EQ(doc.members().size(), 2u);
+    EXPECT_EQ(doc.members()[0].first, "zulu");
+    EXPECT_EQ(doc.members()[1].first, "alpha");
+    EXPECT_EQ(doc.find("zulu")->asInt(), 3);
+    EXPECT_EQ(doc.find("nope"), nullptr);
+}
+
+// --- Metrics registry ----------------------------------------------
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsRegistry registry;
+    Counter hits = registry.counter("hits");
+    hits.inc();
+    hits.inc(41);
+
+    // The same name resolves to the same series.
+    registry.counter("hits").inc();
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counterValue("hits"), 43u);
+    EXPECT_EQ(snap.counterValue("absent"), 0u);
+    EXPECT_EQ(registry.seriesCount(), 1u);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry registry;
+    Gauge g = registry.gauge("window");
+    g.set(12.5);
+    g.set(99.25);
+
+    MetricsSnapshot snap = registry.snapshot();
+    const SeriesSnapshot *s = snap.find("window");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, SeriesKind::Gauge);
+    EXPECT_DOUBLE_EQ(s->gauge, 99.25);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds)
+{
+    MetricsRegistry registry;
+    HistogramMetric h = registry.histogram("sizes", {10, 100});
+    h.observe(5);
+    h.observe(10);  // inclusive: lands in the 10 bucket
+    h.observe(50);
+    h.observe(500); // overflow
+
+    MetricsSnapshot snap = registry.snapshot();
+    const SeriesSnapshot *s = snap.find("sizes");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->histogram.count, 4u);
+    EXPECT_EQ(s->histogram.sum, 565u);
+    ASSERT_EQ(s->histogram.buckets.size(), 3u); // 2 bounds + overflow
+    EXPECT_EQ(s->histogram.buckets[0].second, 2u);
+    EXPECT_EQ(s->histogram.buckets[1].second, 1u);
+    EXPECT_EQ(s->histogram.buckets[2].second, 1u);
+    EXPECT_DOUBLE_EQ(s->histogram.mean(), 565.0 / 4.0);
+}
+
+TEST(Metrics, ShardsMergeAcrossThreads)
+{
+    MetricsRegistry registry;
+    Counter total = registry.counter("total");
+
+    constexpr int threads = 8;
+    constexpr std::uint64_t per_thread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < per_thread; ++i)
+                total.inc();
+        });
+    for (std::thread &t : pool)
+        t.join();
+
+    // Shards survive thread exit; the snapshot merge sees every shard.
+    EXPECT_EQ(registry.snapshot().counterValue("total"),
+              threads * per_thread);
+}
+
+TEST(Metrics, ResetZeroes)
+{
+    MetricsRegistry registry;
+    registry.counter("c").inc(7);
+    registry.gauge("g").set(3.0);
+    registry.histogram("h", {10}).observe(4);
+    registry.reset();
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counterValue("c"), 0u);
+    EXPECT_DOUBLE_EQ(snap.find("g")->gauge, 0.0);
+    EXPECT_EQ(snap.find("h")->histogram.count, 0u);
+    EXPECT_EQ(registry.seriesCount(), 3u); // series themselves remain
+}
+
+TEST(Metrics, ScopedTimerObservesElapsedNanoseconds)
+{
+    MetricsRegistry registry;
+    {
+        ScopedTimer timer(registry, "phase_ns");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    MetricsSnapshot snap = registry.snapshot();
+    const SeriesSnapshot *s = snap.find("phase_ns");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->histogram.count, 1u);
+    EXPECT_GE(s->histogram.sum, 2'000'000u); // slept >= 2ms
+
+    // The observation must land in exactly one bucket.
+    std::uint64_t bucketed = 0;
+    for (const auto &[bound, count] : s->histogram.buckets)
+        bucketed += count;
+    EXPECT_EQ(bucketed, 1u);
+}
+
+// --- Phase tracer --------------------------------------------------
+
+TEST(PhaseTracer, DisabledSpansRecordNothing)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    tracer.setEnabled(false);
+    tracer.clear();
+    {
+        BWSA_SPAN("never");
+    }
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(PhaseTracer, NestedSpansRecordDepthAndOrder)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    tracer.setEnabled(true);
+    tracer.clear();
+    {
+        PhaseTracer::Span outer("outer");
+        outer.addWork(10);
+        {
+            PhaseTracer::Span inner("inner");
+            inner.addWork(3);
+        }
+        {
+            PhaseTracer::Span inner("inner");
+            inner.addWork(4);
+        }
+    }
+    tracer.setEnabled(false);
+
+    std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 3u); // inner, inner, outer (completion order)
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_EQ(events[2].name, "outer");
+    EXPECT_EQ(events[2].depth, 0u);
+    EXPECT_GE(events[2].dur_ns,
+              events[0].dur_ns); // outer contains inner
+
+    std::vector<PhaseStat> stats = tracer.summarize();
+    ASSERT_EQ(stats.size(), 2u);
+    // Sorted by descending total time: outer first.
+    EXPECT_EQ(stats[0].name, "outer");
+    EXPECT_EQ(stats[0].count, 1u);
+    EXPECT_EQ(stats[0].work, 10u);
+    EXPECT_EQ(stats[1].name, "inner");
+    EXPECT_EQ(stats[1].count, 2u);
+    EXPECT_EQ(stats[1].work, 7u);
+    EXPECT_GE(stats[1].max_ns, stats[1].min_ns);
+}
+
+TEST(PhaseTracer, CapacityCapCountsDrops)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    tracer.setEnabled(true);
+    tracer.clear();
+    tracer.setCapacity(2);
+    for (int i = 0; i < 5; ++i) {
+        BWSA_SPAN("tick");
+    }
+    tracer.setEnabled(false);
+
+    EXPECT_EQ(tracer.events().size(), 2u);
+    EXPECT_EQ(tracer.dropped(), 3u);
+
+    tracer.setCapacity(262144);
+    tracer.clear();
+}
+
+TEST(PhaseTracer, ChromeTraceIsWellFormed)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    tracer.setEnabled(true);
+    tracer.clear();
+    {
+        BWSA_SPAN("chrome.phase");
+    }
+    tracer.setEnabled(false);
+
+    std::string path = tempPath("chrome.json");
+    tracer.writeChromeTrace(path);
+    std::string text = readFile(path);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"chrome.phase\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    tracer.clear();
+    std::remove(path.c_str());
+}
+
+// --- Run report ----------------------------------------------------
+
+TEST(RunReport, DocumentStructureAndFileRoundTrip)
+{
+    RunReport report;
+    report.begin("test_bench");
+    report.setConfigValue("scale", "0.5");
+    report.setConfigValue("scale", "0.25"); // overwrite, keep position
+    report.setConfigValue("threshold", "100");
+    report.addNote("hello");
+    report.addTable("t", {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+
+    MetricsRegistry registry;
+    registry.counter("rows").inc(2);
+    std::vector<PhaseStat> phases(1);
+    phases[0].name = "phase.one";
+    phases[0].count = 3;
+    phases[0].total_ns = 3'000'000;
+    phases[0].min_ns = 500'000;
+    phases[0].max_ns = 1'500'000;
+    phases[0].work = 42;
+
+    JsonValue doc = report.build(registry.snapshot(), phases, 1);
+    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "test_bench");
+    EXPECT_GT(doc.find("started_unix_ms")->asUint(), 0u);
+    EXPECT_GE(doc.find("wall_seconds")->asDouble(), 0.0);
+    EXPECT_EQ(doc.find("dropped_spans")->asUint(), 1u);
+
+    const JsonValue *config = doc.find("config");
+    ASSERT_NE(config, nullptr);
+    ASSERT_EQ(config->members().size(), 2u);
+    EXPECT_EQ(config->members()[0].first, "scale");
+    EXPECT_EQ(config->members()[0].second.asString(), "0.25");
+
+    const JsonValue *phase_list = doc.find("phases");
+    ASSERT_EQ(phase_list->size(), 1u);
+    EXPECT_EQ(phase_list->at(0).find("name")->asString(), "phase.one");
+    EXPECT_DOUBLE_EQ(phase_list->at(0).find("total_ms")->asDouble(),
+                     3.0);
+    EXPECT_EQ(phase_list->at(0).find("work")->asUint(), 42u);
+
+    const JsonValue *tables = doc.find("tables");
+    ASSERT_EQ(tables->size(), 1u);
+    EXPECT_EQ(tables->at(0).find("title")->asString(), "t");
+    EXPECT_EQ(tables->at(0).find("rows")->at(1).at(0).asString(),
+              "3");
+
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_EQ(metrics->size(), 1u);
+    EXPECT_EQ(metrics->at(0).find("name")->asString(), "rows");
+    EXPECT_EQ(metrics->at(0).find("value")->asUint(), 2u);
+
+    // Serialization is stable through the filesystem.
+    std::string golden = doc.dumpString(2);
+    std::string path = tempPath("report.json");
+    {
+        std::ofstream out(path);
+        out << golden << "\n";
+    }
+    EXPECT_EQ(readFile(path), golden + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(RunReport, InactiveUntilBegin)
+{
+    RunReport report;
+    EXPECT_FALSE(report.active());
+    report.begin("x");
+    EXPECT_TRUE(report.active());
+}

@@ -15,6 +15,7 @@
 #include "util/bitfield.hh"
 #include "util/cli.hh"
 #include "util/flat_counter.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/sat_counter.hh"
 #include "util/stats.hh"
@@ -571,4 +572,39 @@ TEST(Cli, BooleanSpellings)
     EXPECT_FALSE(opts.getBool("b", true));
     EXPECT_TRUE(opts.getBool("c", false));
     EXPECT_FALSE(opts.getBool("d", true));
+}
+
+TEST(Cli, UnknownFlagsAreLeftInArgv)
+{
+    const char *raw[] = {"prog", "--scale=2", "--bogus=1", "input.txt",
+                         "--also-bad"};
+    int argc = 5;
+    std::vector<char *> argv_vec;
+    for (const char *a : raw)
+        argv_vec.push_back(const_cast<char *>(a));
+    CliOptions opts =
+        CliOptions::parse(argc, argv_vec.data(), {"scale"});
+    EXPECT_DOUBLE_EQ(opts.getDouble("scale", 1.0), 2.0);
+
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv_vec.data());
+    ASSERT_EQ(unknown.size(), 2u);
+    EXPECT_EQ(unknown[0], "--bogus=1");
+    EXPECT_EQ(unknown[1], "--also-bad");
+}
+
+TEST(Cli, ApplyLogLevelOptionsQuietWins)
+{
+    const char *raw[] = {"prog", "--quiet", "--verbose"};
+    int argc = 3;
+    std::vector<char *> argv_vec;
+    for (const char *a : raw)
+        argv_vec.push_back(const_cast<char *>(a));
+    CliOptions opts = CliOptions::parse(argc, argv_vec.data(),
+                                        {"quiet", "verbose"});
+
+    LogLevel before = logLevel();
+    applyLogLevelOptions(opts);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
 }

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a BWSA run report against the bwsa.run_report.v1 schema.
+
+Usage: check_report_schema.py <report.json> [<report.json> ...]
+
+Checks the structural invariants the bench harnesses promise (see
+DESIGN.md, "Observability"): schema id, bench name, config echo,
+at least 5 distinct phase timings, at least 10 metric series, at
+least one result table, and sane numeric fields.  Exits non-zero
+with a message on the first violation, so CI can gate on it.
+
+Only the standard library is used.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(path, condition, message):
+    if not condition:
+        fail(path, message)
+
+
+def check_phase(path, phase):
+    expect(path, isinstance(phase, dict), "phase entry is not an object")
+    for key in ("name", "count", "total_ms", "mean_ms", "min_ms",
+                "max_ms", "work"):
+        expect(path, key in phase, f"phase entry missing '{key}'")
+    expect(path, isinstance(phase["name"], str) and phase["name"],
+           "phase name must be a non-empty string")
+    expect(path, phase["count"] >= 1,
+           f"phase {phase['name']}: count must be >= 1")
+    expect(path, phase["total_ms"] >= 0,
+           f"phase {phase['name']}: negative total_ms")
+    expect(path, phase["max_ms"] >= phase["min_ms"],
+           f"phase {phase['name']}: max_ms < min_ms")
+
+
+def check_metric(path, metric):
+    expect(path, isinstance(metric, dict), "metric entry is not an object")
+    for key in ("name", "kind"):
+        expect(path, key in metric, f"metric entry missing '{key}'")
+    kind = metric["kind"]
+    expect(path, kind in ("counter", "gauge", "histogram"),
+           f"metric {metric['name']}: unknown kind '{kind}'")
+    if kind == "counter":
+        expect(path, "value" in metric and metric["value"] >= 0,
+               f"counter {metric['name']}: missing/negative value")
+    elif kind == "gauge":
+        expect(path, "value" in metric,
+               f"gauge {metric['name']}: missing value")
+    else:
+        for key in ("count", "sum", "buckets"):
+            expect(path, key in metric,
+                   f"histogram {metric['name']}: missing '{key}'")
+
+
+def check_table(path, table):
+    expect(path, isinstance(table, dict), "table entry is not an object")
+    for key in ("title", "columns", "rows"):
+        expect(path, key in table, f"table entry missing '{key}'")
+    width = len(table["columns"])
+    expect(path, width >= 1, f"table {table['title']}: no columns")
+    for row in table["rows"]:
+        expect(path, len(row) == width,
+               f"table {table['title']}: row width {len(row)} != "
+               f"column count {width}")
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    expect(path, doc.get("schema") == "bwsa.run_report.v1",
+           f"bad schema id: {doc.get('schema')!r}")
+    expect(path, isinstance(doc.get("bench"), str) and doc["bench"],
+           "missing bench name")
+    expect(path, doc.get("started_unix_ms", 0) > 0,
+           "missing started_unix_ms")
+    expect(path, doc.get("wall_seconds", -1) >= 0,
+           "missing/negative wall_seconds")
+
+    config = doc.get("config")
+    expect(path, isinstance(config, dict) and len(config) >= 1,
+           "config echo must have at least one key")
+
+    phases = doc.get("phases")
+    expect(path, isinstance(phases, list), "missing phases list")
+    for phase in phases:
+        check_phase(path, phase)
+    names = {phase["name"] for phase in phases}
+    expect(path, len(names) >= 5,
+           f"expected >= 5 distinct phases, got {len(names)}: "
+           f"{sorted(names)}")
+
+    expect(path, doc.get("dropped_spans", -1) >= 0,
+           "missing dropped_spans")
+
+    metrics = doc.get("metrics")
+    expect(path, isinstance(metrics, list), "missing metrics list")
+    for metric in metrics:
+        check_metric(path, metric)
+    series = {metric["name"] for metric in metrics}
+    expect(path, len(series) >= 10,
+           f"expected >= 10 metric series, got {len(series)}: "
+           f"{sorted(series)}")
+
+    tables = doc.get("tables")
+    expect(path, isinstance(tables, list) and len(tables) >= 1,
+           "expected at least one result table")
+    for table in tables:
+        check_table(path, table)
+
+    print(f"{path}: OK ({len(names)} phases, {len(series)} series, "
+          f"{len(tables)} tables)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
