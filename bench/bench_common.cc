@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/pipeline.hh"
+#include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/run_report.hh"
 #include "sim/bpred_sim.hh"
@@ -31,36 +32,43 @@ parseBenchOptions(int &argc, char **argv,
 {
     CliOptions cli = CliOptions::parse(
         argc, argv,
-        {"scale", "benchmarks", "csv", "threshold", "json", "trace",
-         "progress", "quiet", "verbose"});
+        {"scale", "benchmarks", "threads", "csv", "threshold", "json",
+         "trace", "progress", "quiet", "verbose"});
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
     if (reject_unknown && !unknown.empty())
         bwsa_fatal("unknown option '", unknown[0],
-                   "' (supported: --scale --benchmarks --csv "
-                   "--threshold --json --trace --progress --quiet "
-                   "--verbose)");
+                   "' (supported: --scale --benchmarks --threads "
+                   "--csv --threshold --json --trace --progress "
+                   "--quiet --verbose)");
 
     applyLogLevelOptions(cli);
 
     BenchOptions options;
     options.scale = cli.getDouble("scale", 1.0);
     options.threshold = cli.getUint("threshold", 100);
-    options.csv_path = cli.getString("csv", "");
-    options.json_path = cli.getString("json", "");
-    options.trace_path = cli.getString("trace", "");
+    options.threads = static_cast<unsigned>(
+        cli.getUint("threads", exec::ThreadPool::hardwareThreads()));
+    if (options.threads == 0)
+        bwsa_fatal("--threads must be >= 1");
+    options.csv_path = cli.getRequiredString("csv", "");
+    options.json_path = cli.getRequiredString("json", "");
+    options.trace_path = cli.getRequiredString("trace", "");
     if (cli.has("progress")) {
-        // Bare --progress means the default 10 second interval.
-        options.progress_sec = cli.getString("progress", "") == "true"
-                                   ? 10.0
-                                   : cli.getDouble("progress", 10.0);
+        // Bare --progress (or --progress=true) means the default
+        // 10 second interval.
+        bool default_interval =
+            cli.isBare("progress") ||
+            cli.getString("progress", "") == "true";
+        options.progress_sec =
+            default_interval ? 10.0 : cli.getDouble("progress", 10.0);
         if (options.progress_sec <= 0.0)
             bwsa_fatal("--progress interval must be positive");
     }
     if (cli.has("benchmarks")) {
         for (const std::string &name :
-             split(cli.getString("benchmarks", ""), ','))
+             split(cli.getRequiredString("benchmarks", ""), ','))
             if (!trim(name).empty())
                 options.benchmarks.push_back(trim(name));
     }
@@ -75,6 +83,8 @@ parseBenchOptions(int &argc, char **argv,
     report.setConfigValue("threshold",
                           cli.getString("threshold", "100"));
     report.setConfigValues(cli.values());
+    report.setConfigValue("threads",
+                          std::to_string(options.threads));
 
     bool want_spans = !options.json_path.empty() ||
                       !options.trace_path.empty() ||
@@ -105,9 +115,12 @@ finishBench(const BenchOptions &options)
     return 0;
 }
 
-RowScope::RowScope(std::uint64_t work_units) : span("bench.row")
+RowScope::RowScope(std::uint64_t work_units, unsigned worker)
+    : span("bench.row")
 {
     span.addWork(work_units);
+    if (worker != kNoWorker)
+        span.setWorker(worker);
     obs::MetricsRegistry::global().counter("bench.rows").inc();
 }
 
@@ -183,63 +196,107 @@ emitTable(const std::string &title, const TextTable &table,
 }
 
 void
-runAllocationFigure(const BenchOptions &options, bool classification,
-                    const std::string &title)
+runBenchSweep(const BenchOptions &options,
+              const std::string &sweep_name,
+              const std::vector<std::string> &labels,
+              const std::function<void(const exec::SweepCell &)> &cell)
+{
+    exec::SweepRunner runner(options.threads);
+    std::vector<exec::CellTiming> timings =
+        runner.run(labels.size(), cell);
+
+    // Per-cell wall times + worker assignment into the run report, in
+    // input order (result tables stay deterministic; this one records
+    // the actual parallel schedule).
+    auto &report = obs::RunReport::global();
+    if (!report.active())
+        return;
+    TextTable schedule({"cell", "worker", "ms"});
+    for (const exec::CellTiming &t : timings)
+        schedule.addRow({labels[t.index], std::to_string(t.worker),
+                         fixedString(t.millis, 3)});
+    report.addTable("sweep cells: " + sweep_name, schedule.headers(),
+                    schedule.rows());
+}
+
+TextTable
+buildAllocationTable(const BenchOptions &options, bool classification)
 {
     TextTable table({"benchmark", "PAg-1024 %", "alloc-16 %",
                      "alloc-128 %", "alloc-1024 %", "ideal %",
                      "1024 gain %"});
 
-    std::vector<RunningStat> columns(6);
+    std::vector<BenchmarkRun> runs = defaultRuns(options);
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
 
-    for (const BenchmarkRun &run : defaultRuns(options)) {
-        RowScope row_scope;
-        Workload w =
-            makeWorkload(run.preset, run.input_label, options.scale);
-        WorkloadTraceSource source = w.source();
+    // One sweep cell per benchmark; each builds its whole world
+    // (program, trace source, profile, predictors) locally and writes
+    // only its own row_values slot, so the merge below is independent
+    // of completion order.
+    std::vector<std::vector<double>> row_values(runs.size());
+    runBenchSweep(
+        options, classification ? "fig4" : "fig3", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            Workload w = makeWorkload(run.preset, run.input_label,
+                                      options.scale);
+            WorkloadTraceSource source = w.source();
 
-        PipelineConfig config;
-        config.allocation.edge_threshold = options.threshold;
-        config.allocation.use_classification = classification;
-        AllocationPipeline pipeline(config);
-        pipeline.addProfile(source);
+            PipelineConfig config;
+            config.allocation.edge_threshold = options.threshold;
+            config.allocation.use_classification = classification;
+            AllocationPipeline pipeline(config);
+            pipeline.addProfile(source);
 
-        PredictorPtr base = makePredictor(paperBaselineSpec());
-        PredictorPtr a16 = makePredictor(pipeline.predictorSpec(16));
-        PredictorPtr a128 = makePredictor(pipeline.predictorSpec(128));
-        PredictorPtr a1024 =
-            makePredictor(pipeline.predictorSpec(1024));
-        PredictorPtr ideal = makePredictor(interferenceFreeSpec());
+            PredictorPtr base = makePredictor(paperBaselineSpec());
+            PredictorPtr a16 =
+                makePredictor(pipeline.predictorSpec(16));
+            PredictorPtr a128 =
+                makePredictor(pipeline.predictorSpec(128));
+            PredictorPtr a1024 =
+                makePredictor(pipeline.predictorSpec(1024));
+            PredictorPtr ideal =
+                makePredictor(interferenceFreeSpec());
 
-        std::vector<Predictor *> contenders{base.get(), a16.get(),
-                                            a128.get(), a1024.get(),
-                                            ideal.get()};
-        std::vector<PredictionStats> results =
-            comparePredictors(source, contenders);
+            std::vector<Predictor *> contenders{base.get(), a16.get(),
+                                                a128.get(),
+                                                a1024.get(),
+                                                ideal.get()};
+            std::vector<PredictionStats> results =
+                comparePredictors(source, contenders);
 
-        double base_rate = results[0].mispredictPercent();
-        double alloc1024_rate = results[3].mispredictPercent();
-        double gain =
-            base_rate > 0.0
-                ? 100.0 * (base_rate - alloc1024_rate) / base_rate
-                : 0.0;
+            double base_rate = results[0].mispredictPercent();
+            double alloc1024_rate = results[3].mispredictPercent();
+            double gain =
+                base_rate > 0.0
+                    ? 100.0 * (base_rate - alloc1024_rate) / base_rate
+                    : 0.0;
 
-        std::vector<double> row_values{
-            base_rate, results[1].mispredictPercent(),
-            results[2].mispredictPercent(), alloc1024_rate,
-            results[4].mispredictPercent(), gain};
-        for (std::size_t i = 0; i < row_values.size(); ++i)
-            columns[i].add(row_values[i]);
-
-        table.addRow({run.display, fixedString(row_values[0], 3),
-                      fixedString(row_values[1], 3),
-                      fixedString(row_values[2], 3),
-                      fixedString(row_values[3], 3),
-                      fixedString(row_values[4], 3),
-                      fixedString(row_values[5], 1)});
-        std::cout << "." << std::flush; // progress
-    }
+            row_values[cell.index] = {
+                base_rate, results[1].mispredictPercent(),
+                results[2].mispredictPercent(), alloc1024_rate,
+                results[4].mispredictPercent(), gain};
+            std::cout << "." << std::flush; // progress
+        });
     std::cout << "\n";
+
+    // Deterministic merge: rows and column averages accumulate in
+    // input order whatever the parallel completion order was.
+    std::vector<RunningStat> columns(6);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const std::vector<double> &values = row_values[r];
+        for (std::size_t i = 0; i < values.size(); ++i)
+            columns[i].add(values[i]);
+        table.addRow({runs[r].display, fixedString(values[0], 3),
+                      fixedString(values[1], 3),
+                      fixedString(values[2], 3),
+                      fixedString(values[3], 3),
+                      fixedString(values[4], 3),
+                      fixedString(values[5], 1)});
+    }
 
     table.addRow({"average", fixedString(columns[0].mean(), 3),
                   fixedString(columns[1].mean(), 3),
@@ -247,7 +304,14 @@ runAllocationFigure(const BenchOptions &options, bool classification,
                   fixedString(columns[3].mean(), 3),
                   fixedString(columns[4].mean(), 3),
                   fixedString(columns[5].mean(), 1)});
+    return table;
+}
 
+void
+runAllocationFigure(const BenchOptions &options, bool classification,
+                    const std::string &title)
+{
+    TextTable table = buildAllocationTable(options, classification);
     emitTable(title, table, options);
 }
 

@@ -6,6 +6,8 @@
  *   --scale=<x>       multiply run lengths (default 1.0; the paper's
  *                     scale would be ~30-50x)
  *   --benchmarks=a,b  restrict to a comma-separated preset subset
+ *   --threads=<n>     sweep worker threads (default: all hardware
+ *                     threads; 1 = serial, bit-identical tables)
  *   --csv=<path>      also write the table as CSV
  *   --threshold=<n>   conflict-edge threshold (default 100)
  *   --json=<path>     write a machine-readable run report (schema
@@ -25,9 +27,11 @@
 #ifndef BWSA_BENCH_COMMON_HH
 #define BWSA_BENCH_COMMON_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "exec/sweep.hh"
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
 #include "report/table.hh"
@@ -42,6 +46,7 @@ struct BenchOptions
 {
     double scale = 1.0;
     std::uint64_t threshold = 100;
+    unsigned threads = 1;      ///< --threads: sweep worker count
     std::vector<std::string> benchmarks;
     std::string csv_path;
     std::string json_path;     ///< --json: run report destination
@@ -74,11 +79,17 @@ int finishBench(const BenchOptions &options);
 /**
  * RAII scope for one benchmark row: opens a "bench.row" span and
  * bumps the bench.rows counter (which the --progress heartbeat
- * reports as rows finished).
+ * reports as rows finished).  Inside a sweep cell, pass the executing
+ * worker so the Chrome trace shows the parallel schedule.
  */
 struct RowScope
 {
-    explicit RowScope(std::uint64_t work_units = 0);
+    explicit RowScope(std::uint64_t work_units = 0,
+                      unsigned worker = kNoWorker);
+
+    /** Sentinel: row is not running under a sweep worker. */
+    static constexpr unsigned kNoWorker = ~0u;
+
     obs::PhaseTracer::Span span;
 };
 
@@ -113,17 +124,39 @@ void emitTable(const std::string &title, const TextTable &table,
                const BenchOptions &options);
 
 /**
- * Shared driver for the Figure 3 / Figure 4 misprediction sweeps:
- * for every benchmark, simulate the baseline PAg (1024-entry BHT,
- * PC-indexed), branch-allocation PAg at 16/128/1024 entries, and the
- * interference-free PAg, all over a single trace replay; print one
- * row per benchmark plus the arithmetic-mean row the paper's figures
- * show as "average".
+ * Run @p count independent sweep cells across the configured worker
+ * count (`--threads`), then record the per-cell wall times and worker
+ * assignment into the run report (table "sweep cells: <sweep_name>",
+ * input order).  Cells must follow the SweepRunner determinism
+ * contract: build all state locally and write results into slots
+ * indexed by `SweepCell::index`.  With `--threads=1` the cells run
+ * inline in input order -- bit-identical to the old serial loops.
+ *
+ * @param labels row label per cell, used in the timing table
+ */
+void runBenchSweep(const BenchOptions &options,
+                   const std::string &sweep_name,
+                   const std::vector<std::string> &labels,
+                   const std::function<void(const exec::SweepCell &)>
+                       &cell);
+
+/**
+ * Build the Figure 3 / Figure 4 misprediction table: for every
+ * benchmark, simulate the baseline PAg (1024-entry BHT, PC-indexed),
+ * branch-allocation PAg at 16/128/1024 entries, and the
+ * interference-free PAg, all over a single trace replay per cell;
+ * one row per benchmark plus the arithmetic-mean row the paper's
+ * figures show as "average".  Cells run as a parallel sweep over
+ * `options.threads` workers; the table contents are identical for
+ * every worker count.
  *
  * @param options        common bench options
  * @param classification enable the Section 5.2 refinement (Figure 4)
- * @param title          banner/table title
  */
+TextTable buildAllocationTable(const BenchOptions &options,
+                               bool classification);
+
+/** buildAllocationTable() + emitTable() under @p title. */
 void runAllocationFigure(const BenchOptions &options,
                          bool classification,
                          const std::string &title);

@@ -30,29 +30,44 @@ main(int argc, char **argv)
                      "analyzed dynamic", "% analyzed",
                      "static branches", "static kept"});
 
-    for (const BenchmarkRun &run : perInputRuns(options)) {
-        RowScope row_scope;
-        Workload w =
-            makeWorkload(run.preset, run.input_label, options.scale);
-        WorkloadTraceSource source = w.source();
+    std::vector<BenchmarkRun> runs = perInputRuns(options);
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
 
-        TraceStatsCollector stats;
-        source.replay(stats);
+    // Cells write only their own rows slot; the table is assembled in
+    // input order below, so output is identical for any --threads.
+    std::vector<std::vector<std::string>> rows(runs.size());
+    runBenchSweep(
+        options, "table1", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            Workload w = makeWorkload(run.preset, run.input_label,
+                                      options.scale);
+            WorkloadTraceSource source = w.source();
 
-        // The paper's gcc analyzed only 93.74% of the stream because
-        // its static budget bit hardest there; emulate with a cap.
-        std::size_t max_static =
-            run.preset == "gcc" ? stats.staticBranches() / 3 : 0;
-        FrequencySelection selection =
-            selectByFrequency(stats, 0.999, max_static);
+            TraceStatsCollector stats;
+            source.replay(stats);
 
-        table.addRow({run.display, "seed-" + run.input_label,
-                      withCommas(stats.dynamicBranches()),
-                      withCommas(selection.analyzed_dynamic),
-                      percentString(selection.coverage(), 2),
-                      withCommas(stats.staticBranches()),
-                      withCommas(selection.selected.size())});
-    }
+            // The paper's gcc analyzed only 93.74% of the stream
+            // because its static budget bit hardest there; emulate
+            // with a cap.
+            std::size_t max_static =
+                run.preset == "gcc" ? stats.staticBranches() / 3 : 0;
+            FrequencySelection selection =
+                selectByFrequency(stats, 0.999, max_static);
+
+            rows[cell.index] = {
+                run.display, "seed-" + run.input_label,
+                withCommas(stats.dynamicBranches()),
+                withCommas(selection.analyzed_dynamic),
+                percentString(selection.coverage(), 2),
+                withCommas(stats.staticBranches()),
+                withCommas(selection.selected.size())};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
 
     emitTable("Table 1: benchmarks, inputs and branch coverage",
               table, options);

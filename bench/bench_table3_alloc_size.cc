@@ -25,26 +25,39 @@ main(int argc, char **argv)
                      "baseline conflict @1024", "residual conflict",
                      "shared branches"});
 
-    for (const BenchmarkRun &run : perInputRuns(options, {"ijpeg"})) {
-        RowScope row_scope;
-        Workload w =
-            makeWorkload(run.preset, run.input_label, options.scale);
-        WorkloadTraceSource source = w.source();
+    std::vector<BenchmarkRun> runs = perInputRuns(options, {"ijpeg"});
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
 
-        PipelineConfig config;
-        config.allocation.edge_threshold = options.threshold;
-        AllocationPipeline pipeline(config);
-        pipeline.addProfile(source);
+    // Cells write only their own rows slot; the table is assembled in
+    // input order below, so output is identical for any --threads.
+    std::vector<std::vector<std::string>> rows(runs.size());
+    runBenchSweep(
+        options, "table3", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            Workload w = makeWorkload(run.preset, run.input_label,
+                                      options.scale);
+            WorkloadTraceSource source = w.source();
 
-        RequiredSizeResult req = pipeline.requiredSize(1024);
-        table.addRow(
-            {run.display,
-             req.achieved ? withCommas(req.required_entries)
-                          : std::string("> 4096"),
-             withCommas(req.baseline_conflict),
-             withCommas(req.allocation.residual_conflict),
-             withCommas(req.allocation.shared_nodes)});
-    }
+            PipelineConfig config;
+            config.allocation.edge_threshold = options.threshold;
+            AllocationPipeline pipeline(config);
+            pipeline.addProfile(source);
+
+            RequiredSizeResult req = pipeline.requiredSize(1024);
+            rows[cell.index] = {
+                run.display,
+                req.achieved ? withCommas(req.required_entries)
+                             : std::string("> 4096"),
+                withCommas(req.baseline_conflict),
+                withCommas(req.allocation.residual_conflict),
+                withCommas(req.allocation.shared_nodes)};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
 
     emitTable("Table 3: BHT size required for branch allocation",
               table, options);

@@ -28,34 +28,47 @@ main(int argc, char **argv)
                      "baseline conflict @1024", "biased taken",
                      "biased not-taken", "mixed"});
 
-    for (const BenchmarkRun &run : perInputRuns(options, {"ijpeg"})) {
-        RowScope row_scope;
-        Workload w =
-            makeWorkload(run.preset, run.input_label, options.scale);
-        WorkloadTraceSource source = w.source();
+    std::vector<BenchmarkRun> runs = perInputRuns(options, {"ijpeg"});
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
 
-        PipelineConfig config;
-        config.allocation.edge_threshold = options.threshold;
-        config.allocation.use_classification = true;
-        config.allocation.bias_cutoff = 0.99;
-        AllocationPipeline pipeline(config);
-        pipeline.addProfile(source);
+    // Cells write only their own rows slot; the table is assembled in
+    // input order below, so output is identical for any --threads.
+    std::vector<std::vector<std::string>> rows(runs.size());
+    runBenchSweep(
+        options, "table4", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            Workload w = makeWorkload(run.preset, run.input_label,
+                                      options.scale);
+            WorkloadTraceSource source = w.source();
 
-        RequiredSizeResult req = pipeline.requiredSize(1024);
+            PipelineConfig config;
+            config.allocation.edge_threshold = options.threshold;
+            config.allocation.use_classification = true;
+            config.allocation.bias_cutoff = 0.99;
+            AllocationPipeline pipeline(config);
+            pipeline.addProfile(source);
 
-        BranchClassifier classifier(0.99);
-        ClassCounts counts =
-            countClasses(classifier.classifyGraph(pipeline.graph()));
+            RequiredSizeResult req = pipeline.requiredSize(1024);
 
-        table.addRow(
-            {run.display,
-             req.achieved ? withCommas(req.required_entries)
-                          : std::string("> 4096"),
-             withCommas(req.baseline_conflict),
-             withCommas(counts.biased_taken),
-             withCommas(counts.biased_not_taken),
-             withCommas(counts.mixed)});
-    }
+            BranchClassifier classifier(0.99);
+            ClassCounts counts = countClasses(
+                classifier.classifyGraph(pipeline.graph()));
+
+            rows[cell.index] = {
+                run.display,
+                req.achieved ? withCommas(req.required_entries)
+                             : std::string("> 4096"),
+                withCommas(req.baseline_conflict),
+                withCommas(counts.biased_taken),
+                withCommas(counts.biased_not_taken),
+                withCommas(counts.mixed)};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
 
     emitTable("Table 4: BHT size required with branch classification",
               table, options);

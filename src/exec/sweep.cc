@@ -1,0 +1,72 @@
+#include "exec/sweep.hh"
+
+#include <chrono>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+
+namespace bwsa::exec
+{
+
+namespace
+{
+
+/** Run one cell under its span, recording wall time into @p timing. */
+void
+runCell(const std::function<void(const SweepCell &)> &fn,
+        const SweepCell &cell, CellTiming &timing)
+{
+    obs::PhaseTracer::Span span("sweep.cell");
+    span.setWorker(cell.worker);
+    auto start = std::chrono::steady_clock::now();
+    fn(cell);
+    timing.index = cell.index;
+    timing.worker = cell.worker;
+    timing.millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned threads)
+    : _threads(threads ? threads : ThreadPool::hardwareThreads())
+{
+}
+
+std::vector<CellTiming>
+SweepRunner::run(std::size_t count,
+                 const std::function<void(const SweepCell &)> &cell)
+    const
+{
+    obs::PhaseTracer::Span sweep_span("sweep.run");
+    sweep_span.addWork(count);
+    obs::MetricsRegistry::global().counter("sweep.cells").inc(count);
+
+    std::vector<CellTiming> timings(count);
+
+    // One worker (or a trivial sweep): run inline on the calling
+    // thread in input order -- no pool, bit-identical to the serial
+    // harness this engine replaced.
+    if (_threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            runCell(cell, SweepCell{i, 0}, timings[i]);
+        return timings;
+    }
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(_threads, count));
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i](unsigned worker) {
+            // Each cell owns its timing slot, so no lock is needed.
+            runCell(cell, SweepCell{i, worker}, timings[i]);
+        });
+    }
+    pool.wait(); // rethrows the first cell exception, if any
+    return timings;
+}
+
+} // namespace bwsa::exec

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parallel sweep execution with deterministic merging.
+ *
+ * Every headline result in the paper is a sweep: one independent cell
+ * per (benchmark × predictor-config) combination, each owning its
+ * program, trace replay and predictor set.  SweepRunner runs such a
+ * vector of cells across N workers and hands results back in input
+ * order regardless of completion order, so a parallel run emits
+ * byte-identical tables to a serial one.
+ *
+ * Determinism contract (see DESIGN.md §9):
+ *   - cells must not share mutable state; everything a cell touches is
+ *     built inside the cell (process-wide metrics/tracing excepted --
+ *     those shard per thread and merge commutatively);
+ *   - results are written into per-cell slots indexed by input
+ *     position, never appended in completion order;
+ *   - `threads == 1` executes the cells inline on the calling thread,
+ *     in input order, with no pool at all -- bit-identical to the
+ *     pre-engine serial harness.
+ *
+ * Each cell runs under a "sweep.cell" phase span annotated with the
+ * executing worker, so a `--trace` Chrome trace shows the parallel
+ * schedule; per-cell wall times are returned for the run report.
+ */
+
+#ifndef BWSA_EXEC_SWEEP_HH
+#define BWSA_EXEC_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace bwsa::exec
+{
+
+/** Identity of one executing sweep cell. */
+struct SweepCell
+{
+    std::size_t index = 0; ///< position in the input vector
+    unsigned worker = 0;   ///< executing worker in [0, threads)
+};
+
+/** Wall time of one finished cell, in input order. */
+struct CellTiming
+{
+    std::size_t index = 0;
+    unsigned worker = 0;
+    double millis = 0.0;
+};
+
+/**
+ * Runs a vector of independent cells across a worker pool.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 0 means all hardware threads */
+    explicit SweepRunner(unsigned threads = 0);
+
+    /** Worker count this runner will use. */
+    unsigned threads() const { return _threads; }
+
+    /**
+     * Execute cells 0..count-1.  @p cell must write any result it
+     * produces into a slot indexed by `SweepCell::index` (the caller
+     * pre-sizes result storage), which makes the merge order the
+     * input order by construction.  The first exception thrown by a
+     * cell is rethrown here after all in-flight cells finish.
+     *
+     * @return per-cell wall times, indexed by cell (input order)
+     */
+    std::vector<CellTiming>
+    run(std::size_t count,
+        const std::function<void(const SweepCell &)> &cell) const;
+
+  private:
+    unsigned _threads;
+};
+
+/**
+ * Map a sweep over @p count cells into a result vector in input
+ * order.  @p fn receives the SweepCell and returns the cell's result;
+ * results land at their input index regardless of completion order.
+ *
+ * @param timings when non-null, receives the per-cell wall times
+ */
+template <typename Result, typename Fn>
+std::vector<Result>
+sweepMap(const SweepRunner &runner, std::size_t count, Fn &&fn,
+         std::vector<CellTiming> *timings = nullptr)
+{
+    std::vector<Result> results(count);
+    std::vector<CellTiming> times =
+        runner.run(count, [&](const SweepCell &cell) {
+            results[cell.index] = fn(cell);
+        });
+    if (timings)
+        *timings = std::move(times);
+    return results;
+}
+
+} // namespace bwsa::exec
+
+#endif // BWSA_EXEC_SWEEP_HH

@@ -1,0 +1,101 @@
+#include "exec/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace bwsa::exec
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : _threads(threads ? threads : hardwareThreads()),
+      _capacity(queue_capacity)
+{
+    if (_capacity == 0)
+        bwsa_panic("ThreadPool queue capacity must be >= 1");
+    _workers.reserve(_threads);
+    for (unsigned w = 0; w < _threads; ++w)
+        _workers.emplace_back([this, w] { workerMain(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _queue_not_empty.notify_all();
+    _queue_not_full.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _queue_not_full.wait(lock, [this] {
+            return _queue.size() < _capacity || _stopping;
+        });
+        if (_stopping)
+            bwsa_panic("ThreadPool::submit on a stopping pool");
+        _queue.push_back(std::move(task));
+        ++_in_flight;
+    }
+    _queue_not_empty.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _idle.wait(lock, [this] { return _in_flight == 0; });
+        error = _first_error;
+        _first_error = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::workerMain(unsigned worker)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _queue_not_empty.wait(lock, [this] {
+                return !_queue.empty() || _stopping;
+            });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        _queue_not_full.notify_one();
+
+        try {
+            task(worker);
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(_mutex);
+            if (!_first_error)
+                _first_error = std::current_exception();
+        }
+
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            if (--_in_flight == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+} // namespace bwsa::exec

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fixed-size worker pool with a bounded task queue.
+ *
+ * The sweep engine's execution substrate: N workers pull tasks off a
+ * bounded queue (submission blocks when the queue is full, so a
+ * producer enumerating thousands of cells cannot balloon memory),
+ * exceptions thrown by tasks are captured and rethrown on the
+ * submitting thread, and destruction drains the queue and joins every
+ * worker.  Deliberately work-stealing-free: sweep cells are coarse
+ * (whole benchmark replays), so a single shared queue is contention-
+ * free in practice and keeps the scheduling order easy to reason
+ * about.
+ */
+
+#ifndef BWSA_EXEC_THREAD_POOL_HH
+#define BWSA_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bwsa::exec
+{
+
+/**
+ * Fixed pool of worker threads consuming a bounded FIFO task queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Task signature: receives the executing worker's index in
+     * [0, threadCount()), so callers can annotate traces or shard
+     * scratch state per worker.
+     */
+    using Task = std::function<void(unsigned worker)>;
+
+    /**
+     * Start @p threads workers.
+     *
+     * @param threads        worker count; 0 means hardwareThreads()
+     * @param queue_capacity submit() blocks once this many tasks are
+     *                       waiting (must be >= 1)
+     */
+    explicit ThreadPool(unsigned threads,
+                        std::size_t queue_capacity = 1024);
+
+    /** Drains the queue, joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const { return _threads; }
+
+    /**
+     * Enqueue one task; blocks while the queue is at capacity.
+     * Tasks run in FIFO submission order (across the pool; completion
+     * order is of course unspecified).
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first exception any task threw (if any).  The pool stays usable
+     * afterwards.
+     */
+    void wait();
+
+    /**
+     * std::thread::hardware_concurrency() with a floor of 1 (the
+     * standard allows it to return 0 when unknown).
+     */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerMain(unsigned worker);
+
+    unsigned _threads;
+    std::size_t _capacity;
+
+    std::mutex _mutex;
+    std::condition_variable _queue_not_full;  ///< producers wait here
+    std::condition_variable _queue_not_empty; ///< workers wait here
+    std::condition_variable _idle;            ///< wait() waits here
+    std::deque<Task> _queue;
+    std::size_t _in_flight = 0; ///< queued + currently executing
+    bool _stopping = false;
+    std::exception_ptr _first_error;
+
+    std::vector<std::thread> _workers;
+};
+
+} // namespace bwsa::exec
+
+#endif // BWSA_EXEC_THREAD_POOL_HH

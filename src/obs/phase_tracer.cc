@@ -146,9 +146,12 @@ PhaseTracer::writeChromeTrace(const std::string &path) const
         entry["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
         entry["pid"] = 1u;
         entry["tid"] = e.tid;
-        if (e.work) {
+        if (e.work || e.worker != SpanEvent::no_worker) {
             JsonValue args = JsonValue::object();
-            args["work"] = e.work;
+            if (e.work)
+                args["work"] = e.work;
+            if (e.worker != SpanEvent::no_worker)
+                args["worker"] = e.worker;
             entry["args"] = std::move(args);
         }
         trace_events.push(std::move(entry));
@@ -189,6 +192,7 @@ PhaseTracer::Span::~Span()
     event.work = _work;
     event.tid = localThreadId();
     event.depth = _depth;
+    event.worker = _worker;
     tracer.record(std::move(event));
 }
 

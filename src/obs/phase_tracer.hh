@@ -34,12 +34,16 @@ namespace bwsa::obs
 /** One completed span. */
 struct SpanEvent
 {
+    /** SpanEvent::worker value meaning "not a sweep worker". */
+    static constexpr std::uint32_t no_worker = ~std::uint32_t(0);
+
     std::string name;
     std::uint64_t start_ns = 0; ///< relative to tracer epoch
     std::uint64_t dur_ns = 0;
     std::uint64_t work = 0;  ///< units processed (0 = unannotated)
     std::uint32_t tid = 0;   ///< small sequential thread id
     std::uint32_t depth = 0; ///< nesting depth on its thread
+    std::uint32_t worker = no_worker; ///< sweep worker annotation
 };
 
 /** Aggregated statistics of all spans sharing a name. */
@@ -125,11 +129,22 @@ class PhaseTracer
             _work += units;
         }
 
+        /**
+         * Annotate the sweep worker executing this span, so the
+         * Chrome trace shows which pool slot ran which cell.
+         */
+        void
+        setWorker(std::uint32_t worker)
+        {
+            _worker = worker;
+        }
+
       private:
         const char *_name;
         std::uint64_t _start_ns = 0;
         std::uint64_t _work = 0;
         std::uint32_t _depth = 0;
+        std::uint32_t _worker = SpanEvent::no_worker;
         bool _active = false;
     };
 

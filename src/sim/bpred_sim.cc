@@ -23,16 +23,49 @@ PredictionSim::onBranch(const BranchRecord &record)
     _predictor.update(record.pc, record.taken);
 }
 
+namespace
+{
+
+/**
+ * Counter handles resolved once: counter(name) takes the registry
+ * mutex, and parallel sweep cells flush after every replay, so the
+ * by-name lookup must not sit on that path.
+ */
+obs::Counter &
+branchesCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("sim.branches");
+    return counter;
+}
+
+obs::Counter &
+mispredictsCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("sim.mispredicts");
+    return counter;
+}
+
+obs::Counter &
+runsCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("sim.runs");
+    return counter;
+}
+
+} // namespace
+
 void
 PredictionSim::onEnd()
 {
     // Whole-replay totals only; onBranch() is the simulator hot path
     // and stays uninstrumented.
-    auto &registry = obs::MetricsRegistry::global();
-    registry.counter("sim.branches")
-        .inc(_stats.mispredicts.total() - _flushed_branches);
-    registry.counter("sim.mispredicts")
-        .inc(_stats.mispredicts.events() - _flushed_mispredicts);
+    branchesCounter().inc(_stats.mispredicts.total() -
+                          _flushed_branches);
+    mispredictsCounter().inc(_stats.mispredicts.events() -
+                             _flushed_mispredicts);
     _flushed_branches = _stats.mispredicts.total();
     _flushed_mispredicts = _stats.mispredicts.events();
 }
@@ -42,7 +75,7 @@ simulatePredictor(const TraceSource &source, Predictor &predictor,
                   bool per_branch)
 {
     BWSA_SPAN("sim.replay");
-    obs::MetricsRegistry::global().counter("sim.runs").inc();
+    runsCounter().inc();
     PredictionSim sim(predictor, per_branch);
     source.replay(sim);
     return sim.stats();
@@ -54,7 +87,7 @@ comparePredictors(const TraceSource &source,
 {
     obs::PhaseTracer::Span span("sim.compare");
     span.addWork(predictors.size());
-    obs::MetricsRegistry::global().counter("sim.runs").inc();
+    runsCounter().inc();
     std::vector<PredictionSim> sims;
     sims.reserve(predictors.size());
     FanoutSink fanout;

@@ -6,8 +6,11 @@ namespace bwsa
 void
 MemoryTrace::replay(TraceSink &sink) const
 {
-    for (const BranchRecord &r : _records)
+    for (const BranchRecord &r : _records) {
+        if (sink.done())
+            break;
         sink.onBranch(r);
+    }
     sink.onEnd();
 }
 

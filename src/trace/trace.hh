@@ -32,6 +32,14 @@ class TraceSink
 
     /** Signal end of the stream. Default: nothing to finalize. */
     virtual void onEnd() {}
+
+    /**
+     * True when further records are useless to this sink (e.g. an
+     * instruction budget was hit).  Sources check this between records
+     * and stop replaying early instead of draining the full stream;
+     * onEnd() is still delivered.  Default: never done.
+     */
+    virtual bool done() const { return false; }
 };
 
 /**
@@ -111,6 +119,18 @@ class FanoutSink : public TraceSink
             s->onEnd();
     }
 
+    /** Done only when every downstream sink is done. */
+    bool
+    done() const override
+    {
+        if (_sinks.empty())
+            return false;
+        for (const TraceSink *s : _sinks)
+            if (!s->done())
+                return false;
+        return true;
+    }
+
     std::size_t sinkCount() const { return _sinks.size(); }
 
   private:
@@ -143,6 +163,13 @@ class TruncatingSink : public TraceSink
     }
 
     void onEnd() override { _inner.onEnd(); }
+
+    /**
+     * Early-stop: once the budget has truncated a record nothing else
+     * can pass (timestamps ascend), so sources may stop replaying
+     * instead of draining the rest of the stream.
+     */
+    bool done() const override { return _saturated || _inner.done(); }
 
     /** True when the limit actually truncated anything. */
     bool saturated() const { return _saturated; }

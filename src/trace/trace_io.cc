@@ -189,6 +189,8 @@ TraceFileReader::replay(TraceSink &sink) const
     std::uint64_t pc = 0;
     std::uint64_t timestamp = 0;
     for (std::uint64_t i = 0; i < _count; ++i) {
+        if (sink.done())
+            break;
         std::uint64_t pc_raw = 0, ts_raw = 0;
         if (!getVarint(in, pc_raw) || !getVarint(in, ts_raw))
             bwsa_fatal("truncated trace body in ", _path, " at record ",

@@ -41,12 +41,22 @@ CliOptions::parse(int &argc, char **argv,
             kept.push_back(argv[i]);
             continue;
         }
+        // `--name value` form: a following token that is itself a
+        // `--` flag is a *missing* value, never consumed.
         if (!has_value && i + 1 < argc &&
             !startsWith(argv[i + 1], "--")) {
             value = argv[++i];
             has_value = true;
         }
         opts._values[name] = has_value ? value : "true";
+        auto bare_it = std::find(opts._bare.begin(), opts._bare.end(),
+                                 name);
+        if (!has_value) {
+            if (bare_it == opts._bare.end())
+                opts._bare.push_back(name);
+        } else if (bare_it != opts._bare.end()) {
+            opts._bare.erase(bare_it); // later occurrence wins
+        }
     }
 
     for (std::size_t i = 0; i < kept.size(); ++i)
@@ -61,6 +71,12 @@ CliOptions::has(const std::string &name) const
     return _values.count(name) != 0;
 }
 
+bool
+CliOptions::isBare(const std::string &name) const
+{
+    return std::find(_bare.begin(), _bare.end(), name) != _bare.end();
+}
+
 std::string
 CliOptions::getString(const std::string &name,
                       const std::string &def) const
@@ -69,12 +85,25 @@ CliOptions::getString(const std::string &name,
     return it == _values.end() ? def : it->second;
 }
 
+std::string
+CliOptions::getRequiredString(const std::string &name,
+                              const std::string &def) const
+{
+    if (isBare(name))
+        bwsa_fatal("option --", name,
+                   " requires a value (--", name, "=<value>)");
+    return getString(name, def);
+}
+
 std::uint64_t
 CliOptions::getUint(const std::string &name, std::uint64_t def) const
 {
     auto it = _values.find(name);
     if (it == _values.end())
         return def;
+    if (isBare(name))
+        bwsa_fatal("option --", name,
+                   " requires a value (--", name, "=<value>)");
     std::uint64_t out = 0;
     if (!parseUint64(it->second, out))
         bwsa_fatal("option --", name, " expects an unsigned integer, ",
@@ -88,6 +117,9 @@ CliOptions::getDouble(const std::string &name, double def) const
     auto it = _values.find(name);
     if (it == _values.end())
         return def;
+    if (isBare(name))
+        bwsa_fatal("option --", name,
+                   " requires a value (--", name, "=<value>)");
     double out = 0.0;
     if (!parseDouble(it->second, out))
         bwsa_fatal("option --", name, " expects a number, got '",

@@ -39,15 +39,32 @@ class CliOptions
     /** True when the flag was present at all. */
     bool has(const std::string &name) const;
 
+    /**
+     * True when the flag was present *without* a value (`--name` with
+     * no `=value`, and the next token -- if any -- was itself a flag).
+     * A following `--other` token is never consumed as a value, so
+     * `--threshold --json=r.json` leaves `--threshold` bare instead of
+     * silently swallowing `--json=r.json`.
+     */
+    bool isBare(const std::string &name) const;
+
     /** String value, or @p def when absent. */
     std::string getString(const std::string &name,
                           const std::string &def) const;
 
-    /** Unsigned integer value; fatal() on malformed input. */
+    /**
+     * String value for an option that requires one; fatal() when the
+     * flag was given bare (e.g. `--csv --json=r.json`, where `--csv`
+     * would otherwise silently get the fabricated value "true").
+     */
+    std::string getRequiredString(const std::string &name,
+                                  const std::string &def) const;
+
+    /** Unsigned integer value; fatal() on malformed or missing input. */
     std::uint64_t getUint(const std::string &name,
                           std::uint64_t def) const;
 
-    /** Double value; fatal() on malformed input. */
+    /** Double value; fatal() on malformed or missing input. */
     double getDouble(const std::string &name, double def) const;
 
     /** Boolean flag: present without value, or =true/=false. */
@@ -71,6 +88,7 @@ class CliOptions
 
   private:
     std::map<std::string, std::string> _values;
+    std::vector<std::string> _bare; ///< flags present without a value
 };
 
 /**

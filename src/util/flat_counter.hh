@@ -38,14 +38,23 @@ class FlatCounterMap
     void
     increment(std::uint32_t key, std::uint64_t delta = 1)
     {
+        // Probe first: the overwhelmingly common case is a hit on an
+        // existing key, which must never trigger a grow -- a hot key
+        // incremented at the load-factor boundary would otherwise
+        // rehash the whole table for nothing.
+        if (!_keys.empty()) {
+            std::size_t slot = probe(key);
+            if (_keys[slot] != empty_key) {
+                _values[slot] += delta;
+                return;
+            }
+        }
         if (_size + 1 > (_keys.size() * 7) / 10)
             grow();
         std::size_t slot = probe(key);
-        if (_keys[slot] == empty_key) {
-            _keys[slot] = key;
-            ++_size;
-        }
-        _values[slot] += delta;
+        _keys[slot] = key;
+        _values[slot] = delta;
+        ++_size;
     }
 
     /** Count of @p key; 0 when absent. */
@@ -60,6 +69,9 @@ class FlatCounterMap
 
     /** Number of distinct keys. */
     std::size_t size() const { return _size; }
+
+    /** Allocated slot count (power of two; grows at 70% load). */
+    std::size_t capacity() const { return _keys.size(); }
 
     bool empty() const { return _size == 0; }
 

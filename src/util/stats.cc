@@ -11,6 +11,7 @@ void
 RunningStat::add(double x)
 {
     ++_count;
+    _sum += x;
     double delta = x - _mean;
     _mean += delta / static_cast<double>(_count);
     _m2 += delta * (x - _mean);
@@ -29,6 +30,7 @@ RunningStat::addWeighted(double x, std::uint64_t weight)
     RunningStat other;
     other._count = weight;
     other._mean = x;
+    other._sum = x * static_cast<double>(weight);
     other._m2 = 0.0;
     other._min = x;
     other._max = x;
@@ -65,6 +67,7 @@ RunningStat::merge(const RunningStat &other)
     double nn = static_cast<double>(n);
     _m2 = _m2 + other._m2 + delta * delta * na * nb / nn;
     _mean = _mean + delta * nb / nn;
+    _sum += other._sum;
     _count = n;
     if (other._min < _min)
         _min = other._min;

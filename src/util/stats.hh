@@ -47,8 +47,13 @@ class RunningStat
     /** Largest sample; -inf when empty. */
     double max() const { return _max; }
 
-    /** Sum of all samples. */
-    double sum() const { return _mean * static_cast<double>(_count); }
+    /**
+     * Exact running sum of all samples.  Tracked directly rather than
+     * reconstructed as mean * count, which drifts under merge() /
+     * addWeighted() chains (the incremental mean is rounded at every
+     * step).
+     */
+    double sum() const { return _sum; }
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStat &other);
@@ -59,6 +64,7 @@ class RunningStat
   private:
     std::uint64_t _count = 0;
     double _mean = 0.0;
+    double _sum = 0.0;
     double _m2 = 0.0;
     double _min = std::numeric_limits<double>::infinity();
     double _max = -std::numeric_limits<double>::infinity();

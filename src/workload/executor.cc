@@ -44,6 +44,10 @@ SyntheticExecutor::emitBranch(BranchId id, BranchPc pc,
     record.taken = taken;
     sink.onBranch(record);
     ++_branches;
+    // Early stop: a sink whose budget is exhausted (TruncatingSink)
+    // ends the execution instead of draining the full program.
+    if (sink.done())
+        _stop = true;
     return taken;
 }
 
@@ -164,14 +168,23 @@ WorkloadTraceSource::replay(TraceSink &sink) const
     span.addWork(result.dynamic_branches);
 
     // Flush whole-replay totals once per pass; the per-record loop
-    // above stays uninstrumented (the replay is the hot path).
-    auto &registry = obs::MetricsRegistry::global();
-    registry.counter("workload.replays").inc();
-    registry.counter("workload.instructions").inc(result.instructions);
-    registry.counter("workload.branches")
-        .inc(result.dynamic_branches);
+    // above stays uninstrumented (the replay is the hot path).  The
+    // handles resolve once -- counter(name) takes the registry mutex,
+    // and parallel sweep cells replay concurrently.
+    static obs::Counter replays =
+        obs::MetricsRegistry::global().counter("workload.replays");
+    static obs::Counter instructions =
+        obs::MetricsRegistry::global().counter("workload.instructions");
+    static obs::Counter branches =
+        obs::MetricsRegistry::global().counter("workload.branches");
+    static obs::Counter truncated =
+        obs::MetricsRegistry::global().counter(
+            "workload.truncated_runs");
+    replays.inc();
+    instructions.inc(result.instructions);
+    branches.inc(result.dynamic_branches);
     if (result.truncated)
-        registry.counter("workload.truncated_runs").inc();
+        truncated.inc();
 }
 
 } // namespace bwsa

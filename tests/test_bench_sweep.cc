@@ -1,0 +1,60 @@
+/**
+ * @file
+ * End-to-end determinism check for the parallel bench harness: the
+ * Figure 3 table built with --threads=1 must be byte-identical to the
+ * same table built with a multi-threaded sweep (the acceptance
+ * criterion for the sweep engine), and likewise for Figure 4's
+ * classification variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hh"
+
+using namespace bwsa;
+using namespace bwsa::bench;
+
+namespace
+{
+
+BenchOptions
+smallOptions(unsigned threads)
+{
+    BenchOptions options;
+    options.scale = 0.02;
+    options.benchmarks = {"compress", "li", "pgp"};
+    options.threads = threads;
+    return options;
+}
+
+} // namespace
+
+TEST(BenchSweep, Fig3TableIdenticalAcrossThreadCounts)
+{
+    std::string serial =
+        buildAllocationTable(smallOptions(1), false).render();
+    std::string parallel =
+        buildAllocationTable(smallOptions(4), false).render();
+    EXPECT_EQ(parallel, serial);
+    // Sanity: the table actually has the benchmark rows.
+    EXPECT_NE(serial.find("compress"), std::string::npos);
+    EXPECT_NE(serial.find("average"), std::string::npos);
+}
+
+TEST(BenchSweep, Fig4TableIdenticalAcrossThreadCounts)
+{
+    std::string serial =
+        buildAllocationTable(smallOptions(1), true).render();
+    std::string parallel =
+        buildAllocationTable(smallOptions(3), true).render();
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(BenchSweep, RepeatedParallelRunsAreStable)
+{
+    // Two parallel runs with different worker counts agree too: the
+    // result depends only on the inputs, never on the schedule.
+    std::string a = buildAllocationTable(smallOptions(2), false).render();
+    std::string b = buildAllocationTable(smallOptions(4), false).render();
+    EXPECT_EQ(a, b);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the thread pool's lifecycle,
+ * bounded queue and exception propagation, and SweepRunner's
+ * determinism contract (input-order results under skewed per-cell
+ * runtimes, serial/parallel equivalence).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
+
+using namespace bwsa::exec;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&](unsigned) { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndicesAreInRange)
+{
+    ThreadPool pool(3);
+    std::atomic<bool> out_of_range{false};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&](unsigned worker) {
+            if (worker >= 3)
+                out_of_range.store(true);
+        });
+    pool.wait();
+    EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&](unsigned) { ran.fetch_add(1); });
+    pool.wait();
+    pool.submit([&](unsigned) { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, BoundedQueueBlocksButCompletes)
+{
+    // Tiny capacity + one slow worker: submission must block instead
+    // of ballooning the queue, and every task still runs.
+    ThreadPool pool(1, 2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&](unsigned) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ran.fetch_add(1);
+        });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([i](unsigned) {
+            if (i == 3)
+                throw std::runtime_error("cell 3 failed");
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error is consumed: the pool is usable again afterwards.
+    std::atomic<int> ran{0};
+    pool.submit([&](unsigned) { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&](unsigned) { ran.fetch_add(1); });
+        // No wait(): destruction must drain the queue, not drop it.
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+namespace
+{
+
+/**
+ * Run a sweep whose cells finish in roughly reverse submission order
+ * (later cells sleep less), stressing the input-order merge.
+ */
+std::vector<int>
+skewedSweep(unsigned threads, std::size_t count)
+{
+    SweepRunner runner(threads);
+    return sweepMap<int>(runner, count, [count](const SweepCell &cell) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            200 * (count - cell.index)));
+        return static_cast<int>(cell.index * 10);
+    });
+}
+
+} // namespace
+
+TEST(SweepRunner, SkewedRuntimesStillMergeInInputOrder)
+{
+    std::vector<int> serial = skewedSweep(1, 16);
+    std::vector<int> parallel = skewedSweep(4, 16);
+
+    ASSERT_EQ(serial.size(), 16u);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], static_cast<int>(i * 10));
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(SweepRunner, TimingsCoverEveryCellInInputOrder)
+{
+    SweepRunner runner(3);
+    std::vector<CellTiming> timings;
+    std::vector<int> results =
+        sweepMap<int>(runner, 10,
+                      [](const SweepCell &cell) {
+                          return static_cast<int>(cell.index);
+                      },
+                      &timings);
+
+    ASSERT_EQ(timings.size(), 10u);
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        EXPECT_EQ(timings[i].index, i);
+        EXPECT_LT(timings[i].worker, 3u);
+        EXPECT_GE(timings[i].millis, 0.0);
+    }
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i));
+}
+
+TEST(SweepRunner, SerialPathRunsInlineInInputOrder)
+{
+    // threads == 1 must execute on the calling thread, in order.
+    SweepRunner runner(1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    runner.run(8, [&](const SweepCell &cell) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(cell.worker, 0u);
+        order.push_back(cell.index);
+    });
+
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(SweepRunner, CellExceptionPropagatesToCaller)
+{
+    SweepRunner runner(4);
+    EXPECT_THROW(runner.run(12,
+                            [](const SweepCell &cell) {
+                                if (cell.index == 7)
+                                    throw std::runtime_error("boom");
+                            }),
+                 std::runtime_error);
+}
+
+TEST(SweepRunner, ZeroThreadsMeansHardwareThreads)
+{
+    SweepRunner runner(0);
+    EXPECT_EQ(runner.threads(), ThreadPool::hardwareThreads());
+}
+
+TEST(SweepRunner, EmptySweepIsANoOp)
+{
+    SweepRunner runner(4);
+    std::vector<CellTiming> timings =
+        runner.run(0, [](const SweepCell &) { FAIL(); });
+    EXPECT_TRUE(timings.empty());
+}

@@ -293,6 +293,35 @@ TEST(PhaseTracer, ChromeTraceIsWellFormed)
     std::remove(path.c_str());
 }
 
+TEST(PhaseTracer, SpansCarryWorkerAnnotation)
+{
+    PhaseTracer &tracer = PhaseTracer::global();
+    tracer.setEnabled(true);
+    tracer.clear();
+    {
+        PhaseTracer::Span tagged("sweep.cell");
+        tagged.setWorker(3);
+    }
+    {
+        PhaseTracer::Span untagged("sweep.cell");
+    }
+    tracer.setEnabled(false);
+
+    std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].worker, 3u);
+    EXPECT_EQ(events[1].worker, SpanEvent::no_worker);
+
+    // The Chrome trace exposes the annotation as an args entry, only
+    // on the tagged span.
+    std::string path = tempPath("worker.json");
+    tracer.writeChromeTrace(path);
+    std::string text = readFile(path);
+    EXPECT_NE(text.find("\"worker\":3"), std::string::npos);
+    tracer.clear();
+    std::remove(path.c_str());
+}
+
 // --- Run report ----------------------------------------------------
 
 TEST(RunReport, DocumentStructureAndFileRoundTrip)

@@ -73,6 +73,28 @@ class CountingSink : public TraceSink
     int ends = 0;
 };
 
+/**
+ * Counting wrapper that forwards everything (including done()) to an
+ * inner sink -- observes how many records a source actually delivers.
+ */
+class ForwardingCounter : public TraceSink
+{
+  public:
+    explicit ForwardingCounter(TraceSink &inner) : _inner(inner) {}
+    void
+    onBranch(const BranchRecord &r) override
+    {
+        ++branches;
+        _inner.onBranch(r);
+    }
+    void onEnd() override { _inner.onEnd(); }
+    bool done() const override { return _inner.done(); }
+    int branches = 0;
+
+  private:
+    TraceSink &_inner;
+};
+
 } // namespace
 
 // ------------------------------------------------------------ MemoryTrace
@@ -149,6 +171,62 @@ TEST(TruncatingSink, ZeroMeansUnlimited)
     trace.replay(trunc);
     EXPECT_EQ(out.size(), 100u);
     EXPECT_FALSE(trunc.saturated());
+}
+
+TEST(TruncatingSink, SourceStopsReplayingOnceSaturated)
+{
+    // Regression: sources used to replay all the way to the end with
+    // the truncating sink dropping everything past the budget; done()
+    // lets them stop as soon as the budget is hit.
+    MemoryTrace trace = makeCyclicTrace(1000, 5); // timestamps 5..5000
+    CountingSink inner;
+    TruncatingSink trunc(inner, 250);
+    ForwardingCounter delivered(trunc);
+    trace.replay(delivered);
+
+    EXPECT_TRUE(trunc.saturated());
+    EXPECT_EQ(inner.branches, 50);
+    // One extra delivery flips the sink to saturated; the other ~949
+    // records are never replayed at all.
+    EXPECT_EQ(delivered.branches, 51);
+    EXPECT_EQ(inner.ends, 1); // onEnd still arrives after early stop
+}
+
+TEST(TruncatingSink, FileReaderHonorsEarlyStop)
+{
+    MemoryTrace trace = makeRandomTrace(7, 500);
+    std::string path = tempPath("early_stop");
+    writeTraceFile(path, trace);
+
+    CountingSink inner;
+    TruncatingSink trunc(inner, trace[49].timestamp);
+    ForwardingCounter delivered(trunc);
+    TraceFileReader reader(path);
+    reader.replay(delivered);
+
+    EXPECT_TRUE(trunc.saturated());
+    EXPECT_EQ(inner.branches, 50);
+    EXPECT_LT(delivered.branches, 500);
+    std::remove(path.c_str());
+}
+
+TEST(FanoutSink, DoneOnlyWhenEverySinkIsDone)
+{
+    MemoryTrace a_out, b_out;
+    TruncatingSink a(a_out, 100), b(b_out, 300);
+    FanoutSink fan;
+    EXPECT_FALSE(fan.done()); // empty fanout never claims done
+    fan.addSink(a);
+    fan.addSink(b);
+
+    MemoryTrace trace = makeCyclicTrace(100, 5); // timestamps 5..500
+    ForwardingCounter delivered(fan);
+    trace.replay(delivered);
+
+    // Replay runs until *both* budgets are exhausted, not the first.
+    EXPECT_EQ(a_out.size(), 20u);
+    EXPECT_EQ(b_out.size(), 60u);
+    EXPECT_EQ(delivered.branches, 61);
 }
 
 // ---------------------------------------------------------------- file IO

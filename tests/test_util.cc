@@ -341,6 +341,52 @@ TEST(RunningStat, MergeMatchesSequential)
     EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
 }
 
+TEST(RunningStat, SumIsExact)
+{
+    // sum() tracks an exact running total rather than reconstructing
+    // mean * count, which drifts once the incremental mean has been
+    // rounded (regression: 0.1 added 10 times reported 0.9999...).
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    double exact = 0.0;
+    for (int i = 1; i <= 1000; ++i) {
+        double v = 1.0 / i;
+        s.add(v);
+        exact += v;
+    }
+    EXPECT_DOUBLE_EQ(s.sum(), exact);
+}
+
+TEST(RunningStat, SumSurvivesMergeAndWeightedChains)
+{
+    // Merging in any grouping must reproduce the sequential sum
+    // bit-for-bit within the associativity of the merge order used.
+    Pcg32 rng(91);
+    std::vector<double> samples;
+    for (int i = 0; i < 300; ++i)
+        samples.push_back(rng.nextDouble() * 10.0 - 5.0);
+
+    RunningStat whole;
+    for (double v : samples)
+        whole.add(v);
+
+    RunningStat a, b, c;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(samples[i]);
+    RunningStat left = a;
+    left.merge(b);
+    left.merge(c);
+    EXPECT_NEAR(left.sum(), whole.sum(), 1e-9);
+
+    RunningStat w;
+    w.addWeighted(0.1, 10);
+    EXPECT_NEAR(w.sum(), 1.0, 1e-12);
+    RunningStat merged = w;
+    merged.merge(w);
+    EXPECT_NEAR(merged.sum(), 2.0, 1e-12);
+    EXPECT_EQ(merged.count(), 20u);
+}
+
 TEST(RunningStat, WeightedEqualsRepeated)
 {
     RunningStat a, b;
@@ -520,6 +566,34 @@ TEST(FlatCounterMap, ClearKeepsWorking)
     EXPECT_EQ(m.count(50), 1u);
 }
 
+TEST(FlatCounterMap, HotKeyAtLoadBoundaryDoesNotGrow)
+{
+    // Regression: increment() decided to grow before probing, so a hit
+    // on an existing key at the 70% load boundary rehashed the whole
+    // table even though no insertion was happening.
+    FlatCounterMap m;
+    for (std::uint32_t i = 0; i < 11; ++i)
+        m.increment(i);
+    // 11 of 16 slots used: the next *insertion* must grow (12 > 11.2),
+    // so a hit on an existing key sits exactly on the boundary.
+    ASSERT_EQ(m.capacity(), 16u);
+    ASSERT_EQ(m.size(), 11u);
+
+    std::size_t before = m.capacity();
+    for (int i = 0; i < 1000; ++i)
+        m.increment(5);
+    EXPECT_EQ(m.capacity(), before);
+    EXPECT_EQ(m.count(5), 1001u);
+    EXPECT_EQ(m.size(), 11u);
+
+    // A genuinely new key still grows.
+    m.increment(999);
+    EXPECT_EQ(m.capacity(), 32u);
+    EXPECT_EQ(m.size(), 12u);
+    for (std::uint32_t i = 0; i < 11; ++i)
+        EXPECT_EQ(m.count(i), i == 5 ? 1001u : 1u);
+}
+
 // ------------------------------------------------------------------- cli
 
 TEST(Cli, ParsesKnownForms)
@@ -591,6 +665,55 @@ TEST(Cli, UnknownFlagsAreLeftInArgv)
     ASSERT_EQ(unknown.size(), 2u);
     EXPECT_EQ(unknown[0], "--bogus=1");
     EXPECT_EQ(unknown[1], "--also-bad");
+}
+
+TEST(Cli, ValueFlagFollowedByFlagIsBare)
+{
+    // Regression: `--csv --json=r.json` used to hand --csv the
+    // fabricated value "true", silently writing a CSV named "true".
+    // The following `--` flag must parse as its own option and the
+    // value-less flag must be detectable as bare.
+    const char *raw[] = {"prog", "--csv", "--json=r.json"};
+    int argc = 3;
+    std::vector<char *> argv_vec;
+    for (const char *a : raw)
+        argv_vec.push_back(const_cast<char *>(a));
+    CliOptions opts =
+        CliOptions::parse(argc, argv_vec.data(), {"csv", "json"});
+
+    EXPECT_EQ(opts.getString("json", ""), "r.json");
+    EXPECT_TRUE(opts.isBare("csv"));
+    EXPECT_FALSE(opts.isBare("json"));
+    EXPECT_EQ(argc, 1); // both flags consumed
+}
+
+TEST(Cli, LaterValuedOccurrenceClearsBare)
+{
+    const char *raw[] = {"prog", "--csv", "--csv=out.csv"};
+    int argc = 3;
+    std::vector<char *> argv_vec;
+    for (const char *a : raw)
+        argv_vec.push_back(const_cast<char *>(a));
+    CliOptions opts =
+        CliOptions::parse(argc, argv_vec.data(), {"csv"});
+    EXPECT_FALSE(opts.isBare("csv"));
+    EXPECT_EQ(opts.getRequiredString("csv", ""), "out.csv");
+}
+
+TEST(CliDeath, BareValueFlagIsFatalWhenValueRequired)
+{
+    const char *raw[] = {"prog", "--threshold", "--json=r.json"};
+    int argc = 3;
+    std::vector<char *> argv_vec;
+    for (const char *a : raw)
+        argv_vec.push_back(const_cast<char *>(a));
+    CliOptions opts = CliOptions::parse(argc, argv_vec.data(),
+                                        {"threshold", "json"});
+
+    EXPECT_DEATH(opts.getUint("threshold", 100), "requires a value");
+    EXPECT_DEATH(opts.getDouble("threshold", 1.0), "requires a value");
+    EXPECT_DEATH(opts.getRequiredString("threshold", ""),
+                 "requires a value");
 }
 
 TEST(Cli, ApplyLogLevelOptionsQuietWins)
