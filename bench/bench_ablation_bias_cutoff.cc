@@ -41,7 +41,8 @@ main(int argc, char **argv)
             config.allocation.use_classification = true;
             config.allocation.bias_cutoff = cutoff;
             AllocationPipeline pipeline(config);
-            pipeline.addProfile(source);
+            profileSource(pipeline, source, options,
+                          run.display + "@" + fixedString(cutoff, 3));
 
             BranchClassifier classifier(cutoff);
             ClassCounts counts = countClasses(

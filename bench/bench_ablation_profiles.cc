@@ -46,10 +46,10 @@ main(int argc, char **argv)
         config.allocation.edge_threshold = options.threshold;
 
         AllocationPipeline pa(config), pb(config), merged(config);
-        pa.addProfile(sa);
-        pb.addProfile(sb);
-        merged.addProfile(sa);
-        merged.addProfile(sb);
+        profileSource(pa, sa, options, preset + "_a");
+        profileSource(pb, sb, options, preset + "_b");
+        profileSource(merged, sa, options, preset + "_a+merged");
+        profileSource(merged, sb, options, preset + "_b+merged");
 
         RequiredSizeResult ra = pa.requiredSize(1024);
         RequiredSizeResult rb = pb.requiredSize(1024);

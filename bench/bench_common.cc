@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/pipeline.hh"
+#include "core/working_set.hh"
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/run_report.hh"
@@ -32,16 +33,17 @@ parseBenchOptions(int &argc, char **argv,
 {
     CliOptions cli = CliOptions::parse(
         argc, argv,
-        {"scale", "benchmarks", "threads", "csv", "threshold", "json",
-         "trace", "progress", "quiet", "verbose"});
+        {"scale", "benchmarks", "threads", "shards", "csv",
+         "threshold", "json", "trace", "progress", "quiet",
+         "verbose"});
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
     if (reject_unknown && !unknown.empty())
         bwsa_fatal("unknown option '", unknown[0],
                    "' (supported: --scale --benchmarks --threads "
-                   "--csv --threshold --json --trace --progress "
-                   "--quiet --verbose)");
+                   "--shards --csv --threshold --json --trace "
+                   "--progress --quiet --verbose)");
 
     applyLogLevelOptions(cli);
 
@@ -52,6 +54,10 @@ parseBenchOptions(int &argc, char **argv,
         cli.getUint("threads", exec::ThreadPool::hardwareThreads()));
     if (options.threads == 0)
         bwsa_fatal("--threads must be >= 1");
+    options.shards =
+        static_cast<unsigned>(cli.getUint("shards", 1));
+    if (options.shards == 0)
+        bwsa_fatal("--shards must be >= 1");
     options.csv_path = cli.getRequiredString("csv", "");
     options.json_path = cli.getRequiredString("json", "");
     options.trace_path = cli.getRequiredString("trace", "");
@@ -85,6 +91,7 @@ parseBenchOptions(int &argc, char **argv,
     report.setConfigValues(cli.values());
     report.setConfigValue("threads",
                           std::to_string(options.threads));
+    report.setConfigValue("shards", std::to_string(options.shards));
 
     bool want_spans = !options.json_path.empty() ||
                       !options.trace_path.empty() ||
@@ -219,6 +226,105 @@ runBenchSweep(const BenchOptions &options,
                     schedule.rows());
 }
 
+void
+recordShardStats(const std::string &label, const ShardRunStats &stats)
+{
+    auto &report = obs::RunReport::global();
+    if (!report.active() || stats.shards <= 1)
+        return;
+
+    TextTable shard_table(
+        {"shard", "worker", "records", "increments", "ms"});
+    for (const ShardTiming &t : stats.timings)
+        shard_table.addRow({std::to_string(t.index),
+                            std::to_string(t.worker),
+                            std::to_string(t.records),
+                            std::to_string(t.increments),
+                            fixedString(t.millis, 3)});
+    shard_table.addRow({"merge", "-", "-", "-",
+                        fixedString(stats.merge_millis, 3)});
+    shard_table.addRow(
+        {"stitch", "-", std::to_string(stats.stitch.records_scanned),
+         std::to_string(stats.stitch.pair_increments),
+         fixedString(stats.stitch.millis, 3)});
+    shard_table.addRow({"total",
+                        std::to_string(stats.threads) + " threads",
+                        "-", "-",
+                        fixedString(stats.total_millis, 3)});
+    report.addTable("profile shards: " + label, shard_table.headers(),
+                    shard_table.rows());
+}
+
+void
+profileSource(AllocationPipeline &pipeline, const TraceSource &source,
+              const BenchOptions &options, const std::string &label)
+{
+    ProfileSession session(pipeline);
+    session.addStats(source);
+    session.commit();
+    if (options.shards > 1) {
+        ShardRunStats stats = session.addInterleaveSharded(
+            source, options.shards, options.threads);
+        recordShardStats(label, stats);
+    } else {
+        session.addInterleave(source);
+    }
+    session.finish();
+}
+
+TextTable
+buildWorkingSetTable(const BenchOptions &options)
+{
+    TextTable table({"benchmark", "total working sets",
+                     "avg static size", "avg dynamic size", "max size",
+                     "static branches"});
+
+    std::vector<BenchmarkRun> runs =
+        defaultRuns(options, {"gs", "tex"});
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
+
+    // Table 2 profiles the raw trace (no frequency reduction), so the
+    // cells drive the shard engine directly instead of a pipeline.
+    std::vector<std::vector<std::string>> rows(runs.size());
+    std::vector<ShardRunStats> shard_stats(runs.size());
+    runBenchSweep(
+        options, "table2", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            Workload w = makeWorkload(run.preset, run.input_label,
+                                      options.scale);
+            WorkloadTraceSource source = w.source();
+
+            ShardConfig config;
+            config.shards = options.shards;
+            config.threads = options.threads;
+            ConflictGraph graph;
+            shard_stats[cell.index] =
+                profileTraceSharded(source, graph, config);
+            ConflictGraph pruned = graph.pruned(options.threshold);
+
+            WorkingSetResult sets = findWorkingSets(
+                pruned, WorkingSetDefinition::SeededClique);
+            WorkingSetStats stats =
+                computeWorkingSetStats(pruned, sets);
+
+            rows[cell.index] = {run.display,
+                                withCommas(stats.total_sets),
+                                fixedString(stats.avg_static_size, 1),
+                                fixedString(stats.avg_dynamic_size, 1),
+                                withCommas(stats.max_size),
+                                withCommas(graph.nodeCount())};
+        });
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        table.addRow(rows[r]);
+        recordShardStats(labels[r], shard_stats[r]);
+    }
+    return table;
+}
+
 TextTable
 buildAllocationTable(const BenchOptions &options, bool classification)
 {
@@ -249,7 +355,7 @@ buildAllocationTable(const BenchOptions &options, bool classification)
             config.allocation.edge_threshold = options.threshold;
             config.allocation.use_classification = classification;
             AllocationPipeline pipeline(config);
-            pipeline.addProfile(source);
+            profileSource(pipeline, source, options, run.display);
 
             PredictorPtr base = makePredictor(paperBaselineSpec());
             PredictorPtr a16 =

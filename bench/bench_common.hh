@@ -8,6 +8,9 @@
  *   --benchmarks=a,b  restrict to a comma-separated preset subset
  *   --threads=<n>     sweep worker threads (default: all hardware
  *                     threads; 1 = serial, bit-identical tables)
+ *   --shards=<n>      trace segments per profiling pass (default 1 =
+ *                     serial profiling; sharded output is identical,
+ *                     see src/profile/shard.hh)
  *   --csv=<path>      also write the table as CSV
  *   --threshold=<n>   conflict-edge threshold (default 100)
  *   --json=<path>     write a machine-readable run report (schema
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hh"
 #include "exec/sweep.hh"
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
@@ -47,6 +51,7 @@ struct BenchOptions
     double scale = 1.0;
     std::uint64_t threshold = 100;
     unsigned threads = 1;      ///< --threads: sweep worker count
+    unsigned shards = 1;       ///< --shards: profiling segments
     std::vector<std::string> benchmarks;
     std::string csv_path;
     std::string json_path;     ///< --json: run report destination
@@ -139,6 +144,41 @@ void runBenchSweep(const BenchOptions &options,
                    const std::vector<std::string> &labels,
                    const std::function<void(const exec::SweepCell &)>
                        &cell);
+
+/**
+ * Profile @p source into @p pipeline through a ProfileSession:
+ * statistics pass, commit, then the interleave pass -- serial with
+ * `--shards=1`, sharded across `options.shards` trace segments on
+ * `options.threads` pool workers otherwise.  The resulting graph is
+ * identical either way (shard.hh), so tables never depend on the
+ * shard count.  When sharded and a run report is active, the
+ * per-shard timings and stitch cost are recorded as table
+ * "profile shards: <label>".  Note that inside a parallel sweep cell
+ * the shard pool comes on top of the sweep workers, transiently
+ * oversubscribing `--threads` -- combine `--shards` with
+ * `--threads=1` (or few cells) when that matters.
+ */
+void profileSource(AllocationPipeline &pipeline,
+                   const TraceSource &source,
+                   const BenchOptions &options,
+                   const std::string &label);
+
+/**
+ * Record a sharded profiling run's per-shard timings, merge time and
+ * stitch cost into the run report (table "profile shards: <label>").
+ * No-op without an active report or for single-shard runs.
+ */
+void recordShardStats(const std::string &label,
+                      const ShardRunStats &stats);
+
+/**
+ * Build the Table 2 working-set table: one sweep cell per benchmark
+ * profiles the trace (honouring `--shards`), prunes the conflict
+ * graph at `options.threshold` and extracts SeededClique working
+ * sets.  Shared with the regression tests, which compare its output
+ * across thread and shard counts.
+ */
+TextTable buildWorkingSetTable(const BenchOptions &options);
 
 /**
  * Build the Figure 3 / Figure 4 misprediction table: for every

@@ -15,9 +15,11 @@
 #include "core/working_set.hh"
 #include "predict/factory.hh"
 #include "profile/interleave.hh"
+#include "profile/shard.hh"
 #include "sim/bpred_sim.hh"
 #include "trace/trace.hh"
 #include "trace/trace_stats.hh"
+#include "util/strutil.hh"
 #include "workload/presets.hh"
 
 using namespace bwsa;
@@ -92,6 +94,22 @@ BM_PredictorStep(benchmark::State &state, PredictorSpec spec)
 }
 
 void
+BM_InterleaveTrackingSharded(benchmark::State &state)
+{
+    const MemoryTrace &trace = cachedTrace();
+    ShardConfig config;
+    config.shards = static_cast<unsigned>(state.range(0));
+    config.threads = config.shards;
+    for (auto _ : state) {
+        ConflictGraph graph = profileTraceShardedGraph(trace, config);
+        benchmark::DoNotOptimize(graph.edgeCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
 BM_GraphPrune(benchmark::State &state)
 {
     const ConflictGraph &graph = cachedGraph();
@@ -125,10 +143,92 @@ BM_WorkingSets(benchmark::State &state, WorkingSetDefinition def)
     }
 }
 
+/**
+ * The headline profiling-throughput measurement: serial interleave
+ * profiling vs. 4 shards on 4 workers over a large trace (>= 8M
+ * instructions), emitted as its own result table (and into the JSON
+ * run report) with the speedup and a graph-equality check.
+ */
+void
+emitProfilingThroughput(const bench::BenchOptions &options)
+{
+    constexpr std::uint64_t min_instructions = 8'000'000;
+
+    // Grow the workload until the trace spans >= 8M instructions (the
+    // timestamp is the retired-instruction count).
+    MemoryTrace trace;
+    for (double scale = 1.0; scale <= 512.0; scale *= 2.0) {
+        trace.clear();
+        Workload w = makeWorkload("m88ksim", "", scale);
+        w.source().replay(trace);
+        if (!trace.empty() &&
+            trace[trace.size() - 1].timestamp >= min_instructions)
+            break;
+    }
+    std::uint64_t instructions =
+        trace.empty() ? 0 : trace[trace.size() - 1].timestamp;
+
+    ShardConfig serial_config;
+    serial_config.record_count = trace.recordCount();
+    ConflictGraph serial_graph;
+    ShardRunStats serial =
+        profileTraceSharded(trace, serial_graph, serial_config);
+
+    ShardConfig sharded_config;
+    sharded_config.shards = 4;
+    sharded_config.threads = 4;
+    sharded_config.record_count = trace.recordCount();
+    ConflictGraph sharded_graph;
+    ShardRunStats sharded =
+        profileTraceSharded(trace, sharded_graph, sharded_config);
+    bench::recordShardStats("throughput_m88ksim", sharded);
+
+    bool equal = serial_graph.nodeCount() ==
+                     sharded_graph.nodeCount() &&
+                 serial_graph.edges() == sharded_graph.edges();
+    for (std::size_t i = 0;
+         equal && i < serial_graph.nodeCount(); ++i) {
+        const ConflictNode &a =
+            serial_graph.node(static_cast<NodeId>(i));
+        const ConflictNode &b =
+            sharded_graph.node(static_cast<NodeId>(i));
+        equal = a.pc == b.pc && a.executed == b.executed &&
+                a.taken == b.taken;
+    }
+
+    auto rate = [&](double ms) {
+        return ms > 0.0
+                   ? static_cast<double>(trace.size()) / ms / 1000.0
+                   : 0.0;
+    };
+    double speedup = sharded.total_millis > 0.0
+                         ? serial.total_millis / sharded.total_millis
+                         : 0.0;
+
+    TextTable table({"config", "instructions", "records", "ms",
+                     "Mrec/s", "speedup", "graph identical"});
+    table.addRow({"serial", withCommas(instructions),
+                  withCommas(trace.size()),
+                  fixedString(serial.total_millis, 3),
+                  fixedString(rate(serial.total_millis), 2), "1.00",
+                  "-"});
+    table.addRow({"4 shards / 4 threads", withCommas(instructions),
+                  withCommas(trace.size()),
+                  fixedString(sharded.total_millis, 3),
+                  fixedString(rate(sharded.total_millis), 2),
+                  fixedString(speedup, 2), equal ? "yes" : "NO"});
+    bench::emitTable("profiling throughput (sharded vs serial)",
+                     table, options);
+}
+
 } // namespace
 
 BENCHMARK(BM_SyntheticExecution)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterleaveTracking)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterleaveTrackingSharded)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStep, pag_modulo, paperBaselineSpec())
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStep, pag_ideal, interferenceFreeSpec())
@@ -164,5 +264,6 @@ main(int argc, char **argv)
         return 1;
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
+    emitProfilingThroughput(options);
     return bwsa::bench::finishBench(options);
 }

@@ -9,15 +9,17 @@
  * clique grown per branch, deduplicated); see DESIGN.md for why full
  * Bron-Kerbosch enumeration is reserved for the ablation harness.
  *
+ * Benchmarks run as a parallel sweep over `--threads` workers, and
+ * each profiling pass can itself be sharded with `--shards`; the
+ * table is identical for every thread and shard count (see
+ * bench_common.hh's buildWorkingSetTable, shared with the regression
+ * tests).
+ *
  * The paper's Table 2 covers 11 benchmarks (no gs, no tex); pass
  * --benchmarks=... to override.
  */
 
 #include "bench_common.hh"
-
-#include "core/working_set.hh"
-#include "profile/interleave.hh"
-#include "util/strutil.hh"
 
 using namespace bwsa;
 using namespace bwsa::bench;
@@ -27,30 +29,7 @@ main(int argc, char **argv)
 {
     BenchOptions options = parseBenchOptions(argc, argv, "bench_table2_working_sets");
 
-    TextTable table({"benchmark", "total working sets",
-                     "avg static size", "avg dynamic size",
-                     "max size", "static branches"});
-
-    for (const BenchmarkRun &run :
-         defaultRuns(options, {"gs", "tex"})) {
-        RowScope row_scope;
-        Workload w =
-            makeWorkload(run.preset, run.input_label, options.scale);
-        WorkloadTraceSource source = w.source();
-
-        ConflictGraph graph = profileTrace(source);
-        ConflictGraph pruned = graph.pruned(options.threshold);
-
-        WorkingSetResult sets = findWorkingSets(
-            pruned, WorkingSetDefinition::SeededClique);
-        WorkingSetStats stats = computeWorkingSetStats(pruned, sets);
-
-        table.addRow({run.display, withCommas(stats.total_sets),
-                      fixedString(stats.avg_static_size, 1),
-                      fixedString(stats.avg_dynamic_size, 1),
-                      withCommas(stats.max_size),
-                      withCommas(graph.nodeCount())});
-    }
+    TextTable table = buildWorkingSetTable(options);
 
     emitTable("Table 2: the sizes of branch working sets (threshold " +
                   std::to_string(options.threshold) + ")",

@@ -45,7 +45,7 @@ main(int argc, char **argv)
             PipelineConfig config;
             config.allocation.edge_threshold = options.threshold;
             AllocationPipeline pipeline(config);
-            pipeline.addProfile(source);
+            profileSource(pipeline, source, options, run.display);
 
             RequiredSizeResult req = pipeline.requiredSize(1024);
             rows[cell.index] = {

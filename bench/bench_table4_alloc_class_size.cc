@@ -50,7 +50,7 @@ main(int argc, char **argv)
             config.allocation.use_classification = true;
             config.allocation.bias_cutoff = 0.99;
             AllocationPipeline pipeline(config);
-            pipeline.addProfile(source);
+            profileSource(pipeline, source, options, run.display);
 
             RequiredSizeResult req = pipeline.requiredSize(1024);
 

@@ -16,6 +16,7 @@
  * Usage:
  *   ./compiler_pipeline [--preset=ss] [--entries=128] [--scale=0.5]
  *                       [--classify] [--graph-out=prof.bwsg]
+ *                       [--shards=4]
  */
 
 #include <cstdio>
@@ -24,6 +25,7 @@
 #include "report/table.hh"
 #include "sim/bpred_sim.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "workload/presets.hh"
 
@@ -34,12 +36,25 @@ main(int argc, char **argv)
 {
     CliOptions cli = CliOptions::parse(
         argc, argv,
-        {"preset", "entries", "scale", "classify", "graph-out"});
+        {"preset", "entries", "scale", "classify", "graph-out",
+         "shards", "quiet", "verbose"});
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv);
+    if (!unknown.empty())
+        bwsa_fatal("unknown option '", unknown[0],
+                   "' (supported: --preset --entries --scale "
+                   "--classify --graph-out --shards --quiet "
+                   "--verbose)");
+    applyLogLevelOptions(cli);
     std::string preset = cli.getString("preset", "ss");
     std::uint64_t entries = cli.getUint("entries", 128);
     double scale = cli.getDouble("scale", 0.5);
     bool classify = cli.getBool("classify", true);
     std::string graph_out = cli.getString("graph-out", "");
+    unsigned shards =
+        static_cast<unsigned>(cli.getUint("shards", 1));
+    if (shards == 0)
+        bwsa_fatal("--shards must be >= 1");
 
     // --- 1. Profile every named input of the benchmark.
     PipelineConfig config;
@@ -49,7 +64,13 @@ main(int argc, char **argv)
     for (const NamedInput &input : presetInputs(preset)) {
         Workload w = makeWorkload(preset, input.label, scale);
         WorkloadTraceSource source = w.source();
-        pipeline.addProfile(source);
+
+        // The explicit two-phase flow: statistics, commit (the
+        // selection becomes visible here), then the interleave pass
+        // -- sharded across a thread pool when --shards asks for it.
+        ProfileSession session(pipeline);
+        session.addStats(source);
+        session.commit();
         std::printf("profiled %s/%s: %s dynamic branches over %zu "
                     "static (coverage %s)\n",
                     preset.c_str(), input.label.c_str(),
@@ -58,6 +79,20 @@ main(int argc, char **argv)
                     pipeline.lastStats().staticBranches(),
                     percentString(pipeline.lastSelection().coverage())
                         .c_str());
+        if (shards > 1) {
+            ShardRunStats shard_stats =
+                session.addInterleaveSharded(source, shards);
+            std::printf("  interleave pass: %u shards on %u threads, "
+                        "%.1f ms (stitch %.1f ms over %s records)\n",
+                        shard_stats.shards, shard_stats.threads,
+                        shard_stats.total_millis,
+                        shard_stats.stitch.millis,
+                        withCommas(shard_stats.stitch.records_scanned)
+                            .c_str());
+        } else {
+            session.addInterleave(source);
+        }
+        session.finish();
     }
 
     const ConflictGraph &graph = pipeline.graph();

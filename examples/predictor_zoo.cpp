@@ -8,6 +8,11 @@
  *
  * Usage:
  *   ./predictor_zoo [--preset=li] [--scale=0.5]
+ *                   [--extra=<spec>]
+ *
+ * --extra adds one custom contender described in the PredictorSpec
+ * string grammar (see src/predict/factory.hh), e.g.
+ * --extra=gshare:hist=16 or --extra=pas:bht=512,sets=8.
  */
 
 #include <cstdio>
@@ -17,6 +22,7 @@
 #include "report/table.hh"
 #include "sim/bpred_sim.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "workload/presets.hh"
 
@@ -25,10 +31,18 @@ using namespace bwsa;
 int
 main(int argc, char **argv)
 {
-    CliOptions cli =
-        CliOptions::parse(argc, argv, {"preset", "scale"});
+    CliOptions cli = CliOptions::parse(
+        argc, argv, {"preset", "scale", "extra", "quiet", "verbose"});
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv);
+    if (!unknown.empty())
+        bwsa_fatal("unknown option '", unknown[0],
+                   "' (supported: --preset --scale --extra --quiet "
+                   "--verbose)");
+    applyLogLevelOptions(cli);
     std::string preset = cli.getString("preset", "li");
     double scale = cli.getDouble("scale", 0.5);
+    std::string extra = cli.getString("extra", "");
 
     Workload w = makeWorkload(preset, "", scale);
     WorkloadTraceSource source = w.source();
@@ -38,7 +52,13 @@ main(int argc, char **argv)
     PipelineConfig config;
     config.allocation.use_classification = true;
     AllocationPipeline pipeline(config);
-    pipeline.addProfile(source);
+    {
+        ProfileSession session(pipeline);
+        session.addStats(source);
+        session.commit();
+        session.addInterleave(source);
+        session.finish();
+    }
 
     std::unordered_map<BranchPc, bool> majorities;
     for (const ConflictNode &node : pipeline.graph().nodes())
@@ -59,6 +79,9 @@ main(int argc, char **argv)
     }
     predictors.push_back(makePredictor(pipeline.predictorSpec(1024)));
     predictors.push_back(makePredictor(interferenceFreeSpec()));
+    if (!extra.empty())
+        predictors.push_back(
+            makePredictor(parsePredictorSpec(extra)));
 
     std::vector<Predictor *> raw;
     for (const PredictorPtr &p : predictors)

@@ -108,10 +108,20 @@ main(int argc, char **argv)
     WorkloadTraceSource source(program, config);
 
     // --- 2. Profile: time-stamp interleave analysis -> conflict graph.
+    // A ProfileSession makes the two passes explicit: statistics
+    // (frequency selection), commit, then the interleave pass over
+    // the selected branches.  addInterleaveSharded() would run the
+    // second pass in parallel; this trace is small enough serially.
     PipelineConfig pipe_config;
     pipe_config.allocation.edge_threshold = 100;
     AllocationPipeline pipeline(pipe_config);
-    pipeline.addProfile(source);
+    {
+        ProfileSession session(pipeline);
+        session.addStats(source);
+        session.commit();
+        session.addInterleave(source);
+        session.finish();
+    }
 
     const ConflictGraph &graph = pipeline.graph();
     std::printf("profile: %zu branches, %zu conflict edges, %s dynamic"

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   ./working_set_explorer [--preset=m88ksim] [--scale=0.5]
- *                          [--threshold=100] [--top=5]
+ *                          [--threshold=100] [--top=5] [--shards=4]
  */
 
 #include <algorithm>
@@ -15,9 +15,10 @@
 
 #include "core/classification.hh"
 #include "core/working_set.hh"
-#include "profile/interleave.hh"
+#include "profile/shard.hh"
 #include "report/table.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/strutil.hh"
 #include "workload/presets.hh"
@@ -28,16 +29,32 @@ int
 main(int argc, char **argv)
 {
     CliOptions cli = CliOptions::parse(
-        argc, argv, {"preset", "scale", "threshold", "top"});
+        argc, argv,
+        {"preset", "scale", "threshold", "top", "shards", "quiet",
+         "verbose"});
+    std::vector<std::string> unknown =
+        CliOptions::unknownFlags(argc, argv);
+    if (!unknown.empty())
+        bwsa_fatal("unknown option '", unknown[0],
+                   "' (supported: --preset --scale --threshold --top "
+                   "--shards --quiet --verbose)");
+    applyLogLevelOptions(cli);
     std::string preset = cli.getString("preset", "m88ksim");
     double scale = cli.getDouble("scale", 0.5);
     std::uint64_t threshold = cli.getUint("threshold", 100);
     std::size_t top = cli.getUint("top", 5);
+    unsigned shards =
+        static_cast<unsigned>(cli.getUint("shards", 1));
+    if (shards == 0)
+        bwsa_fatal("--shards must be >= 1");
 
     Workload w = makeWorkload(preset, "", scale);
     WorkloadTraceSource source = w.source();
 
-    ConflictGraph graph = profileTrace(source);
+    ShardConfig shard_config;
+    shard_config.shards = shards;
+    ConflictGraph graph =
+        profileTraceShardedGraph(source, shard_config);
     ConflictGraph pruned = graph.pruned(threshold);
     std::printf("%s: %zu static branches, %s dynamic; conflict graph "
                 "%zu edges (%zu above threshold %llu)\n",

@@ -18,31 +18,29 @@ AllocationPipeline::AllocationPipeline(const PipelineConfig &config)
 void
 AllocationPipeline::addProfile(const TraceSource &source)
 {
-    // Pass 1: per-branch frequencies for the static reduction.
-    {
-        BWSA_SPAN("pipeline.stats_pass");
-        _stats.clear();
-        source.replay(_stats);
-        _selection = selectByFrequency(_stats, _config.coverage,
-                                       _config.max_static);
-    }
+    ProfileSession session(*this);
+    session.addStats(source);
+    session.commit();
+    session.addInterleave(source);
+    session.finish();
+}
 
-    // Pass 2: interleave analysis over the retained branches, merged
-    // into the cumulative graph (Section 5.2's multi-input profiles).
-    ConflictGraph run_graph;
-    {
-        BWSA_SPAN("pipeline.interleave_pass");
-        InterleaveTracker tracker(run_graph, _config.interleave);
-        FilteredSink filter(_selection, tracker);
-        source.replay(filter);
-    }
-    obs::MetricsRegistry::global().counter("pipeline.profiles").inc();
+const TraceStatsCollector &
+AllocationPipeline::lastStats() const
+{
+    if (!_stats_valid)
+        bwsa_fatal("AllocationPipeline::lastStats before any "
+                   "committed profile run");
+    return _stats;
+}
 
-    if (_profiles == 0)
-        _graph = std::move(run_graph);
-    else
-        _graph.mergeFrom(run_graph);
-    ++_profiles;
+const FrequencySelection &
+AllocationPipeline::lastSelection() const
+{
+    if (!_stats_valid)
+        bwsa_fatal("AllocationPipeline::lastSelection before any "
+                   "committed profile run");
+    return _selection;
 }
 
 AllocationResult
@@ -95,6 +93,113 @@ AllocationPipeline::staticFilterSpec(std::uint64_t table_size) const
         }
     }
     return spec;
+}
+
+ProfileSession::ProfileSession(AllocationPipeline &pipeline)
+    : _pipeline(pipeline)
+{
+    // The pipeline's collector IS the session's statistics phase;
+    // lastStats() keeps exposing it after the session closes.
+    _pipeline._stats.clear();
+}
+
+ProfileSession::~ProfileSession() = default;
+
+TraceSink &
+ProfileSession::statsSink()
+{
+    if (_committed)
+        bwsa_fatal("ProfileSession: statistics input after commit()");
+    return _pipeline._stats;
+}
+
+void
+ProfileSession::addStats(const TraceSource &source)
+{
+    BWSA_SPAN("pipeline.stats_pass");
+    source.replay(statsSink());
+}
+
+const FrequencySelection &
+ProfileSession::commit()
+{
+    if (_committed)
+        bwsa_fatal("ProfileSession: commit() called twice");
+    _committed = true;
+    _pipeline._selection =
+        selectByFrequency(_pipeline._stats, _pipeline._config.coverage,
+                          _pipeline._config.max_static);
+    _pipeline._stats_valid = true;
+    return _pipeline._selection;
+}
+
+TraceSink &
+ProfileSession::interleaveSink()
+{
+    if (!_committed)
+        bwsa_fatal("ProfileSession: interleave input before commit()");
+    if (_finished)
+        bwsa_fatal("ProfileSession: interleave input after finish()");
+    if (_sharded)
+        bwsa_fatal("ProfileSession: cannot mix streamed and sharded "
+                   "interleave passes in one session");
+    if (!_tracker) {
+        _tracker = std::make_unique<InterleaveTracker>(
+            _run_graph, _pipeline._config.interleave);
+        _filter = std::make_unique<FilteredSink>(_pipeline._selection,
+                                                 *_tracker);
+    }
+    return *_filter;
+}
+
+void
+ProfileSession::addInterleave(const TraceSource &source)
+{
+    BWSA_SPAN("pipeline.interleave_pass");
+    source.replay(interleaveSink());
+}
+
+ShardRunStats
+ProfileSession::addInterleaveSharded(const TraceSource &source,
+                                     unsigned shards, unsigned threads)
+{
+    if (!_committed)
+        bwsa_fatal("ProfileSession: interleave input before commit()");
+    if (_finished)
+        bwsa_fatal("ProfileSession: interleave input after finish()");
+    if (_tracker || _sharded)
+        bwsa_fatal("ProfileSession: addInterleaveSharded needs an "
+                   "empty interleave phase (one sharded pass per "
+                   "session, no streamed input before it)");
+    _sharded = true;
+
+    BWSA_SPAN("pipeline.interleave_pass");
+    ShardConfig config;
+    config.shards = shards;
+    config.threads = threads;
+    config.interleave = _pipeline._config.interleave;
+    config.selection = &_pipeline._selection;
+    // record_count stays 0: the statistics phase may have accumulated
+    // several sources, so only @p source itself can say how long it
+    // is (O(1) for MemoryTrace and trace files).
+    return profileTraceSharded(source, _run_graph, config);
+}
+
+void
+ProfileSession::finish()
+{
+    if (!_committed)
+        bwsa_fatal("ProfileSession: finish() before commit()");
+    if (_finished)
+        bwsa_fatal("ProfileSession: finish() called twice");
+    _finished = true;
+
+    obs::MetricsRegistry::global().counter("pipeline.profiles").inc();
+    if (_pipeline._profiles == 0)
+        _pipeline._graph = std::move(_run_graph);
+    else
+        _pipeline._graph.mergeFrom(_run_graph);
+    ++_pipeline._profiles;
 }
 
 } // namespace bwsa

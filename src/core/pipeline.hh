@@ -8,22 +8,33 @@
  * (Table 1), and hand the graph to the allocator to produce a BHT
  * assignment or a required-size measurement.  The emitted
  * PredictorSpec plugs straight into the trace simulator.
+ *
+ * Profiling is driven through ProfileSession, which makes the two
+ * passes of a profile run explicit: a statistics pass picks the
+ * frequency-selected branch set, commit() closes it, and the
+ * interleave pass (streaming, replayed, or sharded across a thread
+ * pool) builds the run's conflict graph before finish() merges it
+ * into the pipeline.
  */
 
 #ifndef BWSA_CORE_PIPELINE_HH
 #define BWSA_CORE_PIPELINE_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "core/allocation.hh"
 #include "predict/factory.hh"
 #include "profile/interleave.hh"
+#include "profile/shard.hh"
 #include "trace/frequency_filter.hh"
 #include "trace/trace.hh"
 #include "trace/trace_stats.hh"
 
 namespace bwsa
 {
+
+class ProfileSession;
 
 /** Pipeline configuration. */
 struct PipelineConfig
@@ -55,9 +66,14 @@ class AllocationPipeline
 
     /**
      * Profile one run and merge it into the cumulative conflict
-     * graph.  Replays @p source twice: a statistics pass to pick the
-     * frequency-selected branch set, then the interleave pass over
-     * the filtered stream.
+     * graph.
+     *
+     * @deprecated Thin wrapper kept for source compatibility: it
+     * opens a ProfileSession, replays @p source through both passes
+     * serially, and finishes the session.  New code should drive a
+     * ProfileSession directly -- it exposes the statistics between
+     * the passes, accepts streamed records, and can run the
+     * interleave pass sharded (ProfileSession::addInterleaveSharded).
      */
     void addProfile(const TraceSource &source);
 
@@ -67,14 +83,22 @@ class AllocationPipeline
     /** Cumulative conflict graph (frequency-filtered branches only). */
     const ConflictGraph &graph() const { return _graph; }
 
-    /** Whole-stream statistics of the most recent profile run. */
-    const TraceStatsCollector &lastStats() const { return _stats; }
+    /**
+     * Whole-stream statistics of the most recent profile run.
+     * Fatal before the first committed statistics pass: the collector
+     * would otherwise be an empty dummy that silently reads as "the
+     * trace had no branches".
+     */
+    const TraceStatsCollector &lastStats() const;
 
-    /** Frequency selection of the most recent profile run. */
-    const FrequencySelection &lastSelection() const
-    {
-        return _selection;
-    }
+    /**
+     * Frequency selection of the most recent profile run.  Fatal
+     * before the first committed statistics pass (see lastStats()).
+     */
+    const FrequencySelection &lastSelection() const;
+
+    /** True once lastStats()/lastSelection() are safe to read. */
+    bool hasProfileData() const { return _stats_valid; }
 
     /** Allocate the cumulative graph into @p table_size entries. */
     AllocationResult allocate(std::uint64_t table_size) const;
@@ -102,11 +126,100 @@ class AllocationPipeline
     const PipelineConfig &config() const { return _config; }
 
   private:
+    friend class ProfileSession;
+
     PipelineConfig _config;
     ConflictGraph _graph;
     TraceStatsCollector _stats;
     FrequencySelection _selection;
     std::size_t _profiles = 0;
+    bool _stats_valid = false;
+};
+
+/**
+ * One profile run against an AllocationPipeline, with the two passes
+ * of the analysis exposed as explicit phases:
+ *
+ *   1. *Statistics* -- stream records into statsSink() or replay a
+ *      source with addStats(); multiple inputs accumulate.  commit()
+ *      closes the phase by computing the frequency selection.
+ *   2. *Interleave* -- stream records into interleaveSink(), replay
+ *      a source with addInterleave(), or run the pass in parallel
+ *      with addInterleaveSharded().  All input is frequency-filtered
+ *      through the committed selection.
+ *
+ * finish() merges the run's conflict graph into the pipeline and
+ * bumps profileCount().  A session abandoned before finish() leaves
+ * the pipeline's cumulative graph untouched (the committed statistics
+ * remain visible through lastStats()).  Phase misuse -- interleave
+ * input before commit(), input after finish(), mixing streamed and
+ * sharded interleave passes -- is fatal.  Drive at most one session
+ * per pipeline at a time.
+ */
+class ProfileSession
+{
+  public:
+    /** Opens the statistics phase; @p pipeline must outlive this. */
+    explicit ProfileSession(AllocationPipeline &pipeline);
+
+    ProfileSession(const ProfileSession &) = delete;
+    ProfileSession &operator=(const ProfileSession &) = delete;
+
+    ~ProfileSession();
+
+    /** Streaming sink of the statistics phase. */
+    TraceSink &statsSink();
+
+    /** Replay @p source into the statistics phase. */
+    void addStats(const TraceSource &source);
+
+    /**
+     * Close the statistics phase: compute the frequency selection
+     * from everything streamed so far and open the interleave phase.
+     *
+     * @return the committed selection (owned by the pipeline)
+     */
+    const FrequencySelection &commit();
+
+    /** Streaming sink of the interleave phase (filtered). */
+    TraceSink &interleaveSink();
+
+    /** Replay @p source through the interleave phase. */
+    void addInterleave(const TraceSource &source);
+
+    /**
+     * Run the interleave pass sharded: split @p source into
+     * @p shards contiguous segments profiled in parallel on
+     * @p threads workers (0 = hardware threads), then stitch the
+     * segment boundaries (see shard.hh).  The resulting run graph is
+     * identical to a serial addInterleave() of the same source.
+     * Cannot be combined with streamed interleave input in one
+     * session, and @p source must tolerate concurrent replayRange()
+     * calls (MemoryTrace and TraceFileReader both do).
+     *
+     * @return per-shard timings and stitch cost for run reports
+     */
+    ShardRunStats addInterleaveSharded(const TraceSource &source,
+                                       unsigned shards,
+                                       unsigned threads = 0);
+
+    /** Merge the run graph into the pipeline; closes the session. */
+    void finish();
+
+    /** True once commit() has run. */
+    bool committed() const { return _committed; }
+
+    /** True once finish() has run. */
+    bool finished() const { return _finished; }
+
+  private:
+    AllocationPipeline &_pipeline;
+    ConflictGraph _run_graph;
+    std::unique_ptr<InterleaveTracker> _tracker;
+    std::unique_ptr<FilteredSink> _filter;
+    bool _committed = false;
+    bool _finished = false;
+    bool _sharded = false;
 };
 
 } // namespace bwsa

@@ -9,6 +9,7 @@
 #include "predict/twolevel.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace bwsa
 {
@@ -118,6 +119,117 @@ makePredictor(const PredictorSpec &spec)
       }
     }
     bwsa_panic("unknown PredictorKind ", static_cast<int>(spec.kind));
+}
+
+namespace
+{
+
+/** Kind keyword of the spec grammar -> enum value. */
+bool
+parseKindKeyword(const std::string &word, PredictorKind &out)
+{
+    if (word == "taken")
+        out = PredictorKind::AlwaysTaken;
+    else if (word == "not-taken")
+        out = PredictorKind::AlwaysNotTaken;
+    else if (word == "bimodal")
+        out = PredictorKind::Bimodal;
+    else if (word == "gag")
+        out = PredictorKind::GAg;
+    else if (word == "gshare")
+        out = PredictorKind::Gshare;
+    else if (word == "pag")
+        out = PredictorKind::PAgModulo;
+    else if (word == "pag-ideal")
+        out = PredictorKind::PAgIdeal;
+    else if (word == "pas")
+        out = PredictorKind::PAs;
+    else if (word == "tournament")
+        out = PredictorKind::Tournament;
+    else if (word == "agree")
+        out = PredictorKind::Agree;
+    else
+        return false;
+    return true;
+}
+
+/** One "key=value" parameter applied to @p spec; fatal on misuse. */
+void
+applySpecParam(PredictorSpec &spec, const std::string &param,
+               const std::string &full)
+{
+    std::size_t eq = param.find('=');
+    if (eq == std::string::npos)
+        bwsa_fatal("predictor spec '", full, "': parameter '", param,
+                   "' is not of the form key=value");
+    std::string key = trim(param.substr(0, eq));
+    std::string value_text = trim(param.substr(eq + 1));
+    std::uint64_t value = 0;
+    if (!parseUint64(value_text, value))
+        bwsa_fatal("predictor spec '", full, "': value '", value_text,
+                   "' of '", key, "' is not an unsigned integer");
+
+    auto require = [&](bool ok, const char *range) {
+        if (!ok)
+            bwsa_fatal("predictor spec '", full, "': ", key, "=",
+                       value, " out of range (", range, ")");
+    };
+    if (key == "bht") {
+        require(value >= 1, ">= 1");
+        spec.bht_entries = value;
+    } else if (key == "pht") {
+        require(value >= 1, ">= 1");
+        spec.pht_entries = value;
+    } else if (key == "hist") {
+        require(value >= 1 && value <= 30, "1..30");
+        spec.history_bits = static_cast<unsigned>(value);
+    } else if (key == "ctr") {
+        require(value >= 1 && value <= 16, "1..16");
+        spec.counter_bits = static_cast<unsigned>(value);
+    } else if (key == "sets") {
+        require(value >= 1, ">= 1");
+        spec.pht_sets = value;
+    } else if (key == "shift") {
+        require(value <= 4, "0..4");
+        spec.insn_shift = static_cast<unsigned>(value);
+    } else {
+        bwsa_fatal("predictor spec '", full, "': unknown key '", key,
+                   "' (supported: bht pht hist ctr sets shift)");
+    }
+}
+
+} // namespace
+
+PredictorSpec
+parsePredictorSpec(const std::string &text)
+{
+    std::string full = trim(text);
+    if (full.empty())
+        bwsa_fatal("empty predictor spec");
+
+    std::string kind_word = full;
+    std::string params;
+    std::size_t colon = full.find(':');
+    if (colon != std::string::npos) {
+        kind_word = full.substr(0, colon);
+        params = full.substr(colon + 1);
+    }
+
+    PredictorSpec spec;
+    if (!parseKindKeyword(toLower(trim(kind_word)), spec.kind))
+        bwsa_fatal("predictor spec '", full, "': unknown kind '",
+                   trim(kind_word),
+                   "' (supported: taken not-taken bimodal gag gshare "
+                   "pag pag-ideal pas tournament agree)");
+
+    if (colon != std::string::npos) {
+        if (trim(params).empty())
+            bwsa_fatal("predictor spec '", full,
+                       "': empty parameter list after ':'");
+        for (const std::string &param : split(params, ','))
+            applySpecParam(spec, toLower(trim(param)), full);
+    }
+    return spec;
 }
 
 PredictorSpec

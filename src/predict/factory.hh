@@ -70,6 +70,37 @@ struct PredictorSpec
 /** Build a predictor; panics on inconsistent specs. */
 PredictorPtr makePredictor(const PredictorSpec &spec);
 
+/**
+ * Parse a predictor description string into a spec (the CLI-facing
+ * mirror of PredictorSpec, used by example tools and sweeps).
+ *
+ * Grammar (case-insensitive, no whitespace significance):
+ *
+ *     spec  := <kind>[:<key>=<value>{,<key>=<value>}]
+ *     kind  := taken | not-taken | bimodal | gag | gshare | pag |
+ *              pag-ideal | pas | tournament | agree
+ *     key   := bht   (first-level BHT / bimodal entries, >= 1)
+ *            | pht   (second-level PHT entries, >= 1)
+ *            | hist  (history register bits, 1..30)
+ *            | ctr   (saturating counter bits, 1..16)
+ *            | sets  (PAs second-level set count, >= 1)
+ *            | shift (instruction alignment shift, 0..4)
+ *
+ * Examples: "pag", "pag:bht=256,hist=10", "gshare:hist=14",
+ * "pas:bht=512,sets=8".  Unset keys keep PredictorSpec's defaults.
+ *
+ * Kinds that need a profile artifact (PAgAllocated's assignment map,
+ * StaticFilteredPAg's direction map) cannot be described by a string
+ * and are deliberately not part of the grammar; build their specs
+ * programmatically (allocatedSpec(), AllocationPipeline).
+ *
+ * Malformed input -- unknown kind, unknown key, missing '=', value
+ * that does not parse or is out of range -- is fatal with a message
+ * naming the offending token, so typos fail fast instead of silently
+ * running a default predictor.
+ */
+PredictorSpec parsePredictorSpec(const std::string &text);
+
 /** Paper-baseline spec: PAg, 1024-entry BHT, 4096-entry PHT. */
 PredictorSpec paperBaselineSpec();
 

@@ -93,6 +93,17 @@ InterleaveTracker::onBranch(const BranchRecord &record)
         evictHead();
 }
 
+std::vector<BranchPc>
+InterleaveTracker::windowPcs() const
+{
+    std::vector<BranchPc> pcs;
+    pcs.reserve(_window_size);
+    for (NodeId cur = _head; cur != invalid_node;
+         cur = _list[cur].next)
+        pcs.push_back(_graph.node(cur).pc);
+    return pcs;
+}
+
 void
 InterleaveTracker::onEnd()
 {

@@ -72,6 +72,15 @@ class InterleaveTracker : public TraceSink
     /** Branches currently inside the tracking window. */
     std::size_t windowSize() const { return _window_size; }
 
+    /**
+     * PCs of the branches currently inside the tracking window, in
+     * last-execution order (least recent first).  Because the window
+     * invariantly holds the max_window most recently executed distinct
+     * branches, this is exactly the boundary state the sharded
+     * profiling engine composes and stitches with (see shard.hh).
+     */
+    std::vector<BranchPc> windowPcs() const;
+
     /** Occurrences treated as fresh because of window eviction. */
     std::uint64_t evictedReentries() const
     {

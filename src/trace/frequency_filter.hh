@@ -87,6 +87,9 @@ class FilteredSink : public TraceSink
 
     void onEnd() override { _inner.onEnd(); }
 
+    /** Done when the downstream sink is done (early-stop protocol). */
+    bool done() const override { return _inner.done(); }
+
     /** Records dropped so far. */
     std::uint64_t dropped() const { return _dropped; }
 

@@ -12,12 +12,15 @@
 #define BWSA_TRACE_TRACE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "trace/branch_record.hh"
 
 namespace bwsa
 {
+
+class TraceSegment;
 
 /**
  * Consumer of a dynamic branch stream.
@@ -44,6 +47,13 @@ class TraceSink
 
 /**
  * Re-readable producer of a dynamic branch stream.
+ *
+ * Beyond whole-stream replay, every source supports *range replay*
+ * (deliver only records [begin, end) by stream position) and can hand
+ * out independent segment readers via segments(), which is what the
+ * sharded profiling engine uses to analyze one trace on several
+ * threads.  Subclasses override replayRange()/recordCount() when they
+ * can do better than the generic skip-and-truncate default.
  */
 class TraceSource
 {
@@ -55,6 +65,131 @@ class TraceSource
      * Must be callable repeatedly, replaying the identical stream.
      */
     virtual void replay(TraceSink &sink) const = 0;
+
+    /**
+     * Push records [begin, end) -- counted by stream position, 0-based
+     * -- into @p sink, followed by onEnd().  An @p end beyond the
+     * stream delivers up to the stream's end.  The default
+     * implementation replays the whole stream through a range filter
+     * that stops early once @p end is reached (sources honour
+     * TraceSink::done()), so the prefix is skipped cheaply but still
+     * produced; seekable sources override this.
+     */
+    virtual void replayRange(TraceSink &sink, std::uint64_t begin,
+                             std::uint64_t end) const;
+
+    /**
+     * Total records one replay() delivers.  The default implementation
+     * counts by replaying into a null sink -- O(stream); sources that
+     * know their length (in-memory buffers, trace file headers)
+     * override it.  Callers that already know the length (e.g. from a
+     * statistics pass) should pass it to segments() instead.
+     */
+    virtual std::uint64_t recordCount() const;
+
+    /**
+     * Split the stream into @p k contiguous, non-overlapping segments
+     * covering it exactly; each segment is an independent TraceSource
+     * over its range, so the segments can replay concurrently.  Record
+     * counts per segment differ by at most one.  Fewer than @p k
+     * segments are returned when the stream is shorter than @p k.
+     *
+     * @param k            number of segments requested (>= 1)
+     * @param record_count total records when already known (e.g. from
+     *                     a prior statistics pass); 0 = recordCount()
+     */
+    std::vector<TraceSegment> segments(unsigned k,
+                                       std::uint64_t record_count = 0)
+        const;
+};
+
+/**
+ * One contiguous chunk [begin, end) of a parent source; replayable and
+ * itself range-replayable (nested ranges compose).  Holds a pointer to
+ * the parent, which must outlive the segment.
+ */
+class TraceSegment : public TraceSource
+{
+  public:
+    TraceSegment() = default;
+
+    TraceSegment(const TraceSource &parent, std::uint64_t begin,
+                 std::uint64_t end)
+        : _parent(&parent), _begin(begin), _end(end)
+    {}
+
+    void
+    replay(TraceSink &sink) const override
+    {
+        _parent->replayRange(sink, _begin, _end);
+    }
+
+    void
+    replayRange(TraceSink &sink, std::uint64_t begin,
+                std::uint64_t end) const override
+    {
+        std::uint64_t lo = _begin + begin;
+        std::uint64_t hi = _begin + end;
+        if (lo > _end)
+            lo = _end;
+        if (hi > _end)
+            hi = _end;
+        _parent->replayRange(sink, lo, hi);
+    }
+
+    std::uint64_t recordCount() const override { return _end - _begin; }
+
+    /** First record position (in the parent stream). */
+    std::uint64_t begin() const { return _begin; }
+
+    /** One past the last record position (in the parent stream). */
+    std::uint64_t end() const { return _end; }
+
+  private:
+    const TraceSource *_parent = nullptr;
+    std::uint64_t _begin = 0;
+    std::uint64_t _end = 0;
+};
+
+/**
+ * Pass-through sink forwarding only records whose stream position
+ * falls in [begin, end); reports done() once the range is exhausted so
+ * sources stop replaying instead of draining the stream.  Backs the
+ * default TraceSource::replayRange().
+ */
+class RangeFilterSink : public TraceSink
+{
+  public:
+    /** @param inner downstream sink (not owned) */
+    RangeFilterSink(TraceSink &inner, std::uint64_t begin,
+                    std::uint64_t end)
+        : _inner(inner), _begin(begin), _end(end)
+    {}
+
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        std::uint64_t pos = _position++;
+        if (pos >= _begin && pos < _end)
+            _inner.onBranch(record);
+    }
+
+    void onEnd() override { _inner.onEnd(); }
+
+    bool
+    done() const override
+    {
+        return _position >= _end || _inner.done();
+    }
+
+    /** Records seen so far (forwarded or skipped). */
+    std::uint64_t position() const { return _position; }
+
+  private:
+    TraceSink &_inner;
+    std::uint64_t _begin;
+    std::uint64_t _end;
+    std::uint64_t _position = 0;
 };
 
 /**
@@ -70,6 +205,14 @@ class MemoryTrace : public TraceSink, public TraceSource
     }
 
     void replay(TraceSink &sink) const override;
+
+    void replayRange(TraceSink &sink, std::uint64_t begin,
+                     std::uint64_t end) const override;
+
+    std::uint64_t recordCount() const override
+    {
+        return _records.size();
+    }
 
     /** Number of buffered records. */
     std::size_t size() const { return _records.size(); }

@@ -176,11 +176,23 @@ TraceFileReader::TraceFileReader(const std::string &path) : _path(path)
 void
 TraceFileReader::replay(TraceSink &sink) const
 {
+    replayRange(sink, 0, _count);
+}
+
+void
+TraceFileReader::replayRange(TraceSink &sink, std::uint64_t begin,
+                             std::uint64_t end) const
+{
+    if (end > _count)
+        end = _count;
+    if (begin > end)
+        begin = end;
+
     obs::PhaseTracer::Span span("trace.file_replay");
-    span.addWork(_count);
+    span.addWork(end - begin);
     obs::MetricsRegistry::global()
         .counter("trace.file.records_read")
-        .inc(_count);
+        .inc(end - begin);
     std::ifstream in(_path, std::ios::binary);
     if (!in)
         bwsa_fatal("cannot reopen trace file: ", _path);
@@ -188,8 +200,11 @@ TraceFileReader::replay(TraceSink &sink) const
 
     std::uint64_t pc = 0;
     std::uint64_t timestamp = 0;
-    for (std::uint64_t i = 0; i < _count; ++i) {
-        if (sink.done())
+    for (std::uint64_t i = 0; i < end; ++i) {
+        // Delta coding forces decoding from the start, but skipped
+        // records never become BranchRecords or touch the sink.
+        bool skipped = i < begin;
+        if (!skipped && sink.done())
             break;
         std::uint64_t pc_raw = 0, ts_raw = 0;
         if (!getVarint(in, pc_raw) || !getVarint(in, ts_raw))
@@ -199,6 +214,8 @@ TraceFileReader::replay(TraceSink &sink) const
             static_cast<std::int64_t>(pc) + unzigzag(pc_raw));
         bool taken = (ts_raw & 1) != 0;
         timestamp += ts_raw >> 1;
+        if (skipped)
+            continue;
 
         BranchRecord record;
         record.pc = pc;

@@ -74,8 +74,18 @@ class TraceFileReader : public TraceSource
 
     void replay(TraceSink &sink) const override;
 
-    /** Record count recorded in the header. */
-    std::uint64_t recordCount() const { return _count; }
+    /**
+     * Range replay over the file: records before @p begin are
+     * varint-decoded (the delta coding requires it) but never
+     * materialized into BranchRecords or delivered, and decoding stops
+     * at @p end.  Each call opens its own stream, so segments of one
+     * reader can replay concurrently.
+     */
+    void replayRange(TraceSink &sink, std::uint64_t begin,
+                     std::uint64_t end) const override;
+
+    /** Record count recorded in the header (O(1)). */
+    std::uint64_t recordCount() const override { return _count; }
 
   private:
     std::string _path;

@@ -50,6 +50,27 @@ TEST(BenchSweep, Fig4TableIdenticalAcrossThreadCounts)
     EXPECT_EQ(parallel, serial);
 }
 
+TEST(BenchSweep, Table2IdenticalAcrossShardAndThreadCounts)
+{
+    // The Table 2 acceptance criterion for the sharded profiler: the
+    // working-set table from a sharded multi-threaded run must be
+    // byte-identical to the serial single-shard run, on every preset
+    // in the sweep.
+    std::string serial = buildWorkingSetTable(smallOptions(1)).render();
+
+    BenchOptions sharded_options = smallOptions(4);
+    sharded_options.shards = 4;
+    std::string sharded =
+        buildWorkingSetTable(sharded_options).render();
+    EXPECT_EQ(sharded, serial);
+
+    BenchOptions uneven_options = smallOptions(2);
+    uneven_options.shards = 7;
+    EXPECT_EQ(buildWorkingSetTable(uneven_options).render(), serial);
+
+    EXPECT_NE(serial.find("compress"), std::string::npos);
+}
+
 TEST(BenchSweep, RepeatedParallelRunsAreStable)
 {
     // Two parallel runs with different worker counts agree too: the

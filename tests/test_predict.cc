@@ -364,3 +364,88 @@ TEST(Predictors, ResetRestoresInitialBehavior)
     trained->reset();
     EXPECT_EQ(trained->predict(0x400000), fresh->predict(0x400000));
 }
+
+// ------------------------------------------- spec string parsing
+
+TEST(SpecParse, EveryKindKeyword)
+{
+    EXPECT_EQ(parsePredictorSpec("taken").kind,
+              PredictorKind::AlwaysTaken);
+    EXPECT_EQ(parsePredictorSpec("not-taken").kind,
+              PredictorKind::AlwaysNotTaken);
+    EXPECT_EQ(parsePredictorSpec("bimodal").kind,
+              PredictorKind::Bimodal);
+    EXPECT_EQ(parsePredictorSpec("gag").kind, PredictorKind::GAg);
+    EXPECT_EQ(parsePredictorSpec("gshare").kind,
+              PredictorKind::Gshare);
+    EXPECT_EQ(parsePredictorSpec("pag").kind,
+              PredictorKind::PAgModulo);
+    EXPECT_EQ(parsePredictorSpec("pag-ideal").kind,
+              PredictorKind::PAgIdeal);
+    EXPECT_EQ(parsePredictorSpec("pas").kind, PredictorKind::PAs);
+    EXPECT_EQ(parsePredictorSpec("tournament").kind,
+              PredictorKind::Tournament);
+    EXPECT_EQ(parsePredictorSpec("agree").kind, PredictorKind::Agree);
+}
+
+TEST(SpecParse, ParametersOverrideDefaults)
+{
+    PredictorSpec spec =
+        parsePredictorSpec("pag:bht=256,hist=10,pht=8192,ctr=3");
+    EXPECT_EQ(spec.kind, PredictorKind::PAgModulo);
+    EXPECT_EQ(spec.bht_entries, 256u);
+    EXPECT_EQ(spec.history_bits, 10u);
+    EXPECT_EQ(spec.pht_entries, 8192u);
+    EXPECT_EQ(spec.counter_bits, 3u);
+
+    PredictorSpec pas = parsePredictorSpec("pas:bht=512,sets=8");
+    EXPECT_EQ(pas.pht_sets, 8u);
+    EXPECT_EQ(pas.bht_entries, 512u);
+
+    PredictorSpec shifted = parsePredictorSpec("gshare:shift=2");
+    EXPECT_EQ(shifted.insn_shift, 2u);
+
+    // Untouched fields keep PredictorSpec's defaults.
+    PredictorSpec defaults = parsePredictorSpec("gshare");
+    PredictorSpec reference;
+    EXPECT_EQ(defaults.bht_entries, reference.bht_entries);
+    EXPECT_EQ(defaults.history_bits, reference.history_bits);
+}
+
+TEST(SpecParse, ForgivingAboutCaseAndWhitespace)
+{
+    PredictorSpec spec =
+        parsePredictorSpec("  PAg : BHT=64 , Hist=5  ");
+    EXPECT_EQ(spec.kind, PredictorKind::PAgModulo);
+    EXPECT_EQ(spec.bht_entries, 64u);
+    EXPECT_EQ(spec.history_bits, 5u);
+}
+
+TEST(SpecParse, ParsedSpecBuildsARunnablePredictor)
+{
+    PredictorPtr p = makePredictor(
+        parsePredictorSpec("tournament:bht=128,hist=8"));
+    for (int i = 0; i < 100; ++i)
+        p->update(0x400000 + 8 * (i % 4), (i % 2) == 0);
+    (void)p->predict(0x400000);
+}
+
+TEST(SpecParseDeath, MalformedSpecsAreFatal)
+{
+    EXPECT_EXIT(parsePredictorSpec(""),
+                ::testing::ExitedWithCode(1), "empty predictor spec");
+    EXPECT_EXIT(parsePredictorSpec("frobnicator"),
+                ::testing::ExitedWithCode(1), "unknown kind");
+    EXPECT_EXIT(parsePredictorSpec("pag:"),
+                ::testing::ExitedWithCode(1), "empty parameter list");
+    EXPECT_EXIT(parsePredictorSpec("pag:bht"),
+                ::testing::ExitedWithCode(1), "form key=value");
+    EXPECT_EXIT(parsePredictorSpec("pag:zzz=4"),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parsePredictorSpec("pag:bht=abc"),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+    EXPECT_EXIT(parsePredictorSpec("pag:hist=40"),
+                ::testing::ExitedWithCode(1), "hist");
+    EXPECT_EXIT(parsePredictorSpec("pag:ctr=0"),
+                ::testing::ExitedWithCode(1), "ctr");
+}

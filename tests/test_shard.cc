@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Tests of the sharded parallel profiling engine (profile/shard.hh)
+ * and the ProfileSession two-phase API (core/pipeline.hh):
+ *
+ *  - the sharded conflict graph is *identical* to the serial one --
+ *    node order, execution counts, every edge count -- for bounded
+ *    and unbounded windows, any shard count, with and without a
+ *    frequency selection;
+ *  - conflict-graph merging is associative and commutative (the
+ *    algebra the shard merge relies on);
+ *  - ProfileSession enforces its phase discipline and matches the
+ *    deprecated addProfile() wrapper exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "profile/interleave.hh"
+#include "profile/shard.hh"
+#include "trace/frequency_filter.hh"
+#include "trace/trace_stats.hh"
+#include "util/random.hh"
+#include "workload/presets.hh"
+
+using namespace bwsa;
+
+namespace
+{
+
+/** Random trace over @p distinct pcs with ascending timestamps. */
+MemoryTrace
+makeRandomTrace(std::uint64_t seed, std::size_t records,
+                std::uint64_t distinct)
+{
+    Pcg32 rng(seed);
+    MemoryTrace trace;
+    std::uint64_t ts = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 8ull * rng.nextBounded(
+                               static_cast<std::uint32_t>(distinct));
+        ts += 1 + rng.nextBounded(12);
+        r.timestamp = ts;
+        r.taken = rng.nextBool(0.6);
+        trace.onBranch(r);
+    }
+    return trace;
+}
+
+/** Trace where every pc occurs exactly once (stitch worst case). */
+MemoryTrace
+makeAllDistinctTrace(std::size_t records)
+{
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 8ull * i;
+        r.timestamp = 4 * (i + 1);
+        r.taken = (i % 2) == 0;
+        trace.onBranch(r);
+    }
+    return trace;
+}
+
+/** Strict equality: node order, counts, and every edge count. */
+::testing::AssertionResult
+graphsIdentical(const ConflictGraph &a, const ConflictGraph &b)
+{
+    if (a.nodeCount() != b.nodeCount())
+        return ::testing::AssertionFailure()
+               << "node counts differ: " << a.nodeCount() << " vs "
+               << b.nodeCount();
+    for (NodeId id = 0; id < a.nodeCount(); ++id) {
+        const ConflictNode &na = a.node(id);
+        const ConflictNode &nb = b.node(id);
+        if (na.pc != nb.pc)
+            return ::testing::AssertionFailure()
+                   << "node " << id << " pc differs: " << na.pc
+                   << " vs " << nb.pc;
+        if (na.executed != nb.executed || na.taken != nb.taken)
+            return ::testing::AssertionFailure()
+                   << "node " << id << " counts differ";
+    }
+    if (a.edges() != b.edges())
+        return ::testing::AssertionFailure()
+               << "edge maps differ (" << a.edgeCount() << " vs "
+               << b.edgeCount() << " edges)";
+    return ::testing::AssertionSuccess();
+}
+
+/** Serial reference profile with an optional frequency filter. */
+ConflictGraph
+serialReference(const TraceSource &source,
+                const InterleaveConfig &config,
+                const FrequencySelection *selection = nullptr)
+{
+    ConflictGraph graph;
+    InterleaveTracker tracker(graph, config);
+    if (selection) {
+        FilteredSink filter(*selection, tracker);
+        source.replay(filter);
+    } else {
+        source.replay(tracker);
+    }
+    return graph;
+}
+
+ShardConfig
+shardConfig(unsigned shards, std::size_t max_window,
+            const FrequencySelection *selection = nullptr)
+{
+    ShardConfig config;
+    config.shards = shards;
+    config.threads = 2;
+    config.interleave.max_window = max_window;
+    config.selection = selection;
+    return config;
+}
+
+} // namespace
+
+TEST(ShardedProfile, EqualsSerialWithBoundedWindow)
+{
+    MemoryTrace trace = makeRandomTrace(7, 4000, 300);
+    for (std::size_t window : {std::size_t(4), std::size_t(16),
+                               std::size_t(64)}) {
+        InterleaveConfig serial_config;
+        serial_config.max_window = window;
+        ConflictGraph serial = serialReference(trace, serial_config);
+        for (unsigned shards : {2u, 3u, 5u, 8u, 16u}) {
+            ConflictGraph sharded = profileTraceShardedGraph(
+                trace, shardConfig(shards, window));
+            EXPECT_TRUE(graphsIdentical(serial, sharded))
+                << "window=" << window << " shards=" << shards;
+        }
+    }
+}
+
+TEST(ShardedProfile, EqualsSerialWithUnboundedWindow)
+{
+    MemoryTrace trace = makeRandomTrace(11, 2500, 120);
+    InterleaveConfig serial_config;
+    serial_config.max_window = 0;
+    ConflictGraph serial = serialReference(trace, serial_config);
+    for (unsigned shards : {2u, 7u}) {
+        ConflictGraph sharded =
+            profileTraceShardedGraph(trace, shardConfig(shards, 0));
+        EXPECT_TRUE(graphsIdentical(serial, sharded))
+            << "shards=" << shards;
+    }
+}
+
+TEST(ShardedProfile, EqualsSerialUnderFrequencySelection)
+{
+    MemoryTrace trace = makeRandomTrace(13, 5000, 400);
+    TraceStatsCollector stats;
+    trace.replay(stats);
+    FrequencySelection selection = selectByFrequency(stats, 0.9);
+    ASSERT_GT(selection.selected.size(), 0u);
+    ASSERT_LT(selection.selected.size(), stats.staticBranches());
+
+    InterleaveConfig serial_config;
+    serial_config.max_window = 32;
+    ConflictGraph serial =
+        serialReference(trace, serial_config, &selection);
+    ConflictGraph sharded = profileTraceShardedGraph(
+        trace, shardConfig(6, 32, &selection));
+    EXPECT_TRUE(graphsIdentical(serial, sharded));
+}
+
+TEST(ShardedProfile, AllDistinctPcsStitchWorstCase)
+{
+    // No branch ever re-executes: shard trackers emit nothing at the
+    // boundaries and the stitch recovers nothing -- but with an
+    // unbounded window it must scan to each segment's end without
+    // breaking equality.
+    MemoryTrace trace = makeAllDistinctTrace(600);
+    for (std::size_t window : {std::size_t(0), std::size_t(8)}) {
+        InterleaveConfig serial_config;
+        serial_config.max_window = window;
+        ConflictGraph serial = serialReference(trace, serial_config);
+        ConflictGraph sharded = profileTraceShardedGraph(
+            trace, shardConfig(4, window));
+        EXPECT_TRUE(graphsIdentical(serial, sharded))
+            << "window=" << window;
+    }
+}
+
+TEST(ShardedProfile, SinglePcTrace)
+{
+    MemoryTrace trace = makeRandomTrace(17, 1000, 1);
+    InterleaveConfig serial_config;
+    serial_config.max_window = 8;
+    ConflictGraph serial = serialReference(trace, serial_config);
+    ConflictGraph sharded =
+        profileTraceShardedGraph(trace, shardConfig(5, 8));
+    EXPECT_TRUE(graphsIdentical(serial, sharded));
+    EXPECT_EQ(sharded.nodeCount(), 1u);
+    EXPECT_EQ(sharded.edgeCount(), 0u);
+}
+
+TEST(ShardedProfile, TinyAndEmptyTraces)
+{
+    MemoryTrace empty;
+    ConflictGraph g_empty =
+        profileTraceShardedGraph(empty, shardConfig(4, 16));
+    EXPECT_EQ(g_empty.nodeCount(), 0u);
+
+    MemoryTrace one = makeRandomTrace(19, 1, 5);
+    ConflictGraph g_one =
+        profileTraceShardedGraph(one, shardConfig(4, 16));
+    EXPECT_EQ(g_one.nodeCount(), 1u);
+
+    // More shards than records degrades gracefully.
+    MemoryTrace three = makeRandomTrace(23, 3, 2);
+    InterleaveConfig serial_config;
+    serial_config.max_window = 16;
+    EXPECT_TRUE(graphsIdentical(
+        serialReference(three, serial_config),
+        profileTraceShardedGraph(three, shardConfig(16, 16))));
+}
+
+TEST(ShardedProfile, WorkloadTraceEqualsSerial)
+{
+    Workload w = makeWorkload("m88ksim", "", 0.05);
+    MemoryTrace trace;
+    w.source().replay(trace);
+
+    InterleaveConfig serial_config; // default bounded window
+    ConflictGraph serial = serialReference(trace, serial_config);
+    ConflictGraph sharded = profileTraceShardedGraph(
+        trace, shardConfig(4, serial_config.max_window));
+    EXPECT_TRUE(graphsIdentical(serial, sharded));
+    EXPECT_GT(sharded.edgeCount(), 0u);
+}
+
+TEST(ShardedProfile, RunStatsAccountForEveryShard)
+{
+    MemoryTrace trace = makeRandomTrace(29, 3000, 100);
+    ConflictGraph graph;
+    ShardRunStats stats =
+        profileTraceSharded(trace, graph, shardConfig(6, 32));
+
+    EXPECT_EQ(stats.shards, 6u);
+    EXPECT_EQ(stats.threads, 2u);
+    ASSERT_EQ(stats.timings.size(), 6u);
+    std::uint64_t records = 0;
+    for (std::size_t i = 0; i < stats.timings.size(); ++i) {
+        EXPECT_EQ(stats.timings[i].index, i);
+        EXPECT_GE(stats.timings[i].millis, 0.0);
+        records += stats.timings[i].records;
+    }
+    EXPECT_EQ(records, trace.recordCount());
+    EXPECT_LE(stats.stitch.boundaries, 5u);
+    EXPECT_GT(stats.stitch.pair_increments, 0u);
+    EXPECT_GE(stats.total_millis, 0.0);
+}
+
+TEST(ShardedProfile, SerialPathForOneShard)
+{
+    MemoryTrace trace = makeRandomTrace(31, 500, 40);
+    ConflictGraph graph;
+    ShardConfig config = shardConfig(1, 16);
+    ShardRunStats stats = profileTraceSharded(trace, graph, config);
+    EXPECT_EQ(stats.shards, 1u);
+    EXPECT_EQ(stats.stitch.boundaries, 0u);
+    InterleaveConfig serial_config;
+    serial_config.max_window = 16;
+    EXPECT_TRUE(
+        graphsIdentical(serialReference(trace, serial_config), graph));
+}
+
+TEST(ShardedProfile, RequiresEmptyGraph)
+{
+    MemoryTrace trace = makeRandomTrace(37, 100, 10);
+    ConflictGraph graph;
+    graph.addOrGetNode(0x1000);
+    EXPECT_DEATH(profileTraceSharded(trace, graph, shardConfig(2, 8)),
+                 "empty graph");
+}
+
+// ---------------------------------------------------------------
+// Conflict-graph merge algebra (what the shard merge relies on).
+
+namespace
+{
+
+ConflictGraph
+profileChunk(std::uint64_t seed)
+{
+    MemoryTrace trace = makeRandomTrace(seed, 800, 60);
+    InterleaveConfig config;
+    config.max_window = 24;
+    return serialReference(trace, config);
+}
+
+/** Equality up to node renaming: compare by pc, not node id. */
+void
+expectEquivalent(const ConflictGraph &a, const ConflictGraph &b)
+{
+    ASSERT_EQ(a.nodeCount(), b.nodeCount());
+    ASSERT_EQ(a.edgeCount(), b.edgeCount());
+    for (const ConflictNode &node : a.nodes()) {
+        NodeId other = b.findNode(node.pc);
+        ASSERT_NE(other, invalid_node) << "pc " << node.pc;
+        EXPECT_EQ(node.executed, b.node(other).executed);
+        EXPECT_EQ(node.taken, b.node(other).taken);
+    }
+    for (const auto &[key, count] : a.edges()) {
+        auto [ia, ib] = ConflictGraph::unpackEdge(key);
+        NodeId oa = b.findNode(a.node(ia).pc);
+        NodeId ob = b.findNode(a.node(ib).pc);
+        ASSERT_NE(oa, invalid_node);
+        ASSERT_NE(ob, invalid_node);
+        EXPECT_EQ(b.interleaveCount(oa, ob), count);
+    }
+}
+
+} // namespace
+
+TEST(ConflictGraphMerge, Associative)
+{
+    ConflictGraph a = profileChunk(101);
+    ConflictGraph b = profileChunk(202);
+    ConflictGraph c = profileChunk(303);
+
+    // (a + b) + c
+    ConflictGraph left = a;
+    left.mergeFrom(b);
+    left.mergeFrom(c);
+
+    // a + (b + c)
+    ConflictGraph bc = b;
+    bc.mergeFrom(c);
+    ConflictGraph right = a;
+    right.mergeFrom(bc);
+
+    // Node-id assignment agrees too (a's nodes first, then new pcs in
+    // first-appearance order), so equality is strict.
+    EXPECT_TRUE(graphsIdentical(left, right));
+}
+
+TEST(ConflictGraphMerge, CommutativeUpToNodeOrder)
+{
+    ConflictGraph a = profileChunk(404);
+    ConflictGraph b = profileChunk(505);
+
+    ConflictGraph ab = a;
+    ab.mergeFrom(b);
+    ConflictGraph ba = b;
+    ba.mergeFrom(a);
+
+    expectEquivalent(ab, ba);
+}
+
+TEST(ConflictGraphMerge, IdentityAndSelfAccumulation)
+{
+    ConflictGraph a = profileChunk(606);
+    ConflictGraph empty;
+
+    ConflictGraph merged = a;
+    merged.mergeFrom(empty);
+    EXPECT_TRUE(graphsIdentical(a, merged));
+
+    // Merging a graph into itself doubles every count.
+    ConflictGraph doubled = a;
+    doubled.mergeFrom(a);
+    ASSERT_EQ(doubled.nodeCount(), a.nodeCount());
+    for (NodeId id = 0; id < a.nodeCount(); ++id)
+        EXPECT_EQ(doubled.node(id).executed, 2 * a.node(id).executed);
+    for (const auto &[key, count] : a.edges()) {
+        auto [na, nb] = ConflictGraph::unpackEdge(key);
+        EXPECT_EQ(doubled.interleaveCount(na, nb), 2 * count);
+    }
+}
+
+// ---------------------------------------------------------------
+// ProfileSession: phase discipline and equivalence.
+
+TEST(ProfileSession, MatchesDeprecatedAddProfile)
+{
+    MemoryTrace trace = makeRandomTrace(41, 3000, 200);
+
+    AllocationPipeline via_wrapper;
+    via_wrapper.addProfile(trace);
+
+    AllocationPipeline via_session;
+    {
+        ProfileSession session(via_session);
+        session.addStats(trace);
+        session.commit();
+        session.addInterleave(trace);
+        session.finish();
+    }
+
+    EXPECT_TRUE(
+        graphsIdentical(via_wrapper.graph(), via_session.graph()));
+    EXPECT_EQ(via_session.profileCount(), 1u);
+}
+
+TEST(ProfileSession, ShardedInterleaveMatchesSerial)
+{
+    MemoryTrace trace = makeRandomTrace(43, 4000, 250);
+
+    AllocationPipeline serial;
+    serial.addProfile(trace);
+
+    AllocationPipeline sharded;
+    {
+        ProfileSession session(sharded);
+        session.addStats(trace);
+        session.commit();
+        ShardRunStats stats =
+            session.addInterleaveSharded(trace, 4, 2);
+        EXPECT_EQ(stats.shards, 4u);
+        session.finish();
+    }
+
+    EXPECT_TRUE(graphsIdentical(serial.graph(), sharded.graph()));
+}
+
+TEST(ProfileSession, SelectionVisibleAfterCommit)
+{
+    MemoryTrace trace = makeRandomTrace(47, 2000, 150);
+    AllocationPipeline pipeline;
+    EXPECT_FALSE(pipeline.hasProfileData());
+
+    ProfileSession session(pipeline);
+    session.addStats(trace);
+    const FrequencySelection &selection = session.commit();
+    EXPECT_TRUE(pipeline.hasProfileData());
+    EXPECT_EQ(&selection, &pipeline.lastSelection());
+    EXPECT_EQ(pipeline.lastStats().dynamicBranches(),
+              trace.recordCount());
+    // Abandoning before finish() leaves the cumulative state alone.
+    EXPECT_EQ(pipeline.profileCount(), 0u);
+}
+
+TEST(ProfileSession, MultiInputStatisticsAccumulate)
+{
+    MemoryTrace a = makeRandomTrace(53, 1200, 80);
+    MemoryTrace b = makeRandomTrace(59, 1400, 80);
+    AllocationPipeline pipeline;
+    ProfileSession session(pipeline);
+    session.addStats(a);
+    session.addStats(b);
+    session.commit();
+    EXPECT_EQ(pipeline.lastStats().dynamicBranches(),
+              a.recordCount() + b.recordCount());
+    session.addInterleave(a);
+    session.addInterleave(b);
+    session.finish();
+    EXPECT_EQ(pipeline.profileCount(), 1u);
+    EXPECT_GT(pipeline.graph().edgeCount(), 0u);
+}
+
+TEST(ProfileSession, GuardsAgainstPhaseMisuse)
+{
+    MemoryTrace trace = makeRandomTrace(61, 200, 20);
+
+    // Accessors before any committed run are fatal, not empty data.
+    EXPECT_EXIT(
+        { AllocationPipeline(PipelineConfig{}).lastStats(); },
+        ::testing::ExitedWithCode(1), "before any committed");
+    EXPECT_EXIT(
+        { AllocationPipeline(PipelineConfig{}).lastSelection(); },
+        ::testing::ExitedWithCode(1), "before any committed");
+
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.addInterleave(trace); // before commit
+        },
+        ::testing::ExitedWithCode(1), "before commit");
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.commit();
+            s.commit();
+        },
+        ::testing::ExitedWithCode(1), "twice");
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.commit();
+            s.addStats(trace); // statistics after commit
+        },
+        ::testing::ExitedWithCode(1), "after commit");
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.finish(); // finish before commit
+        },
+        ::testing::ExitedWithCode(1), "before commit");
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.addStats(trace);
+            s.commit();
+            s.addInterleave(trace);
+            s.addInterleaveSharded(trace, 2); // mixing
+        },
+        ::testing::ExitedWithCode(1), "empty interleave phase");
+    EXPECT_EXIT(
+        {
+            AllocationPipeline p;
+            ProfileSession s(p);
+            s.addStats(trace);
+            s.commit();
+            s.finish();
+            s.addInterleave(trace); // after finish
+        },
+        ::testing::ExitedWithCode(1), "after finish");
+}
+
+TEST(ProfileSession, CumulativeProfilesAcrossSessions)
+{
+    MemoryTrace a = makeRandomTrace(67, 1000, 60);
+    MemoryTrace b = makeRandomTrace(71, 1000, 60);
+
+    AllocationPipeline via_wrapper;
+    via_wrapper.addProfile(a);
+    via_wrapper.addProfile(b);
+
+    AllocationPipeline via_sessions;
+    for (const MemoryTrace *trace : {&a, &b}) {
+        ProfileSession session(via_sessions);
+        session.addStats(*trace);
+        session.commit();
+        session.addInterleave(*trace);
+        session.finish();
+    }
+
+    EXPECT_EQ(via_sessions.profileCount(), 2u);
+    EXPECT_TRUE(
+        graphsIdentical(via_wrapper.graph(), via_sessions.graph()));
+}

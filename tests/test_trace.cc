@@ -5,6 +5,7 @@
  * frequency-based static branch reduction of Table 1.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -446,4 +447,184 @@ TEST(FrequencyFilter, FilteredSinkDropsUnselected)
     EXPECT_EQ(kept.size(), sel.analyzed_dynamic);
     for (std::size_t i = 0; i < kept.size(); ++i)
         ASSERT_TRUE(sel.contains(kept[i].pc));
+}
+
+// --------------------------------------------- range replay + segments
+
+namespace
+{
+
+/**
+ * Source that only implements replay() -- exercises the default
+ * replayRange()/recordCount() built on RangeFilterSink.
+ */
+class ReplayOnlySource : public TraceSource
+{
+  public:
+    explicit ReplayOnlySource(const MemoryTrace &trace)
+        : _trace(trace)
+    {
+    }
+
+    void
+    replay(TraceSink &sink) const override
+    {
+        for (std::size_t i = 0; i < _trace.size(); ++i) {
+            if (sink.done())
+                break;
+            ++delivered;
+            sink.onBranch(_trace[i]);
+        }
+        sink.onEnd();
+    }
+
+    mutable int delivered = 0;
+
+  private:
+    const MemoryTrace &_trace;
+};
+
+/** Records delivered by replayRange(begin, end) on @p source. */
+MemoryTrace
+rangeOf(const TraceSource &source, std::uint64_t begin,
+        std::uint64_t end)
+{
+    MemoryTrace out;
+    source.replayRange(out, begin, end);
+    return out;
+}
+
+void
+expectSameRecords(const MemoryTrace &a, const MemoryTrace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+} // namespace
+
+TEST(RangeReplay, MemoryTraceSlices)
+{
+    MemoryTrace trace = makeRandomTrace(21, 100);
+    MemoryTrace mid = rangeOf(trace, 10, 25);
+    ASSERT_EQ(mid.size(), 15u);
+    for (std::size_t i = 0; i < mid.size(); ++i)
+        EXPECT_EQ(mid[i], trace[10 + i]);
+
+    // End clamps to the stream; begin past the end is empty.
+    EXPECT_EQ(rangeOf(trace, 90, 1000).size(), 10u);
+    EXPECT_EQ(rangeOf(trace, 500, 600).size(), 0u);
+    EXPECT_EQ(rangeOf(trace, 30, 30).size(), 0u);
+}
+
+TEST(RangeReplay, DefaultImplementationMatchesOverride)
+{
+    MemoryTrace trace = makeRandomTrace(23, 200);
+    ReplayOnlySource fallback(trace);
+    EXPECT_EQ(fallback.recordCount(), trace.size());
+    expectSameRecords(rangeOf(fallback, 40, 90),
+                      rangeOf(trace, 40, 90));
+}
+
+TEST(RangeReplay, DefaultStopsEarlyAtRangeEnd)
+{
+    MemoryTrace trace = makeRandomTrace(27, 1000);
+    ReplayOnlySource fallback(trace);
+    MemoryTrace out;
+    fallback.replayRange(out, 0, 10);
+    EXPECT_EQ(out.size(), 10u);
+    // RangeFilterSink reports done() at the range end, so the source
+    // must not have scanned the whole stream.
+    EXPECT_EQ(fallback.delivered, 10);
+}
+
+TEST(RangeReplay, RangeFilterForwardsInnerDone)
+{
+    MemoryTrace trace = makeRandomTrace(29, 100);
+    MemoryTrace inner;
+    RangeFilterSink filter(inner, 5, 50);
+    EXPECT_FALSE(filter.done());
+    trace.replay(filter);
+    EXPECT_EQ(inner.size(), 45u);
+    EXPECT_TRUE(filter.done());
+}
+
+TEST(Segments, PartitionTheStream)
+{
+    MemoryTrace trace = makeRandomTrace(31, 103);
+    for (unsigned k : {1u, 2u, 3u, 7u, 16u}) {
+        std::vector<TraceSegment> segments = trace.segments(k);
+        ASSERT_EQ(segments.size(), k) << "k=" << k;
+        std::uint64_t total = 0;
+        std::uint64_t max_size = 0, min_size = ~0ull;
+        MemoryTrace joined;
+        for (const TraceSegment &segment : segments) {
+            total += segment.recordCount();
+            max_size = std::max(max_size, segment.recordCount());
+            min_size = std::min(min_size, segment.recordCount());
+            segment.replay(joined);
+        }
+        EXPECT_EQ(total, trace.size());
+        // Balanced split: sizes differ by at most one record.
+        EXPECT_LE(max_size - min_size, 1u);
+        expectSameRecords(joined, trace);
+    }
+}
+
+TEST(Segments, DegenerateShapes)
+{
+    // More segments than records: short streams degrade gracefully.
+    MemoryTrace three = makeRandomTrace(33, 3);
+    std::vector<TraceSegment> segments = three.segments(8);
+    std::uint64_t total = 0;
+    for (const TraceSegment &segment : segments)
+        total += segment.recordCount();
+    EXPECT_EQ(total, 3u);
+
+    // Empty stream: a single empty segment, still replayable.
+    MemoryTrace empty;
+    std::vector<TraceSegment> none = empty.segments(4);
+    ASSERT_EQ(none.size(), 1u);
+    EXPECT_EQ(none[0].recordCount(), 0u);
+    CountingSink sink;
+    none[0].replay(sink);
+    EXPECT_EQ(sink.branches, 0);
+    EXPECT_EQ(sink.ends, 1);
+}
+
+TEST(Segments, NestedRangeComposes)
+{
+    MemoryTrace trace = makeRandomTrace(37, 120);
+    std::vector<TraceSegment> segments = trace.segments(3);
+    const TraceSegment &mid = segments[1]; // records [40, 80)
+    ASSERT_EQ(mid.recordCount(), 40u);
+    MemoryTrace sub = rangeOf(mid, 5, 15);
+    ASSERT_EQ(sub.size(), 10u);
+    for (std::size_t i = 0; i < sub.size(); ++i)
+        EXPECT_EQ(sub[i], trace[45 + i]);
+    // Out-of-range clamp within the segment.
+    EXPECT_EQ(rangeOf(mid, 30, 100).size(), 10u);
+}
+
+TEST(TraceIo, FileReaderRangeReplayMatchesMemory)
+{
+    MemoryTrace trace = makeRandomTrace(41, 500);
+    std::string path = tempPath("range_replay");
+    writeTraceFile(path, trace);
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), trace.size());
+
+    expectSameRecords(rangeOf(reader, 0, 500), trace);
+    expectSameRecords(rangeOf(reader, 123, 321),
+                      rangeOf(trace, 123, 321));
+    EXPECT_EQ(rangeOf(reader, 499, 10'000).size(), 1u);
+    EXPECT_EQ(rangeOf(reader, 600, 700).size(), 0u);
+
+    // Segment replays concatenate back to the whole file.
+    MemoryTrace joined;
+    for (const TraceSegment &segment : reader.segments(7))
+        segment.replay(joined);
+    expectSameRecords(joined, trace);
+    std::filesystem::remove(path);
 }
