@@ -11,6 +11,8 @@
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/run_report.hh"
+#include "obs/timeseries.hh"
+#include "predict/twolevel.hh"
 #include "sim/bpred_sim.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -34,8 +36,8 @@ parseBenchOptions(int &argc, char **argv,
     CliOptions cli = CliOptions::parse(
         argc, argv,
         {"scale", "benchmarks", "threads", "shards", "csv",
-         "threshold", "json", "trace", "progress", "quiet",
-         "verbose"});
+         "threshold", "json", "trace", "progress", "timeseries",
+         "interval", "interference", "quiet", "verbose"});
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
@@ -43,7 +45,8 @@ parseBenchOptions(int &argc, char **argv,
         bwsa_fatal("unknown option '", unknown[0],
                    "' (supported: --scale --benchmarks --threads "
                    "--shards --csv --threshold --json --trace "
-                   "--progress --quiet --verbose)");
+                   "--progress --timeseries --interval "
+                   "--interference --quiet --verbose)");
 
     applyLogLevelOptions(cli);
 
@@ -81,6 +84,19 @@ parseBenchOptions(int &argc, char **argv,
     if (options.scale <= 0.0)
         bwsa_fatal("--scale must be positive");
 
+    options.timeseries = cli.isBare("timeseries") ||
+                         cli.getString("timeseries", "") == "true";
+    options.interval = cli.getUint("interval", 65536);
+    if (options.interval == 0)
+        bwsa_fatal("--interval must be >= 1 instruction");
+    options.interference = cli.isBare("interference") ||
+                           cli.getString("interference", "") == "true";
+    if (options.timeseries) {
+        auto &series = obs::TimeSeriesRegistry::global();
+        series.configureDefaults(options.interval);
+        series.setEnabled(true);
+    }
+
     // Observability: the report always accumulates (cheap); the
     // tracer only runs when some consumer of its events exists.
     auto &report = obs::RunReport::global();
@@ -98,7 +114,9 @@ parseBenchOptions(int &argc, char **argv,
                       options.progress_sec > 0.0;
     if (want_spans)
         obs::PhaseTracer::global().setEnabled(true);
-    if (options.progress_sec > 0.0)
+    // --quiet wins over --progress: the heartbeat never starts, so
+    // not even its final flush line reaches stderr.
+    if (options.progress_sec > 0.0 && logLevel() != LogLevel::Quiet)
         obs::ProgressMeter::global().start(options.progress_sec);
 
     run_span =
@@ -113,7 +131,8 @@ finishBench(const BenchOptions &options)
     obs::ProgressMeter::global().stop();
     if (!options.trace_path.empty())
         obs::PhaseTracer::global().writeChromeTrace(
-            options.trace_path);
+            options.trace_path,
+            obs::TimeSeriesRegistry::global().chromeCounterEvents());
     if (!options.json_path.empty()) {
         obs::RunReport::global().write(options.json_path);
         std::cout << "(json report written to " << options.json_path
@@ -301,6 +320,8 @@ buildWorkingSetTable(const BenchOptions &options)
             ShardConfig config;
             config.shards = options.shards;
             config.threads = options.threads;
+            if (options.timeseries)
+                config.interleave.series_scope = run.display;
             ConflictGraph graph;
             shard_stats[cell.index] =
                 profileTraceSharded(source, graph, config);
@@ -325,12 +346,30 @@ buildWorkingSetTable(const BenchOptions &options)
     return table;
 }
 
-TextTable
-buildAllocationTable(const BenchOptions &options, bool classification)
+namespace
 {
-    TextTable table({"benchmark", "PAg-1024 %", "alloc-16 %",
-                     "alloc-128 %", "alloc-1024 %", "ideal %",
-                     "1024 gain %"});
+
+/** Per-cell destructive-aliasing results of one probed cell. */
+struct CellAliasing
+{
+    bool valid = false;
+    InterferenceCounters base;     ///< baseline 1024-entry PAg
+    InterferenceCounters allocated; ///< alloc-1024 PAg
+};
+
+} // namespace
+
+AllocationTables
+buildAllocationTables(const BenchOptions &options, bool classification)
+{
+    AllocationTables out{
+        TextTable({"benchmark", "PAg-1024 %", "alloc-16 %",
+                   "alloc-128 %", "alloc-1024 %", "ideal %",
+                   "1024 gain %"}),
+        TextTable({"benchmark", "base destructive", "base dest %",
+                   "alloc destructive", "alloc dest %",
+                   "eliminated %"}),
+        false};
 
     std::vector<BenchmarkRun> runs = defaultRuns(options);
     std::vector<std::string> labels;
@@ -339,9 +378,10 @@ buildAllocationTable(const BenchOptions &options, bool classification)
 
     // One sweep cell per benchmark; each builds its whole world
     // (program, trace source, profile, predictors) locally and writes
-    // only its own row_values slot, so the merge below is independent
-    // of completion order.
+    // only its own row_values/aliasing slot, so the merge below is
+    // independent of completion order.
     std::vector<std::vector<double>> row_values(runs.size());
+    std::vector<CellAliasing> aliasing(runs.size());
     runBenchSweep(
         options, classification ? "fig4" : "fig3", labels,
         [&](const exec::SweepCell &cell) {
@@ -354,6 +394,8 @@ buildAllocationTable(const BenchOptions &options, bool classification)
             PipelineConfig config;
             config.allocation.edge_threshold = options.threshold;
             config.allocation.use_classification = classification;
+            if (options.timeseries)
+                config.interleave.series_scope = run.display;
             AllocationPipeline pipeline(config);
             profileSource(pipeline, source, options, run.display);
 
@@ -367,12 +409,44 @@ buildAllocationTable(const BenchOptions &options, bool classification)
             PredictorPtr ideal =
                 makePredictor(interferenceFreeSpec());
 
+            // The probe rides the baseline and the like-sized
+            // allocated PAg: the pair whose destructive counts the
+            // allocation claim is about.
+            PAgPredictor *base_pag = nullptr;
+            PAgPredictor *alloc_pag = nullptr;
+            if (options.interference) {
+                base_pag = dynamic_cast<PAgPredictor *>(base.get());
+                alloc_pag = dynamic_cast<PAgPredictor *>(a1024.get());
+                if (base_pag)
+                    base_pag->enableInterferenceProbe();
+                if (alloc_pag)
+                    alloc_pag->enableInterferenceProbe();
+            }
+
             std::vector<Predictor *> contenders{base.get(), a16.get(),
                                                 a128.get(),
                                                 a1024.get(),
                                                 ideal.get()};
-            std::vector<PredictionStats> results =
-                comparePredictors(source, contenders);
+            std::vector<PredictionStats> results = comparePredictors(
+                source, contenders,
+                options.timeseries ? run.display : std::string());
+
+            if (base_pag && alloc_pag) {
+                CellAliasing &slot = aliasing[cell.index];
+                slot.valid = true;
+                slot.base = base_pag->interferenceProbe()->counters();
+                slot.allocated =
+                    alloc_pag->interferenceProbe()->counters();
+                auto &report = obs::RunReport::global();
+                if (report.active()) {
+                    report.addInterference(
+                        base_pag->interferenceProbe()->reportJson(
+                            run.display, base_pag->name()));
+                    report.addInterference(
+                        alloc_pag->interferenceProbe()->reportJson(
+                            run.display, alloc_pag->name()));
+                }
+            }
 
             double base_rate = results[0].mispredictPercent();
             double alloc1024_rate = results[3].mispredictPercent();
@@ -396,29 +470,59 @@ buildAllocationTable(const BenchOptions &options, bool classification)
         const std::vector<double> &values = row_values[r];
         for (std::size_t i = 0; i < values.size(); ++i)
             columns[i].add(values[i]);
-        table.addRow({runs[r].display, fixedString(values[0], 3),
-                      fixedString(values[1], 3),
-                      fixedString(values[2], 3),
-                      fixedString(values[3], 3),
-                      fixedString(values[4], 3),
-                      fixedString(values[5], 1)});
+        out.misprediction.addRow(
+            {runs[r].display, fixedString(values[0], 3),
+             fixedString(values[1], 3), fixedString(values[2], 3),
+             fixedString(values[3], 3), fixedString(values[4], 3),
+             fixedString(values[5], 1)});
+
+        const CellAliasing &cell = aliasing[r];
+        if (!cell.valid)
+            continue;
+        out.has_aliasing = true;
+        double eliminated =
+            cell.base.destructive
+                ? 100.0 *
+                      (static_cast<double>(cell.base.destructive) -
+                       static_cast<double>(
+                           cell.allocated.destructive)) /
+                      static_cast<double>(cell.base.destructive)
+                : 0.0;
+        out.aliasing.addRow(
+            {runs[r].display, withCommas(cell.base.destructive),
+             fixedString(cell.base.destructivePercent(), 3),
+             withCommas(cell.allocated.destructive),
+             fixedString(cell.allocated.destructivePercent(), 3),
+             fixedString(eliminated, 1)});
     }
 
-    table.addRow({"average", fixedString(columns[0].mean(), 3),
-                  fixedString(columns[1].mean(), 3),
-                  fixedString(columns[2].mean(), 3),
-                  fixedString(columns[3].mean(), 3),
-                  fixedString(columns[4].mean(), 3),
-                  fixedString(columns[5].mean(), 1)});
-    return table;
+    out.misprediction.addRow(
+        {"average", fixedString(columns[0].mean(), 3),
+         fixedString(columns[1].mean(), 3),
+         fixedString(columns[2].mean(), 3),
+         fixedString(columns[3].mean(), 3),
+         fixedString(columns[4].mean(), 3),
+         fixedString(columns[5].mean(), 1)});
+    return out;
+}
+
+TextTable
+buildAllocationTable(const BenchOptions &options, bool classification)
+{
+    return buildAllocationTables(options, classification)
+        .misprediction;
 }
 
 void
 runAllocationFigure(const BenchOptions &options, bool classification,
                     const std::string &title)
 {
-    TextTable table = buildAllocationTable(options, classification);
-    emitTable(title, table, options);
+    AllocationTables tables =
+        buildAllocationTables(options, classification);
+    emitTable(title, tables.misprediction, options);
+    if (tables.has_aliasing)
+        emitTable(title + " -- destructive aliasing", tables.aliasing,
+                  options);
 }
 
 } // namespace bwsa::bench

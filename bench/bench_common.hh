@@ -16,9 +16,26 @@
  *   --json=<path>     write a machine-readable run report (schema
  *                     bwsa.run_report.v1) when the run finishes
  *   --trace=<path>    write a Chrome trace_event JSON of the phase
- *                     spans (open in chrome://tracing or Perfetto)
+ *                     spans (open in chrome://tracing or Perfetto);
+ *                     with --timeseries the series render as counter
+ *                     tracks alongside the spans
  *   --progress[=sec]  heartbeat line on stderr every sec seconds
- *                     (default 10) while the run is alive
+ *                     (default 10) while the run is alive; --quiet
+ *                     suppresses the heartbeat entirely, including
+ *                     its final flush line
+ *   --timeseries      sample temporal signals (windowed misprediction
+ *                     rate per predictor, working-set size and churn
+ *                     per window, per-shard progress) into the run
+ *                     report's "timeseries" section
+ *   --interval=<n>    time-series window width in retired
+ *                     instructions (default 65536); windows merge
+ *                     pairwise when a series outgrows its budget
+ *   --interference    attach the BHT interference probe to every PAg
+ *                     under test: classifies each prediction under
+ *                     entry sharing as agree/neutral/constructive/
+ *                     destructive, prints the destructive-aliasing
+ *                     table and fills the report's "interference"
+ *                     section
  *   --quiet/--verbose log verbosity
  *
  * Unknown `--` flags are rejected (typos would otherwise silently run
@@ -30,6 +47,7 @@
 #ifndef BWSA_BENCH_COMMON_HH
 #define BWSA_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -57,6 +75,9 @@ struct BenchOptions
     std::string json_path;     ///< --json: run report destination
     std::string trace_path;    ///< --trace: Chrome trace destination
     double progress_sec = 0.0; ///< --progress interval; 0 = off
+    bool timeseries = false;   ///< --timeseries: temporal sampling
+    std::uint64_t interval = 65536; ///< --interval: window width
+    bool interference = false; ///< --interference: aliasing probe
 };
 
 /**
@@ -190,13 +211,32 @@ TextTable buildWorkingSetTable(const BenchOptions &options);
  * `options.threads` workers; the table contents are identical for
  * every worker count.
  *
+ * With `--interference` every PAg additionally runs under the BHT
+ * interference probe; the per-benchmark destructive-aliasing results
+ * land in the `aliasing` table (baseline vs allocated counts and the
+ * percentage eliminated) and each probe's full report -- counters plus
+ * conflict top-N -- is appended to the run report's "interference"
+ * section.  With `--timeseries` every predictor publishes its
+ * windowed misprediction rate under the benchmark's scope.
+ *
  * @param options        common bench options
  * @param classification enable the Section 5.2 refinement (Figure 4)
  */
+struct AllocationTables
+{
+    TextTable misprediction; ///< the Figure 3/4 table
+    TextTable aliasing;      ///< destructive attribution
+    bool has_aliasing = false; ///< aliasing rows were collected
+};
+
+AllocationTables buildAllocationTables(const BenchOptions &options,
+                                       bool classification);
+
+/** The misprediction table only (regression-test entry point). */
 TextTable buildAllocationTable(const BenchOptions &options,
                                bool classification);
 
-/** buildAllocationTable() + emitTable() under @p title. */
+/** buildAllocationTables() + emitTable() under @p title. */
 void runAllocationFigure(const BenchOptions &options,
                          bool classification,
                          const std::string &title);

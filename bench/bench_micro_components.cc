@@ -14,6 +14,7 @@
 #include "core/allocation.hh"
 #include "core/working_set.hh"
 #include "predict/factory.hh"
+#include "predict/twolevel.hh"
 #include "profile/interleave.hh"
 #include "profile/shard.hh"
 #include "sim/bpred_sim.hh"
@@ -83,6 +84,30 @@ BM_PredictorStep(benchmark::State &state, PredictorSpec spec)
 {
     const MemoryTrace &trace = cachedTrace();
     PredictorPtr predictor = makePredictor(spec);
+    for (auto _ : state) {
+        PredictionSim sim(*predictor);
+        trace.replay(sim);
+        benchmark::DoNotOptimize(sim.stats().mispredicts.events());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+/**
+ * The interference probe's replay cost, against the BM_PredictorStep
+ * pag_modulo baseline: probe_off must sit within noise of pag_modulo
+ * (a disabled probe is one null-pointer test per update), probe_on
+ * quantifies the opt-in shadow-history cost.
+ */
+void
+BM_PredictorStepProbe(benchmark::State &state, bool enable_probe)
+{
+    const MemoryTrace &trace = cachedTrace();
+    PredictorPtr predictor = makePredictor(paperBaselineSpec());
+    if (enable_probe)
+        dynamic_cast<PAgPredictor &>(*predictor)
+            .enableInterferenceProbe();
     for (auto _ : state) {
         PredictionSim sim(*predictor);
         trace.replay(sim);
@@ -232,6 +257,10 @@ BENCHMARK(BM_InterleaveTrackingSharded)
 BENCHMARK_CAPTURE(BM_PredictorStep, pag_modulo, paperBaselineSpec())
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStep, pag_ideal, interferenceFreeSpec())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PredictorStepProbe, probe_off, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PredictorStepProbe, probe_on, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStep, gshare, [] {
     PredictorSpec spec;

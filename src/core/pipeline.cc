@@ -15,16 +15,6 @@ AllocationPipeline::AllocationPipeline(const PipelineConfig &config)
                    config.coverage);
 }
 
-void
-AllocationPipeline::addProfile(const TraceSource &source)
-{
-    ProfileSession session(*this);
-    session.addStats(source);
-    session.commit();
-    session.addInterleave(source);
-    session.finish();
-}
-
 const TraceStatsCollector &
 AllocationPipeline::lastStats() const
 {

@@ -64,19 +64,6 @@ class AllocationPipeline
   public:
     explicit AllocationPipeline(const PipelineConfig &config = {});
 
-    /**
-     * Profile one run and merge it into the cumulative conflict
-     * graph.
-     *
-     * @deprecated Thin wrapper kept for source compatibility: it
-     * opens a ProfileSession, replays @p source through both passes
-     * serially, and finishes the session.  New code should drive a
-     * ProfileSession directly -- it exposes the statistics between
-     * the passes, accepts streamed records, and can run the
-     * interleave pass sharded (ProfileSession::addInterleaveSharded).
-     */
-    void addProfile(const TraceSource &source);
-
     /** Number of profile runs merged so far. */
     std::size_t profileCount() const { return _profiles; }
 

@@ -135,6 +135,13 @@ PhaseTracer::summarize() const
 void
 PhaseTracer::writeChromeTrace(const std::string &path) const
 {
+    writeChromeTrace(path, JsonValue::array());
+}
+
+void
+PhaseTracer::writeChromeTrace(const std::string &path,
+                              const JsonValue &extra_events) const
+{
     JsonValue doc = JsonValue::object();
     JsonValue trace_events = JsonValue::array();
     for (const SpanEvent &e : events()) {
@@ -156,6 +163,8 @@ PhaseTracer::writeChromeTrace(const std::string &path) const
         }
         trace_events.push(std::move(entry));
     }
+    for (std::size_t i = 0; i < extra_events.size(); ++i)
+        trace_events.push(extra_events.at(i));
     doc["traceEvents"] = std::move(trace_events);
     doc["displayTimeUnit"] = "ms";
 

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
+
 namespace bwsa::obs
 {
 
@@ -106,6 +108,15 @@ class PhaseTracer
      * events, microsecond timestamps); fatal() on I/O errors.
      */
     void writeChromeTrace(const std::string &path) const;
+
+    /**
+     * As above, appending @p extra_events -- a JSON array of pre-built
+     * trace_event entries (e.g. TimeSeriesRegistry counter events) --
+     * after the span events.  The tracer stays ignorant of who builds
+     * them, keeping this layer below the sampling subsystem.
+     */
+    void writeChromeTrace(const std::string &path,
+                          const JsonValue &extra_events) const;
 
     /**
      * RAII span.  Constructed against the global tracer; records one

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "obs/timeseries.hh"
 #include "util/logging.hh"
 
 namespace bwsa::obs
@@ -26,6 +27,7 @@ RunReport::begin(const std::string &bench_name)
     _config.clear();
     _notes.clear();
     _tables.clear();
+    _interference.clear();
 }
 
 bool
@@ -73,6 +75,13 @@ RunReport::addTable(const std::string &title,
     _tables.push_back({title, columns, rows});
 }
 
+void
+RunReport::addInterference(JsonValue entry)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _interference.push_back(std::move(entry));
+}
+
 JsonValue
 RunReport::build(const MetricsSnapshot &metrics,
                  const std::vector<PhaseStat> &phases,
@@ -81,7 +90,7 @@ RunReport::build(const MetricsSnapshot &metrics,
     std::lock_guard<std::mutex> lock(_mutex);
 
     JsonValue doc = JsonValue::object();
-    doc["schema"] = "bwsa.run_report.v1";
+    doc["schema"] = "bwsa.run_report.v2";
     doc["bench"] = _bench_name;
     doc["started_unix_ms"] = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -119,6 +128,14 @@ RunReport::build(const MetricsSnapshot &metrics,
     doc["dropped_spans"] = dropped_spans;
 
     doc["metrics"] = metrics.toJson();
+
+    // v2 sections: empty arrays when sampling / probing were off, so
+    // consumers need no presence checks.
+    doc["timeseries"] = TimeSeriesRegistry::global().toJson();
+    JsonValue interference = JsonValue::array();
+    for (const JsonValue &entry : _interference)
+        interference.push(entry);
+    doc["interference"] = std::move(interference);
 
     JsonValue tables = JsonValue::array();
     for (const Table &table : _tables) {

@@ -5,16 +5,17 @@
  * A RunReport accumulates everything one benchmark (or example)
  * execution wants to persist -- a config echo, notes, and the result
  * tables it printed -- and serializes a single JSON document that
- * also embeds the per-phase span summary from the PhaseTracer and a
- * full MetricsRegistry snapshot.  The document follows a stable
- * schema (`bwsa.run_report.v1`, see DESIGN.md §Observability) so
- * reports from different runs and revisions can be diffed and
- * tracked over time.
+ * also embeds the per-phase span summary from the PhaseTracer, a
+ * full MetricsRegistry snapshot, every TimeSeries the global
+ * TimeSeriesRegistry collected and any interference-probe results.
+ * The document follows a stable schema (`bwsa.run_report.v2`, see
+ * DESIGN.md §Observability) so reports from different runs and
+ * revisions can be diffed and tracked over time.
  *
  * Document layout:
  *
  *   {
- *     "schema": "bwsa.run_report.v1",
+ *     "schema": "bwsa.run_report.v2",
  *     "bench": "<binary name>",
  *     "started_unix_ms": <system clock at begin()>,
  *     "wall_seconds": <begin() .. build() wall time>,
@@ -24,9 +25,14 @@
  *                   "min_ms", "max_ms", "work" }, ... ],
  *     "dropped_spans": <count>,
  *     "metrics": [ <MetricsSnapshot::toJson() entries>, ... ],
+ *     "timeseries": [ <TimeSeries::toJson() entries>, ... ],
+ *     "interference": [ <BhtInterferenceProbe::reportJson()>, ... ],
  *     "tables": [ { "title", "columns": [...],
  *                   "rows": [[cell, ...], ...] }, ... ]
  *   }
+ *
+ * v2 adds the (possibly empty) "timeseries" and "interference"
+ * arrays; everything a v1 consumer read is unchanged.
  */
 
 #ifndef BWSA_OBS_RUN_REPORT_HH
@@ -76,6 +82,14 @@ class RunReport
                   const std::vector<std::vector<std::string>> &rows);
 
     /**
+     * Record one interference-probe result (a
+     * BhtInterferenceProbe::reportJson() document).  Thread-safe:
+     * parallel sweep cells append concurrently; entries serialize in
+     * arrival order.
+     */
+    void addInterference(JsonValue entry);
+
+    /**
      * Build the document from the given snapshot and phase summary.
      */
     JsonValue build(const MetricsSnapshot &metrics,
@@ -104,6 +118,7 @@ class RunReport
     std::vector<std::pair<std::string, std::string>> _config;
     std::vector<std::string> _notes;
     std::vector<Table> _tables;
+    std::vector<JsonValue> _interference;
 };
 
 } // namespace bwsa::obs

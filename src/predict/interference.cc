@@ -1,0 +1,110 @@
+#include "predict/interference.hh"
+
+#include <algorithm>
+
+namespace bwsa
+{
+
+BhtInterferenceProbe::BhtInterferenceProbe(unsigned history_bits)
+    : _history_bits(history_bits)
+{
+}
+
+HistoryRegister &
+BhtInterferenceProbe::shadow(BranchPc pc)
+{
+    auto it = _shadows.find(pc);
+    if (it == _shadows.end())
+        it = _shadows.emplace(pc, HistoryRegister(_history_bits))
+                 .first;
+    return it->second;
+}
+
+void
+BhtInterferenceProbe::observe(std::uint64_t entry, BranchPc pc,
+                              std::uint32_t shared_hist,
+                              std::uint32_t private_hist,
+                              bool pred_shared, bool pred_private,
+                              bool taken)
+{
+    ++_counters.predictions;
+
+    if (entry >= _entries.size())
+        _entries.resize(entry + 1);
+    EntryState &state = _entries[entry];
+    if (!state.occupied || state.last_owner != pc) {
+        if (state.occupied)
+            ++state.owner_switches;
+        state.last_owner = pc;
+        state.occupied = true;
+    }
+    state.owners.insert(pc);
+
+    if (shared_hist == private_hist) {
+        ++_counters.agree;
+        return;
+    }
+    if (pred_shared == pred_private) {
+        ++_counters.neutral;
+    } else if (pred_shared == taken) {
+        ++_counters.constructive;
+    } else {
+        ++_counters.destructive;
+        ++state.destructive;
+    }
+}
+
+std::vector<EntryConflict>
+BhtInterferenceProbe::topConflicts(std::size_t n) const
+{
+    std::vector<EntryConflict> all;
+    for (std::size_t i = 0; i < _entries.size(); ++i) {
+        const EntryState &state = _entries[i];
+        if (state.owners.size() < 2)
+            continue; // a private entry cannot conflict
+        all.push_back({i, state.owner_switches, state.destructive,
+                       state.owners.size()});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const EntryConflict &a, const EntryConflict &b) {
+                  if (a.destructive != b.destructive)
+                      return a.destructive > b.destructive;
+                  if (a.owner_switches != b.owner_switches)
+                      return a.owner_switches > b.owner_switches;
+                  return a.entry < b.entry;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+obs::JsonValue
+BhtInterferenceProbe::reportJson(const std::string &scope,
+                                 const std::string &predictor_name,
+                                 std::size_t top_n) const
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["scope"] = scope;
+    doc["predictor"] = predictor_name;
+    doc["predictions"] = _counters.predictions;
+    doc["agree"] = _counters.agree;
+    doc["neutral"] = _counters.neutral;
+    doc["constructive"] = _counters.constructive;
+    doc["destructive"] = _counters.destructive;
+    doc["destructive_percent"] = _counters.destructivePercent();
+    doc["shadowed_branches"] =
+        static_cast<std::uint64_t>(_shadows.size());
+    obs::JsonValue top = obs::JsonValue::array();
+    for (const EntryConflict &conflict : topConflicts(top_n)) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry["entry"] = conflict.entry;
+        entry["owner_switches"] = conflict.owner_switches;
+        entry["destructive"] = conflict.destructive;
+        entry["branches"] = conflict.branches;
+        top.push(std::move(entry));
+    }
+    doc["top_entries"] = std::move(top);
+    return doc;
+}
+
+} // namespace bwsa

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * BHT interference attribution.
+ *
+ * Branch allocation exists to remove *destructive interference* in
+ * shared first-level (BHT) entries, but an end-of-run misprediction
+ * rate cannot say which misses aliasing caused.  This probe measures
+ * it directly: alongside the real (shared) BHT it maintains a private
+ * *shadow* history register per static branch -- the state the
+ * branch's entry would hold if it never shared -- and classifies
+ * every prediction by comparing the outcome the shared entry produced
+ * against the outcome the private history would have produced through
+ * the same second-level table:
+ *
+ *   agree        shared history == private history; entry sharing had
+ *                no effect on this prediction
+ *   neutral      histories differ but select the same prediction
+ *   constructive predictions differ and the shared one was right
+ *                (aliasing accidentally helped)
+ *   destructive  predictions differ and the shared one was wrong --
+ *                the misprediction is attributed to aliasing
+ *
+ * destructive counts are exactly what Tables 3/4's allocation is
+ * supposed to eliminate; the Figure 3/4 harnesses report them next to
+ * the misprediction rates.  The probe additionally tracks per-entry
+ * occupancy -- which branch used an entry last, how often ownership
+ * switched, how much destruction each entry hosted -- so the worst
+ * conflict entries can be ranked (the conflict top-N of run reports).
+ *
+ * The probe is opt-in per predictor and entirely passive: predictions
+ * and table updates are identical with and without it.
+ */
+
+#ifndef BWSA_PREDICT_INTERFERENCE_HH
+#define BWSA_PREDICT_INTERFERENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/json.hh"
+#include "trace/branch_record.hh"
+#include "util/sat_counter.hh"
+
+namespace bwsa
+{
+
+/** Aggregate aliasing classification of one probed predictor. */
+struct InterferenceCounters
+{
+    std::uint64_t predictions = 0;  ///< dynamic predictions probed
+    std::uint64_t agree = 0;        ///< shared state == private state
+    std::uint64_t neutral = 0;      ///< differed, same prediction
+    std::uint64_t constructive = 0; ///< differed, sharing was right
+    std::uint64_t destructive = 0;  ///< differed, sharing was wrong
+
+    /** Predictions whose entry state differed from the private one. */
+    std::uint64_t
+    aliased() const
+    {
+        return neutral + constructive + destructive;
+    }
+
+    /** Destructive events per 100 predictions. */
+    double
+    destructivePercent() const
+    {
+        return predictions ? 100.0 *
+                                 static_cast<double>(destructive) /
+                                 static_cast<double>(predictions)
+                           : 0.0;
+    }
+};
+
+/** One entry of the per-entry conflict ranking. */
+struct EntryConflict
+{
+    std::uint64_t entry = 0;          ///< BHT index
+    std::uint64_t owner_switches = 0; ///< accesses by a new branch
+    std::uint64_t destructive = 0;    ///< destructive events hosted
+    std::uint64_t branches = 0;       ///< distinct branches seen
+};
+
+/**
+ * The probe a two-level predictor drives from its update path.
+ */
+class BhtInterferenceProbe
+{
+  public:
+    /** @param history_bits width of the private shadow histories */
+    explicit BhtInterferenceProbe(unsigned history_bits);
+
+    /**
+     * Private history for @p pc, created cleared on first sight --
+     * the same cold state a private BHT entry would start from.
+     */
+    HistoryRegister &shadow(BranchPc pc);
+
+    /**
+     * Classify one resolved prediction.
+     *
+     * @param entry        shared BHT index the branch mapped to
+     * @param pc           static branch
+     * @param shared_hist  history pattern the shared entry held
+     * @param private_hist pattern the branch's shadow history held
+     * @param pred_shared  prediction derived from the shared entry
+     * @param pred_private prediction the private history would give
+     * @param taken        resolved direction
+     */
+    void observe(std::uint64_t entry, BranchPc pc,
+                 std::uint32_t shared_hist, std::uint32_t private_hist,
+                 bool pred_shared, bool pred_private, bool taken);
+
+    const InterferenceCounters &counters() const { return _counters; }
+
+    /** Entries ranked by destructive events (ties: switches, index). */
+    std::vector<EntryConflict> topConflicts(std::size_t n) const;
+
+    /** Distinct static branches the probe has shadowed. */
+    std::size_t shadowedBranches() const { return _shadows.size(); }
+
+    /**
+     * Run-report entry: {"scope", "predictor", "predictions",
+     * "agree", "neutral", "constructive", "destructive",
+     * "destructive_percent", "shadowed_branches", "top_entries":
+     * [{"entry", "owner_switches", "destructive", "branches"}, ...]}.
+     */
+    obs::JsonValue reportJson(const std::string &scope,
+                              const std::string &predictor_name,
+                              std::size_t top_n = 8) const;
+
+  private:
+    struct EntryState
+    {
+        BranchPc last_owner = 0;
+        bool occupied = false;
+        std::uint64_t owner_switches = 0;
+        std::uint64_t destructive = 0;
+        std::unordered_set<BranchPc> owners; ///< distinct branches
+    };
+
+    unsigned _history_bits;
+    InterferenceCounters _counters;
+    std::unordered_map<BranchPc, HistoryRegister> _shadows;
+    std::vector<EntryState> _entries;
+};
+
+} // namespace bwsa
+
+#endif // BWSA_PREDICT_INTERFERENCE_HH

@@ -130,9 +130,40 @@ PAgPredictor::predict(BranchPc pc)
 void
 PAgPredictor::update(BranchPc pc, bool taken)
 {
-    HistoryRegister &history = bhtEntry(pc);
+    std::uint64_t idx = _indexer->index(pc);
+    if (idx >= _bht.size())
+        _bht.resize(idx + 1, HistoryRegister(_history_bits));
+    HistoryRegister &history = _bht[idx];
+    if (_probe)
+        probeObserve(idx, pc, history, taken);
     _pht[history.value() % _pht.size()].update(taken);
     history.push(taken);
+}
+
+void
+PAgPredictor::enableInterferenceProbe()
+{
+    if (!_probe)
+        _probe = std::make_unique<BhtInterferenceProbe>(_history_bits);
+}
+
+void
+PAgPredictor::probeObserve(std::uint64_t idx, BranchPc pc,
+                           const HistoryRegister &history, bool taken)
+{
+    // The shared entry's state has not changed since predict(pc), so
+    // re-deriving the prediction here reproduces what predict()
+    // returned; the shadow runs the same lookup through the same PHT.
+    HistoryRegister &shadow = _probe->shadow(pc);
+    std::uint32_t shared_hist = history.value();
+    std::uint32_t private_hist = shadow.value();
+    bool pred_shared =
+        _pht[shared_hist % _pht.size()].predictTaken();
+    bool pred_private =
+        _pht[private_hist % _pht.size()].predictTaken();
+    _probe->observe(idx, pc, shared_hist, private_hist, pred_shared,
+                    pred_private, taken);
+    shadow.push(taken);
 }
 
 std::string
@@ -152,6 +183,8 @@ PAgPredictor::reset()
         h.clear();
     for (SatCounter &c : _pht)
         c = initialCounter(_counter_bits);
+    if (_probe)
+        _probe = std::make_unique<BhtInterferenceProbe>(_history_bits);
 }
 
 PAsPredictor::PAsPredictor(BhtIndexerPtr indexer, unsigned history_bits,

@@ -13,9 +13,11 @@
 #ifndef BWSA_PREDICT_TWOLEVEL_HH
 #define BWSA_PREDICT_TWOLEVEL_HH
 
+#include <memory>
 #include <vector>
 
 #include "predict/index_policy.hh"
+#include "predict/interference.hh"
 #include "predict/predictor.hh"
 #include "util/sat_counter.hh"
 
@@ -97,14 +99,32 @@ class PAgPredictor : public Predictor
     /** Current BHT size (grows for unbounded policies). */
     std::size_t bhtSize() const { return _bht.size(); }
 
+    /**
+     * Attach the BHT interference attribution probe (see
+     * interference.hh).  Passive: predictions and table state are
+     * identical with and without it; update() additionally classifies
+     * every resolved prediction against the branch's private shadow
+     * history.  Idempotent; reset() clears the probe's state too.
+     */
+    void enableInterferenceProbe();
+
+    /** The attached probe; nullptr when none was enabled. */
+    const BhtInterferenceProbe *interferenceProbe() const
+    {
+        return _probe.get();
+    }
+
   private:
     HistoryRegister &bhtEntry(BranchPc pc);
+    void probeObserve(std::uint64_t idx, BranchPc pc,
+                      const HistoryRegister &history, bool taken);
 
     BhtIndexerPtr _indexer;
     unsigned _history_bits;
     unsigned _counter_bits;
     std::vector<HistoryRegister> _bht;
     std::vector<SatCounter> _pht;
+    std::unique_ptr<BhtInterferenceProbe> _probe;
 };
 
 /**

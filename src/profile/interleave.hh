@@ -26,8 +26,11 @@
 #define BWSA_PROFILE_INTERLEAVE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/timeseries.hh"
 #include "profile/conflict_graph.hh"
 #include "trace/trace.hh"
 #include "util/flat_counter.hh"
@@ -43,6 +46,16 @@ struct InterleaveConfig
      * (the paper's exact semantics; fine for small traces).
      */
     std::size_t max_window = 4096;
+
+    /**
+     * Time-series name prefix for the temporal working-set signal.
+     * When nonempty and the global TimeSeriesRegistry is enabled, the
+     * tracker publishes "<scope>/working_set/size" (distinct branch
+     * PCs per instruction window) and "<scope>/working_set/jaccard"
+     * (population similarity against the previous window).  Scopes
+     * must be unique per concurrent tracker (single-writer contract).
+     */
+    std::string series_scope;
 };
 
 /**
@@ -115,6 +128,8 @@ class InterleaveTracker : public TraceSink
      * flush time.  Open addressing here is the profiler's hot path.
      */
     std::vector<FlatCounterMap> _pair_counts;
+    /** Temporal working-set sampler; null unless a scope was set. */
+    std::unique_ptr<obs::WindowedSetSampler> _set_sampler;
     NodeId _head = invalid_node;
     NodeId _tail = invalid_node;
     std::size_t _window_size = 0;

@@ -6,8 +6,10 @@
 namespace bwsa
 {
 
-PredictionSim::PredictionSim(Predictor &predictor, bool per_branch)
-    : _predictor(predictor), _per_branch(per_branch)
+PredictionSim::PredictionSim(Predictor &predictor, bool per_branch,
+                             obs::TimeSeries *miss_series)
+    : _predictor(predictor), _per_branch(per_branch),
+      _miss_series(miss_series)
 {
     _stats.predictor_name = predictor.name();
 }
@@ -20,6 +22,8 @@ PredictionSim::onBranch(const BranchRecord &record)
     _stats.mispredicts.record(miss);
     if (_per_branch)
         _stats.per_branch[record.pc].record(miss);
+    if (_miss_series)
+        _miss_series->record(record.timestamp, miss ? 1.0 : 0.0);
     _predictor.update(record.pc, record.taken);
 }
 
@@ -83,7 +87,8 @@ simulatePredictor(const TraceSource &source, Predictor &predictor,
 
 std::vector<PredictionStats>
 comparePredictors(const TraceSource &source,
-                  const std::vector<Predictor *> &predictors)
+                  const std::vector<Predictor *> &predictors,
+                  const std::string &series_scope)
 {
     obs::PhaseTracer::Span span("sim.compare");
     span.addWork(predictors.size());
@@ -92,7 +97,11 @@ comparePredictors(const TraceSource &source,
     sims.reserve(predictors.size());
     FanoutSink fanout;
     for (Predictor *p : predictors) {
-        sims.emplace_back(*p);
+        obs::TimeSeries *miss_series = nullptr;
+        if (!series_scope.empty())
+            miss_series = obs::TimeSeriesRegistry::global().series(
+                series_scope + "/" + p->name() + "/miss_rate");
+        sims.emplace_back(*p, false, miss_series);
         // Safe: sims is reserved, so elements never relocate.
         fanout.addSink(sims.back());
     }

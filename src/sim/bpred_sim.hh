@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/timeseries.hh"
 #include "predict/predictor.hh"
 #include "trace/trace.hh"
 #include "util/stats.hh"
@@ -52,11 +53,16 @@ class PredictionSim : public TraceSink
 {
   public:
     /**
-     * @param predictor  predictor under test (not owned)
-     * @param per_branch also collect per-static-branch ratios
+     * @param predictor   predictor under test (not owned)
+     * @param per_branch  also collect per-static-branch ratios
+     * @param miss_series optional time series receiving one 0/1
+     *                    sample per branch at its retirement
+     *                    timestamp; the window mean is the windowed
+     *                    misprediction rate (not owned, may be null)
      */
     explicit PredictionSim(Predictor &predictor,
-                           bool per_branch = false);
+                           bool per_branch = false,
+                           obs::TimeSeries *miss_series = nullptr);
 
     void onBranch(const BranchRecord &record) override;
 
@@ -73,6 +79,7 @@ class PredictionSim : public TraceSink
   private:
     Predictor &_predictor;
     bool _per_branch;
+    obs::TimeSeries *_miss_series;
     PredictionStats _stats;
 
     /** Totals already flushed to the metrics registry. */
@@ -88,13 +95,21 @@ PredictionStats simulatePredictor(const TraceSource &source,
 /**
  * Simulate many predictors over a single replay of the trace.
  *
- * @param source     the trace
- * @param predictors predictors under test (not owned)
+ * When @p series_scope is nonempty and the global TimeSeriesRegistry
+ * is enabled, each predictor also publishes its windowed misprediction
+ * rate as the series "<scope>/<predictor name>/miss_rate".  Scopes
+ * must be unique per concurrent caller (sweep cells use their
+ * benchmark name) to honor the registry's single-writer contract.
+ *
+ * @param source       the trace
+ * @param predictors   predictors under test (not owned)
+ * @param series_scope time-series name prefix; "" records nothing
  * @return one PredictionStats per predictor, in input order
  */
 std::vector<PredictionStats>
 comparePredictors(const TraceSource &source,
-                  const std::vector<Predictor *> &predictors);
+                  const std::vector<Predictor *> &predictors,
+                  const std::string &series_scope = "");
 
 } // namespace bwsa
 

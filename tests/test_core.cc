@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_helpers.hh"
+
 #include "core/allocation.hh"
 #include "core/classification.hh"
 #include "core/pipeline.hh"
@@ -442,7 +444,7 @@ TEST(Pipeline, EndToEndProducesUsableSpec)
 
     PipelineConfig config;
     AllocationPipeline pipeline(config);
-    pipeline.addProfile(source);
+    testhelpers::profileRun(pipeline, source);
 
     EXPECT_EQ(pipeline.profileCount(), 1u);
     EXPECT_GT(pipeline.graph().nodeCount(), 0u);
@@ -475,15 +477,15 @@ TEST(Pipeline, CumulativeProfilesMergeInputs)
 
     PipelineConfig config;
     AllocationPipeline merged(config);
-    merged.addProfile(source_a);
+    testhelpers::profileRun(merged, source_a);
     std::size_t after_a = merged.graph().nodeCount();
-    merged.addProfile(source_b);
+    testhelpers::profileRun(merged, source_b);
     EXPECT_EQ(merged.profileCount(), 2u);
     // The merged graph covers at least everything input A exercised.
     EXPECT_GE(merged.graph().nodeCount(), after_a);
 
     AllocationPipeline only_b(config);
-    only_b.addProfile(source_b);
+    testhelpers::profileRun(only_b, source_b);
     EXPECT_GE(merged.graph().totalExecutions(),
               only_b.graph().totalExecutions());
 }

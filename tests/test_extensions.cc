@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_helpers.hh"
+
 #include "core/pipeline.hh"
 #include "predict/agree.hh"
 #include "predict/factory.hh"
@@ -150,7 +152,7 @@ TEST(Pipeline, StaticFilterSpecCoversClassifiedBranches)
     PipelineConfig config;
     config.allocation.use_classification = true;
     AllocationPipeline pipeline(config);
-    pipeline.addProfile(source);
+    testhelpers::profileRun(pipeline, source);
 
     PredictorSpec spec = pipeline.staticFilterSpec(64);
     EXPECT_EQ(spec.kind, PredictorKind::StaticFilteredPAg);
@@ -178,7 +180,7 @@ TEST(PipelineDeath, StaticFilterSpecNeedsClassification)
     WorkloadTraceSource source(program, ExecutorConfig{});
 
     AllocationPipeline pipeline; // classification off by default
-    pipeline.addProfile(source);
+    testhelpers::profileRun(pipeline, source);
     EXPECT_EXIT(pipeline.staticFilterSpec(64),
                 ::testing::ExitedWithCode(1),
                 "requires classification");

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hh"
+#include "test_helpers.hh"
 #include "core/working_set.hh"
 #include "obs/phase_tracer.hh"
 #include "predict/factory.hh"
@@ -39,12 +40,12 @@ TEST(Integration, PaperOrderingHoldsOnSmallBenchmark)
 
     PipelineConfig config;
     AllocationPipeline pipeline(config);
-    pipeline.addProfile(source);
+    testhelpers::profileRun(pipeline, source);
 
     PipelineConfig cls_config;
     cls_config.allocation.use_classification = true;
     AllocationPipeline cls_pipeline(cls_config);
-    cls_pipeline.addProfile(source);
+    testhelpers::profileRun(cls_pipeline, source);
 
     PredictorPtr base = makePredictor(paperBaselineSpec());
     PredictorPtr ideal = makePredictor(interferenceFreeSpec());
@@ -86,13 +87,13 @@ TEST(Integration, RequiredSizesShrinkWithClassification)
 
     PipelineConfig plain_config;
     AllocationPipeline plain(plain_config);
-    plain.addProfile(source);
+    testhelpers::profileRun(plain, source);
     RequiredSizeResult t3 = plain.requiredSize(1024);
 
     PipelineConfig cls_config;
     cls_config.allocation.use_classification = true;
     AllocationPipeline cls(cls_config);
-    cls.addProfile(source);
+    testhelpers::profileRun(cls, source);
     RequiredSizeResult t4 = cls.requiredSize(1024);
 
     ASSERT_TRUE(t3.achieved);
@@ -128,7 +129,7 @@ TEST(Integration, WholeFlowIsDeterministic)
     auto run_once = [&] {
         PipelineConfig config;
         AllocationPipeline pipeline(config);
-        pipeline.addProfile(source);
+        testhelpers::profileRun(pipeline, source);
         RequiredSizeResult req = pipeline.requiredSize(1024);
         PredictorPtr p = makePredictor(pipeline.predictorSpec(128));
         PredictionStats stats = simulatePredictor(source, *p);
@@ -179,10 +180,10 @@ TEST(Integration, ProfileInputSensitivity)
 
     PipelineConfig config;
     AllocationPipeline pa(config), pb(config), merged(config);
-    pa.addProfile(sa);
-    pb.addProfile(sb);
-    merged.addProfile(sa);
-    merged.addProfile(sb);
+    testhelpers::profileRun(pa, sa);
+    testhelpers::profileRun(pb, sb);
+    testhelpers::profileRun(merged, sa);
+    testhelpers::profileRun(merged, sb);
 
     EXPECT_NE(pa.graph().totalExecutions(),
               pb.graph().totalExecutions());
@@ -199,7 +200,7 @@ TEST(Integration, InstrumentationDoesNotPerturbResults)
     auto run = [&] {
         PipelineConfig config;
         AllocationPipeline pipeline(config);
-        pipeline.addProfile(source);
+        testhelpers::profileRun(pipeline, source);
         RequiredSizeResult req = pipeline.requiredSize(1024);
         PredictorPtr p = makePredictor(pipeline.predictorSpec(128));
         PredictionStats stats = simulatePredictor(source, *p);

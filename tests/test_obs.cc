@@ -17,7 +17,9 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
+#include "obs/progress.hh"
 #include "obs/run_report.hh"
+#include "util/logging.hh"
 
 using namespace bwsa::obs;
 
@@ -201,6 +203,110 @@ TEST(Metrics, ScopedTimerObservesElapsedNanoseconds)
     EXPECT_EQ(bucketed, 1u);
 }
 
+TEST(Metrics, HistogramBoundaryObservationsLandInTheirBucket)
+{
+    // Exact-boundary values belong to the bucket they bound; one past
+    // the boundary belongs to the next.
+    MetricsRegistry registry;
+    HistogramMetric h = registry.histogram("edges", {0, 10, 100});
+    h.observe(0);   // bucket 0 (bound 0 is inclusive)
+    h.observe(1);   // bucket 1
+    h.observe(10);  // bucket 1
+    h.observe(11);  // bucket 2
+    h.observe(100); // bucket 2
+    h.observe(101); // overflow
+
+    MetricsSnapshot snap = registry.snapshot();
+    const SeriesSnapshot *s = snap.find("edges");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->histogram.buckets.size(), 4u);
+    EXPECT_EQ(s->histogram.buckets[0].second, 1u);
+    EXPECT_EQ(s->histogram.buckets[1].second, 2u);
+    EXPECT_EQ(s->histogram.buckets[2].second, 2u);
+    EXPECT_EQ(s->histogram.buckets[3].second, 1u);
+    EXPECT_EQ(s->histogram.count, 6u);
+    EXPECT_EQ(s->histogram.sum, 223u);
+}
+
+TEST(Metrics, HistogramAboveTopBucketAllOverflow)
+{
+    MetricsRegistry registry;
+    HistogramMetric h = registry.histogram("over", {8});
+    for (std::uint64_t v : {9u, 1000u, ~0u})
+        h.observe(v);
+
+    MetricsSnapshot snap = registry.snapshot();
+    const SeriesSnapshot *s = snap.find("over");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->histogram.count, 3u);
+    ASSERT_EQ(s->histogram.buckets.size(), 2u);
+    EXPECT_EQ(s->histogram.buckets[0].second, 0u);
+    EXPECT_EQ(s->histogram.buckets[1].second, 3u); // all overflow
+}
+
+TEST(Metrics, HistogramSnapshotWhileSecondThreadWrites)
+{
+    // Snapshots are safe from any thread at any time.  Mid-write they
+    // may be slightly torn across the relaxed cells, but every view
+    // must stay well-formed and within the totals actually written,
+    // and once the writer quiesces the merge is exact.
+    MetricsRegistry registry;
+    HistogramMetric h = registry.histogram("live", {1, 2});
+
+    constexpr std::uint64_t writes = 200000;
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < writes; ++i)
+            h.observe(1);
+    });
+
+    for (int i = 0; i < 50; ++i) {
+        MetricsSnapshot mid = registry.snapshot();
+        const SeriesSnapshot *s = mid.find("live");
+        ASSERT_NE(s, nullptr);
+        ASSERT_EQ(s->histogram.buckets.size(), 3u);
+        EXPECT_LE(s->histogram.count, writes);
+        EXPECT_LE(s->histogram.sum, writes);
+        // Only value 1 is ever observed: the other buckets stay 0.
+        EXPECT_EQ(s->histogram.buckets[1].second, 0u);
+        EXPECT_EQ(s->histogram.buckets[2].second, 0u);
+    }
+    writer.join();
+
+    MetricsSnapshot final_snap = registry.snapshot();
+    const SeriesSnapshot *s = final_snap.find("live");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->histogram.count, writes);
+    EXPECT_EQ(s->histogram.sum, writes);
+    EXPECT_EQ(s->histogram.buckets[0].second, writes);
+}
+
+// --- Progress heartbeat --------------------------------------------
+
+TEST(Progress, QuietSuppressesHeartbeatAndFinalFlush)
+{
+    // The --quiet contract: nothing on stderr, not even the final
+    // "progress: done" flush that stop() prints at other levels.
+    bwsa::LogLevel saved = bwsa::logLevel();
+    bwsa::setLogLevel(bwsa::LogLevel::Quiet);
+    ProgressMeter meter;
+    testing::internal::CaptureStderr();
+    meter.start(0.1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    meter.stop();
+    std::string quiet_output = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(quiet_output, "");
+
+    // Same lifecycle at Normal does flush, so the assertion above is
+    // meaningful.
+    bwsa::setLogLevel(bwsa::LogLevel::Normal);
+    testing::internal::CaptureStderr();
+    meter.start(0.1);
+    meter.stop();
+    std::string normal_output = testing::internal::GetCapturedStderr();
+    EXPECT_NE(normal_output.find("progress: done"), std::string::npos);
+    bwsa::setLogLevel(saved);
+}
+
 // --- Phase tracer --------------------------------------------------
 
 TEST(PhaseTracer, DisabledSpansRecordNothing)
@@ -345,7 +451,7 @@ TEST(RunReport, DocumentStructureAndFileRoundTrip)
     phases[0].work = 42;
 
     JsonValue doc = report.build(registry.snapshot(), phases, 1);
-    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v1");
+    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v2");
     EXPECT_EQ(doc.find("bench")->asString(), "test_bench");
     EXPECT_GT(doc.find("started_unix_ms")->asUint(), 0u);
     EXPECT_GE(doc.find("wall_seconds")->asDouble(), 0.0);
@@ -374,6 +480,14 @@ TEST(RunReport, DocumentStructureAndFileRoundTrip)
     ASSERT_EQ(metrics->size(), 1u);
     EXPECT_EQ(metrics->at(0).find("name")->asString(), "rows");
     EXPECT_EQ(metrics->at(0).find("value")->asUint(), 2u);
+
+    // v2 sections are always present, as (possibly empty) arrays.
+    const JsonValue *series = doc.find("timeseries");
+    ASSERT_NE(series, nullptr);
+    EXPECT_TRUE(series->isArray());
+    const JsonValue *interference = doc.find("interference");
+    ASSERT_NE(interference, nullptr);
+    EXPECT_TRUE(interference->isArray());
 
     // Serialization is stable through the filesystem.
     std::string golden = doc.dumpString(2);

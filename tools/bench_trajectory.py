@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Append a run report's headline metrics to a trajectory file.
+
+Usage: bench_trajectory.py <report.json> --out=BENCH_4.json
+           [--label=<id>]
+
+Distills one bench run report into a small headline record and
+appends it to a JSON trajectory file (a list of records, one per
+run), so successive CI runs accumulate a perf/accuracy history that
+is cheap to diff and plot.
+
+The headline record carries:
+  * bench name, schema, wall_seconds, the config echo;
+  * per result table: the "average" row when present (the paper's
+    figures quote the averages), otherwise the first row;
+  * per interference entry: the destructive count and percentage;
+  * totals: number of timeseries exported and their point count.
+
+Scheduling tables ("sweep cells:", "profile shards:") are skipped.
+Only the standard library is used.
+"""
+
+import datetime
+import json
+import os
+import sys
+
+SKIPPED_TABLE_PREFIXES = ("sweep cells:", "profile shards:")
+
+
+def table_headline(table):
+    rows = table.get("rows", [])
+    if not rows:
+        return None
+    headline = rows[0]
+    for row in rows:
+        if row and row[0] == "average":
+            headline = row
+            break
+    return dict(zip(table.get("columns", []), headline))
+
+
+def build_record(report, label):
+    record = {
+        "label": label,
+        "recorded_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": report.get("bench"),
+        "schema": report.get("schema"),
+        "wall_seconds": report.get("wall_seconds"),
+        "config": report.get("config", {}),
+        "tables": {},
+    }
+    for table in report.get("tables", []):
+        title = table.get("title", "")
+        if title.startswith(SKIPPED_TABLE_PREFIXES):
+            continue
+        headline = table_headline(table)
+        if headline is not None:
+            record["tables"][title] = headline
+
+    interference = report.get("interference", [])
+    if interference:
+        record["interference"] = [
+            {
+                "scope": entry.get("scope"),
+                "predictor": entry.get("predictor"),
+                "destructive": entry.get("destructive"),
+                "destructive_percent": entry.get("destructive_percent"),
+            }
+            for entry in interference
+        ]
+
+    timeseries = report.get("timeseries", [])
+    if timeseries:
+        record["timeseries"] = {
+            "series": len(timeseries),
+            "points": sum(len(s.get("points", []))
+                          for s in timeseries),
+        }
+    return record
+
+
+def main(argv):
+    report_path = None
+    out_path = None
+    label = ""
+    for arg in argv[1:]:
+        if arg.startswith("--out="):
+            out_path = arg[len("--out="):]
+        elif arg.startswith("--label="):
+            label = arg[len("--label="):]
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif report_path is None:
+            report_path = arg
+        else:
+            print(f"unexpected argument {arg!r}", file=sys.stderr)
+            return 2
+    if report_path is None or out_path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(report_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    trajectory = []
+    if os.path.exists(out_path):
+        with open(out_path, encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+        if not isinstance(trajectory, list):
+            print(f"{out_path}: not a JSON list", file=sys.stderr)
+            return 1
+
+    trajectory.append(build_record(report, label))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"{out_path}: {len(trajectory)} record(s), appended "
+          f"{report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

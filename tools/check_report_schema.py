@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a BWSA run report against the bwsa.run_report.v1 schema.
+"""Validate a BWSA run report against the bwsa.run_report schemas.
 
 Usage: check_report_schema.py <report.json> [<report.json> ...]
 
-Checks the structural invariants the bench harnesses promise (see
-DESIGN.md, "Observability"): schema id, bench name, config echo,
-at least 5 distinct phase timings, at least 10 metric series, at
-least one result table, and sane numeric fields.  Exits non-zero
-with a message on the first violation, so CI can gate on it.
+Accepts any schema version in ACCEPTED_SCHEMAS.  Checks the
+structural invariants the bench harnesses promise (see DESIGN.md,
+"Observability"): schema id, bench name, config echo, at least 5
+distinct phase timings, at least 10 metric series, at least one
+result table, and sane numeric fields.  v2 reports additionally
+carry the "timeseries" and "interference" sections, whose entry
+shapes are validated too.  Exits non-zero with a message on the
+first violation, so CI can gate on it.
 
 Only the standard library is used.
 """
 
 import json
 import sys
+
+ACCEPTED_SCHEMAS = ("bwsa.run_report.v1", "bwsa.run_report.v2")
 
 
 def fail(path, message):
@@ -72,12 +77,68 @@ def check_table(path, table):
                f"column count {width}")
 
 
+def check_series(path, series):
+    expect(path, isinstance(series, dict),
+           "timeseries entry is not an object")
+    for key in ("name", "window", "downsamples", "points"):
+        expect(path, key in series, f"timeseries entry missing '{key}'")
+    expect(path, isinstance(series["name"], str) and series["name"],
+           "timeseries name must be a non-empty string")
+    expect(path, series["window"] >= 1,
+           f"series {series['name']}: window must be >= 1")
+    prev_start = -1
+    for point in series["points"]:
+        expect(path, isinstance(point, list) and len(point) == 5,
+               f"series {series['name']}: point is not "
+               "[start, weight, mean, min, max]")
+        start, weight, _, lo, hi = point
+        expect(path, start > prev_start,
+               f"series {series['name']}: window starts not ascending")
+        expect(path, start % series["window"] == 0,
+               f"series {series['name']}: start {start} not aligned "
+               f"to window {series['window']}")
+        expect(path, weight >= 1,
+               f"series {series['name']}: empty window exported")
+        expect(path, hi >= lo,
+               f"series {series['name']}: max < min")
+        prev_start = start
+
+
+def check_interference(path, entry):
+    expect(path, isinstance(entry, dict),
+           "interference entry is not an object")
+    for key in ("scope", "predictor", "predictions", "agree",
+                "neutral", "constructive", "destructive",
+                "destructive_percent", "shadowed_branches",
+                "top_entries"):
+        expect(path, key in entry,
+               f"interference entry missing '{key}'")
+    label = f"{entry['scope']}/{entry['predictor']}"
+    classified = (entry["agree"] + entry["neutral"] +
+                  entry["constructive"] + entry["destructive"])
+    expect(path, classified == entry["predictions"],
+           f"interference {label}: classes sum to {classified}, "
+           f"not predictions {entry['predictions']}")
+    expect(path, 0 <= entry["destructive_percent"] <= 100,
+           f"interference {label}: destructive_percent out of range")
+    for conflict in entry["top_entries"]:
+        for key in ("entry", "owner_switches", "destructive",
+                    "branches"):
+            expect(path, key in conflict,
+                   f"interference {label}: top entry missing '{key}'")
+        expect(path, conflict["branches"] >= 2,
+               f"interference {label}: conflict entry with < 2 "
+               "branches")
+
+
 def check_report(path):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
 
-    expect(path, doc.get("schema") == "bwsa.run_report.v1",
-           f"bad schema id: {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    expect(path, schema in ACCEPTED_SCHEMAS,
+           f"bad schema id: {schema!r} (accepted: "
+           f"{', '.join(ACCEPTED_SCHEMAS)})")
     expect(path, isinstance(doc.get("bench"), str) and doc["bench"],
            "missing bench name")
     expect(path, doc.get("started_unix_ms", 0) > 0,
@@ -116,8 +177,23 @@ def check_report(path):
     for table in tables:
         check_table(path, table)
 
+    extras = ""
+    if schema == "bwsa.run_report.v2":
+        timeseries = doc.get("timeseries")
+        expect(path, isinstance(timeseries, list),
+               "v2 report missing timeseries list")
+        for entry in timeseries:
+            check_series(path, entry)
+        interference = doc.get("interference")
+        expect(path, isinstance(interference, list),
+               "v2 report missing interference list")
+        for entry in interference:
+            check_interference(path, entry)
+        extras = (f", {len(timeseries)} timeseries, "
+                  f"{len(interference)} interference entries")
+
     print(f"{path}: OK ({len(names)} phases, {len(series)} series, "
-          f"{len(tables)} tables)")
+          f"{len(tables)} tables{extras})")
 
 
 def main(argv):

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Compare a BWSA run report against a golden report and gate on drift.
+
+Usage: compare_reports.py <golden.json> <candidate.json>
+           [--tolerance=<rel>] [--tolerance=<pattern>=<rel>] ...
+
+Compares the *result* content of two run reports -- the benchmark
+tables and the interference attribution entries -- and exits non-zero
+when the candidate regressed, so CI can pin the paper numbers against
+a committed golden report.
+
+What is compared:
+  * every golden result table must exist in the candidate with the
+    same columns and the same row labels, and every numeric cell must
+    match within tolerance (non-numeric cells must match exactly);
+  * every golden interference entry (keyed scope/predictor) must exist
+    in the candidate, with its classification counters within
+    tolerance.
+
+What is deliberately skipped (nondeterministic between runs):
+  * wall-clock anything: wall_seconds, started_unix_ms, phase
+    timings, metric series (they carry timer histograms);
+  * scheduling tables: titles starting with "sweep cells:" or
+    "profile shards:" record per-worker wall times;
+  * the timeseries section: window contents are deterministic but
+    huge, and the tables already pin the aggregates they feed.
+
+Tolerances are *relative* (0.02 = 2%).  The bare --tolerance=<rel>
+form sets the default (default 0: byte-determinism is the repo's
+contract); --tolerance=<pattern>=<rel> applies to numeric cells whose
+"table title/column" (or interference "scope/predictor/field") name
+contains <pattern>.  The first matching pattern wins; patterns are
+checked in the order given.
+
+Only the standard library is used.
+"""
+
+import json
+import sys
+
+SKIPPED_TABLE_PREFIXES = ("sweep cells:", "profile shards:")
+
+INTERFERENCE_FIELDS = ("predictions", "agree", "neutral",
+                       "constructive", "destructive",
+                       "destructive_percent", "shadowed_branches")
+
+
+def parse_number(text):
+    """The numeric value of a table cell, or None.
+
+    Table cells carry fixed-point renderings, sometimes with
+    thousands separators ("1,234,567").
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    try:
+        return float(str(text).replace(",", ""))
+    except ValueError:
+        return None
+
+
+class Comparator:
+    def __init__(self, default_tolerance, patterns):
+        self.default_tolerance = default_tolerance
+        self.patterns = patterns  # [(substring, rel_tolerance)]
+        self.failures = []
+
+    def tolerance_for(self, name):
+        for pattern, tolerance in self.patterns:
+            if pattern in name:
+                return tolerance
+        return self.default_tolerance
+
+    def fail(self, message):
+        self.failures.append(message)
+
+    def compare_value(self, name, golden, candidate):
+        golden_num = parse_number(golden)
+        candidate_num = parse_number(candidate)
+        if golden_num is None or candidate_num is None:
+            if str(golden) != str(candidate):
+                self.fail(f"{name}: {golden!r} != {candidate!r}")
+            return
+        tolerance = self.tolerance_for(name)
+        bound = abs(golden_num) * tolerance
+        if abs(candidate_num - golden_num) > bound:
+            self.fail(f"{name}: golden {golden_num} vs candidate "
+                      f"{candidate_num} (tolerance {tolerance:.3%})")
+
+    def compare_tables(self, golden, candidate):
+        candidate_by_title = {t["title"]: t
+                              for t in candidate.get("tables", [])}
+        for table in golden.get("tables", []):
+            title = table["title"]
+            if title.startswith(SKIPPED_TABLE_PREFIXES):
+                continue
+            other = candidate_by_title.get(title)
+            if other is None:
+                self.fail(f"table {title!r}: missing from candidate")
+                continue
+            if table["columns"] != other["columns"]:
+                self.fail(f"table {title!r}: columns changed "
+                          f"{table['columns']} -> {other['columns']}")
+                continue
+            golden_rows = {row[0]: row for row in table["rows"]}
+            candidate_rows = {row[0]: row for row in other["rows"]}
+            if set(golden_rows) != set(candidate_rows):
+                self.fail(f"table {title!r}: row labels changed "
+                          f"{sorted(golden_rows)} -> "
+                          f"{sorted(candidate_rows)}")
+                continue
+            for label, row in golden_rows.items():
+                for column, golden_cell, candidate_cell in zip(
+                        table["columns"][1:], row[1:],
+                        candidate_rows[label][1:]):
+                    self.compare_value(
+                        f"{title}/{label}/{column}",
+                        golden_cell, candidate_cell)
+
+    def compare_interference(self, golden, candidate):
+        candidate_by_key = {
+            (e["scope"], e["predictor"]): e
+            for e in candidate.get("interference", [])}
+        for entry in golden.get("interference", []):
+            key = (entry["scope"], entry["predictor"])
+            other = candidate_by_key.get(key)
+            if other is None:
+                self.fail(f"interference {key[0]}/{key[1]}: missing "
+                          "from candidate")
+                continue
+            for field in INTERFERENCE_FIELDS:
+                if field not in entry:
+                    continue
+                self.compare_value(
+                    f"{key[0]}/{key[1]}/{field}",
+                    entry[field], other.get(field, "absent"))
+
+
+def main(argv):
+    default_tolerance = 0.0
+    patterns = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            spec = arg[len("--tolerance="):]
+            if "=" in spec:
+                pattern, _, value = spec.rpartition("=")
+                patterns.append((pattern, float(value)))
+            else:
+                default_tolerance = float(spec)
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    golden_path, candidate_path = paths
+    with open(golden_path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    with open(candidate_path, encoding="utf-8") as handle:
+        candidate = json.load(handle)
+
+    comparator = Comparator(default_tolerance, patterns)
+    if golden.get("bench") != candidate.get("bench"):
+        comparator.fail(f"bench name changed: {golden.get('bench')!r} "
+                        f"-> {candidate.get('bench')!r}")
+    comparator.compare_tables(golden, candidate)
+    comparator.compare_interference(golden, candidate)
+
+    if comparator.failures:
+        print(f"{candidate_path}: {len(comparator.failures)} "
+              f"regression(s) vs {golden_path}", file=sys.stderr)
+        for failure in comparator.failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"{candidate_path}: matches {golden_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
