@@ -41,8 +41,12 @@ main(int argc, char **argv)
             config.allocation.use_classification = true;
             config.allocation.bias_cutoff = cutoff;
             AllocationPipeline pipeline(config);
+            // The bias cutoff is an allocation-time knob, so all
+            // three cutoffs share one cache key: with --cache the
+            // second and third profile of each trace are hits.
             profileSource(pipeline, source, options,
-                          run.display + "@" + fixedString(cutoff, 3));
+                          run.display + "@" + fixedString(cutoff, 3),
+                          run.preset + ":" + run.input_label);
 
             BranchClassifier classifier(cutoff);
             ClassCounts counts = countClasses(

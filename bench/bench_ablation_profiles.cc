@@ -46,10 +46,14 @@ main(int argc, char **argv)
         config.allocation.edge_threshold = options.threshold;
 
         AllocationPipeline pa(config), pb(config), merged(config);
-        profileSource(pa, sa, options, preset + "_a");
-        profileSource(pb, sb, options, preset + "_b");
-        profileSource(merged, sa, options, preset + "_a+merged");
-        profileSource(merged, sb, options, preset + "_b+merged");
+        profileSource(pa, sa, options, preset + "_a", preset + ":a");
+        profileSource(pb, sb, options, preset + "_b", preset + ":b");
+        // The merged pipeline re-profiles the same traces, so with
+        // the cache on it hits the artifacts stored just above.
+        profileSource(merged, sa, options, preset + "_a+merged",
+                      preset + ":a");
+        profileSource(merged, sb, options, preset + "_b+merged",
+                      preset + ":b");
 
         RequiredSizeResult ra = pa.requiredSize(1024);
         RequiredSizeResult rb = pb.requiredSize(1024);

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
@@ -14,6 +15,8 @@
 #include "obs/timeseries.hh"
 #include "predict/twolevel.hh"
 #include "sim/bpred_sim.hh"
+#include "store/artifact_cache.hh"
+#include "store/profile_artifact.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/strutil.hh"
@@ -27,6 +30,12 @@ namespace
 /** Top-level span covering parseBenchOptions() .. finishBench(). */
 std::unique_ptr<obs::PhaseTracer::Span> run_span;
 
+/** The run's profile artifact cache; null when caching is off. */
+std::unique_ptr<store::ArtifactCache> artifact_cache;
+
+/** Serializes cache access from concurrent sweep cells. */
+std::mutex cache_mutex;
+
 } // namespace
 
 BenchOptions
@@ -37,7 +46,8 @@ parseBenchOptions(int &argc, char **argv,
         argc, argv,
         {"scale", "benchmarks", "threads", "shards", "csv",
          "threshold", "json", "trace", "progress", "timeseries",
-         "interval", "interference", "quiet", "verbose"});
+         "interval", "interference", "store-dir", "cache", "no-cache",
+         "quiet", "verbose"});
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
@@ -46,7 +56,8 @@ parseBenchOptions(int &argc, char **argv,
                    "' (supported: --scale --benchmarks --threads "
                    "--shards --csv --threshold --json --trace "
                    "--progress --timeseries --interval "
-                   "--interference --quiet --verbose)");
+                   "--interference --store-dir --cache --no-cache "
+                   "--quiet --verbose)");
 
     applyLogLevelOptions(cli);
 
@@ -91,6 +102,23 @@ parseBenchOptions(int &argc, char **argv,
         bwsa_fatal("--interval must be >= 1 instruction");
     options.interference = cli.isBare("interference") ||
                            cli.getString("interference", "") == "true";
+
+    // --store-dir implies --cache; --no-cache wins over both.
+    options.store_dir = cli.getRequiredString("store-dir", "");
+    bool want_cache =
+        cli.getBool("cache", !options.store_dir.empty());
+    if (cli.getBool("no-cache", false))
+        want_cache = false;
+    if (want_cache) {
+        if (options.store_dir.empty())
+            options.store_dir = ".bwsa-store";
+        options.cache = true;
+        artifact_cache =
+            std::make_unique<store::ArtifactCache>(options.store_dir);
+    } else {
+        artifact_cache.reset();
+    }
+
     if (options.timeseries) {
         auto &series = obs::TimeSeriesRegistry::global();
         series.configureDefaults(options.interval);
@@ -129,6 +157,15 @@ finishBench(const BenchOptions &options)
 {
     run_span.reset();
     obs::ProgressMeter::global().stop();
+    if (artifact_cache) {
+        std::cout << "(cache " << artifact_cache->dir() << ": "
+                  << artifact_cache->hits() << " hits, "
+                  << artifact_cache->misses() << " misses, "
+                  << artifact_cache->bytesWritten()
+                  << " bytes written, " << artifact_cache->entryCount()
+                  << " entries)\n";
+        artifact_cache.reset();
+    }
     if (!options.trace_path.empty())
         obs::PhaseTracer::global().writeChromeTrace(
             options.trace_path,
@@ -276,8 +313,48 @@ recordShardStats(const std::string &label, const ShardRunStats &stats)
 
 void
 profileSource(AllocationPipeline &pipeline, const TraceSource &source,
-              const BenchOptions &options, const std::string &label)
+              const BenchOptions &options, const std::string &label,
+              const std::string &identity)
 {
+    // Time-series sampling happens during the profiling passes; a
+    // cache hit would silently suppress those series, so such runs
+    // always profile for real.
+    const bool cacheable =
+        artifact_cache && !identity.empty() && !options.timeseries;
+    std::string key;
+    if (cacheable) {
+        const PipelineConfig &config = pipeline.config();
+        store::CacheKeyBuilder builder;
+        builder
+            .add("schema", static_cast<std::uint64_t>(
+                               store::profile_artifact_schema))
+            .add("trace", identity)
+            .add("records", source.recordCount())
+            .add("scale", options.scale)
+            .add("window", static_cast<std::uint64_t>(
+                               config.interleave.max_window))
+            .add("coverage", config.coverage)
+            .add("max_static",
+                 static_cast<std::uint64_t>(config.max_static));
+        key = builder.key();
+
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        BWSA_SPAN("store.cache_lookup");
+        if (std::optional<store::ProfileArtifact> artifact =
+                store::loadProfileArtifact(*artifact_cache, key)) {
+            pipeline.importProfile(artifact->stats,
+                                   artifact->selection,
+                                   artifact->graph);
+            debugLog("profile cache hit for ", label, " (", key, ")");
+            return;
+        }
+    }
+
+    // On a fresh pipeline the cumulative graph after finish() IS the
+    // run graph, so the run can be captured for the cache; further
+    // runs merge and are no longer separable (they still hit above).
+    const bool capturable = pipeline.profileCount() == 0;
+
     ProfileSession session(pipeline);
     session.addStats(source);
     session.commit();
@@ -289,6 +366,15 @@ profileSource(AllocationPipeline &pipeline, const TraceSource &source,
         session.addInterleave(source);
     }
     session.finish();
+
+    if (cacheable && capturable) {
+        store::ProfileArtifact artifact{pipeline.lastStats(),
+                                        pipeline.lastSelection(),
+                                        pipeline.graph()};
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        BWSA_SPAN("store.cache_store");
+        store::storeProfileArtifact(*artifact_cache, key, artifact);
+    }
 }
 
 TextTable
@@ -397,7 +483,8 @@ buildAllocationTables(const BenchOptions &options, bool classification)
             if (options.timeseries)
                 config.interleave.series_scope = run.display;
             AllocationPipeline pipeline(config);
-            profileSource(pipeline, source, options, run.display);
+            profileSource(pipeline, source, options, run.display,
+                          run.preset + ":" + run.input_label);
 
             PredictorPtr base = makePredictor(paperBaselineSpec());
             PredictorPtr a16 =

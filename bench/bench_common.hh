@@ -36,6 +36,17 @@
  *                     destructive, prints the destructive-aliasing
  *                     table and fills the report's "interference"
  *                     section
+ *   --store-dir=<dir> persistence directory for the profile artifact
+ *                     cache (implies --cache)
+ *   --cache           cache profile outputs (stats, selection,
+ *                     conflict graph) in the store directory
+ *                     (default .bwsa-store) keyed by trace identity +
+ *                     profiling knobs; re-runs and sweeps that vary
+ *                     only predictor geometry skip re-profiling.
+ *                     Cached and uncached runs emit byte-identical
+ *                     tables; cache hit/miss/byte counters land in
+ *                     the run report (store.cache.*)
+ *   --no-cache        force caching off even when --store-dir is set
  *   --quiet/--verbose log verbosity
  *
  * Unknown `--` flags are rejected (typos would otherwise silently run
@@ -78,6 +89,8 @@ struct BenchOptions
     bool timeseries = false;   ///< --timeseries: temporal sampling
     std::uint64_t interval = 65536; ///< --interval: window width
     bool interference = false; ///< --interference: aliasing probe
+    std::string store_dir;     ///< --store-dir: persistence directory
+    bool cache = false;        ///< profile artifact cache enabled
 };
 
 /**
@@ -178,11 +191,24 @@ void runBenchSweep(const BenchOptions &options,
  * the shard pool comes on top of the sweep workers, transiently
  * oversubscribing `--threads` -- combine `--shards` with
  * `--threads=1` (or few cells) when that matters.
+ *
+ * When the artifact cache is enabled (`--cache`/`--store-dir`) and a
+ * non-empty @p identity names the trace (canonically
+ * "preset:input_label"), the whole profile run is served from the
+ * cache on a hit (pipeline.importProfile()) and published to it
+ * after a miss.  The cache key folds in the trace identity, record
+ * count, scale, and every profiling knob of the pipeline config
+ * (interleave window, coverage, static cap) -- but not the edge
+ * threshold (the graph is cached unpruned; thresholding happens at
+ * allocation time) and not the shard count (sharded == serial by
+ * construction).  Runs with `--timeseries` bypass the cache so the
+ * profiling time series are actually sampled.
  */
 void profileSource(AllocationPipeline &pipeline,
                    const TraceSource &source,
                    const BenchOptions &options,
-                   const std::string &label);
+                   const std::string &label,
+                   const std::string &identity = "");
 
 /**
  * Record a sharded profiling run's per-shard timings, merge time and

@@ -10,9 +10,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
+
 #include "bench_common.hh"
 #include "core/allocation.hh"
+#include "core/pipeline.hh"
 #include "core/working_set.hh"
+#include "store/artifact_cache.hh"
+#include "store/block_trace.hh"
+#include "store/profile_artifact.hh"
+#include "trace/trace_io.hh"
 #include "predict/factory.hh"
 #include "predict/twolevel.hh"
 #include "profile/interleave.hh"
@@ -246,6 +254,154 @@ emitProfilingThroughput(const bench::BenchOptions &options)
                      table, options);
 }
 
+/** Milliseconds spent in @p fn (one shot; these are I/O-bound). */
+template <typename Fn>
+double
+timedMillis(Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/**
+ * Persistence-layer throughput: v1 stream vs. v2 block container
+ * write/read rates over the same trace, the cold-profile vs.
+ * cached-artifact cost, and the end-to-end effect of the artifact
+ * cache on a table3-style required-size sweep (profile once, every
+ * further table-size evaluation hits the cache).
+ */
+void
+emitStoreThroughput(const bench::BenchOptions &options)
+{
+    namespace fs = std::filesystem;
+    const MemoryTrace &trace = cachedTrace();
+    const double records = static_cast<double>(trace.size());
+    auto rate = [&](double ms) {
+        return ms > 0.0 ? records / ms / 1000.0 : 0.0;
+    };
+    auto row = [&](TextTable &table, const std::string &what,
+                   double ms) {
+        table.addRow({what, withCommas(trace.size()),
+                      fixedString(ms, 3), fixedString(rate(ms), 2)});
+    };
+
+    fs::path base = fs::temp_directory_path() / "bwsa_bench_store";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    std::string v1_path = (base / "trace_v1.trace").string();
+    std::string v2_path = (base / "trace_v2.trace").string();
+
+    TextTable io({"operation", "records", "ms", "Mrec/s"});
+    row(io, "v1 write",
+        timedMillis([&] { writeTraceFile(v1_path, trace); }));
+    row(io, "v2 write", timedMillis([&] {
+            store::writeBlockTraceFile(v2_path, trace);
+        }));
+    {
+        TraceFileReader reader(v1_path);
+        row(io, "v1 read", timedMillis([&] {
+                TraceStatsCollector sink;
+                reader.replay(sink);
+                benchmark::DoNotOptimize(sink.dynamicBranches());
+            }));
+    }
+    {
+        store::BlockTraceReader reader(v2_path);
+        row(io, "v2 read", timedMillis([&] {
+                TraceStatsCollector sink;
+                reader.replay(sink);
+                benchmark::DoNotOptimize(sink.dynamicBranches());
+            }));
+    }
+    bench::emitTable("trace store throughput (v1 stream vs v2 "
+                     "block container)",
+                     io, options);
+
+    // Cold profile vs. cached artifact: the second table3-style run's
+    // per-trace cost collapses to a cache load + graph import.
+    store::ArtifactCache cache((base / "cache").string());
+    std::string key = store::CacheKeyBuilder()
+                          .add("bench", "micro_store")
+                          .add("records", trace.recordCount())
+                          .key();
+
+    AllocationPipeline cold;
+    double cold_ms = timedMillis([&] {
+        ProfileSession session(cold);
+        session.addStats(trace);
+        session.commit();
+        session.addInterleave(trace);
+        session.finish();
+    });
+    double store_ms = timedMillis([&] {
+        store::storeProfileArtifact(
+            cache, key,
+            store::ProfileArtifact{cold.lastStats(),
+                                   cold.lastSelection(),
+                                   cold.graph()});
+    });
+
+    AllocationPipeline warm;
+    double hit_ms = timedMillis([&] {
+        std::optional<store::ProfileArtifact> artifact =
+            store::loadProfileArtifact(cache, key);
+        if (artifact)
+            warm.importProfile(artifact->stats, artifact->selection,
+                               artifact->graph);
+    });
+    bool equal = warm.profileCount() == 1 &&
+                 warm.graph().edges() == cold.graph().edges();
+
+    // End-to-end: a small required-size sweep (the table3 inner
+    // loop), profiled cold vs. entirely from the cached artifact.
+    double sweep_cold_ms = timedMillis([&] {
+        AllocationPipeline pipeline;
+        ProfileSession session(pipeline);
+        session.addStats(trace);
+        session.commit();
+        session.addInterleave(trace);
+        session.finish();
+        benchmark::DoNotOptimize(pipeline.requiredSize(1024));
+    });
+    double sweep_hit_ms = timedMillis([&] {
+        AllocationPipeline pipeline;
+        std::optional<store::ProfileArtifact> artifact =
+            store::loadProfileArtifact(cache, key);
+        if (artifact)
+            pipeline.importProfile(artifact->stats,
+                                   artifact->selection,
+                                   artifact->graph);
+        benchmark::DoNotOptimize(pipeline.requiredSize(1024));
+    });
+
+    TextTable profile({"path", "ms", "vs cold", "graph identical"});
+    auto speedup = [&](double ms) {
+        return ms > 0.0 ? fixedString(cold_ms / ms, 2) + "x"
+                        : std::string("-");
+    };
+    profile.addRow(
+        {"cold profile", fixedString(cold_ms, 3), "1.00x", "-"});
+    profile.addRow({"artifact store", fixedString(store_ms, 3),
+                    speedup(store_ms), "-"});
+    profile.addRow({"artifact load + import", fixedString(hit_ms, 3),
+                    speedup(hit_ms), equal ? "yes" : "NO"});
+    profile.addRow({"table3-small sweep, cold",
+                    fixedString(sweep_cold_ms, 3), "-", "-"});
+    profile.addRow({"table3-small sweep, cache hit",
+                    fixedString(sweep_hit_ms, 3),
+                    sweep_hit_ms > 0.0
+                        ? fixedString(sweep_cold_ms / sweep_hit_ms, 2)
+                              + "x"
+                        : "-",
+                    "-"});
+    bench::emitTable("profile artifact cache (cold vs cached)",
+                     profile, options);
+
+    fs::remove_all(base);
+}
+
 } // namespace
 
 BENCHMARK(BM_SyntheticExecution)->Unit(benchmark::kMillisecond);
@@ -294,5 +450,6 @@ main(int argc, char **argv)
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     emitProfilingThroughput(options);
+    emitStoreThroughput(options);
     return bwsa::bench::finishBench(options);
 }

@@ -45,7 +45,8 @@ main(int argc, char **argv)
             PipelineConfig config;
             config.allocation.edge_threshold = options.threshold;
             AllocationPipeline pipeline(config);
-            profileSource(pipeline, source, options, run.display);
+            profileSource(pipeline, source, options, run.display,
+                          run.preset + ":" + run.input_label);
 
             RequiredSizeResult req = pipeline.requiredSize(1024);
             rows[cell.index] = {

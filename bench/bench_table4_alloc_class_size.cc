@@ -50,7 +50,8 @@ main(int argc, char **argv)
             config.allocation.use_classification = true;
             config.allocation.bias_cutoff = 0.99;
             AllocationPipeline pipeline(config);
-            profileSource(pipeline, source, options, run.display);
+            profileSource(pipeline, source, options, run.display,
+                          run.preset + ":" + run.input_label);
 
             RequiredSizeResult req = pipeline.requiredSize(1024);
 

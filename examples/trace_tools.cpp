@@ -7,15 +7,19 @@
  *
  * Usage:
  *   ./trace_tools record --preset=pgp --out=pgp.trace [--scale=0.5]
+ *                        [--format=v1|v2]
  *   ./trace_tools analyze --in=pgp.trace [--threshold=100]
  *                         [--shards=4]
  *   ./trace_tools simulate --in=pgp.trace [--entries=1024]
  *                          [--shards=4]
  *
- * --shards runs the profiling pass of analyze/simulate sharded: the
- * trace file is split into contiguous segments replayed concurrently
- * (each shard skip-decodes its prefix on its own stream), which is
- * the fastest way to analyze a large recorded trace.
+ * --format=v2 (the default) records into the seekable block container
+ * (store/block_trace.hh); analyze/simulate open either format
+ * transparently.  --shards runs the profiling pass of analyze/simulate
+ * sharded: the trace file is split into contiguous segments replayed
+ * concurrently -- on a v2 container each shard reads only its own
+ * blocks, on a v1 stream it skip-decodes its prefix -- which is the
+ * fastest way to analyze a large recorded trace.
  */
 
 #include <cstdio>
@@ -24,6 +28,7 @@
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
 #include "sim/bpred_sim.hh"
+#include "store/block_trace.hh"
 #include "trace/trace_io.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -41,13 +46,20 @@ cmdRecord(const CliOptions &cli)
     std::string preset = cli.getString("preset", "pgp");
     std::string out = cli.getString("out", preset + ".trace");
     double scale = cli.getDouble("scale", 0.5);
+    std::string format = cli.getString("format", "v2");
 
     Workload w = makeWorkload(preset, "", scale);
     WorkloadTraceSource source = w.source();
-    std::uint64_t records = writeTraceFile(out, source);
-    std::printf("recorded %s dynamic branches of %s into %s\n",
+    std::uint64_t records = 0;
+    if (format == "v2")
+        records = store::writeBlockTraceFile(out, source);
+    else if (format == "v1")
+        records = writeTraceFile(out, source);
+    else
+        bwsa_fatal("unknown --format '", format, "' (want v1 or v2)");
+    std::printf("recorded %s dynamic branches of %s into %s (%s)\n",
                 withCommas(records).c_str(), preset.c_str(),
-                out.c_str());
+                out.c_str(), format.c_str());
     return 0;
 }
 
@@ -71,16 +83,16 @@ cmdAnalyze(const CliOptions &cli)
     std::uint64_t threshold = cli.getUint("threshold", 100);
     unsigned shards = shardOption(cli);
 
-    TraceFileReader reader(in);
+    auto reader = store::openTraceReader(in);
     std::printf("%s: %s records\n", in.c_str(),
-                withCommas(reader.recordCount()).c_str());
+                withCommas(reader->recordCount()).c_str());
 
     ShardConfig shard_config;
     shard_config.shards = shards;
-    shard_config.record_count = reader.recordCount();
+    shard_config.record_count = reader->recordCount();
     ConflictGraph graph;
     ShardRunStats shard_stats =
-        profileTraceSharded(reader, graph, shard_config);
+        profileTraceSharded(*reader, graph, shard_config);
     if (shards > 1)
         std::printf("profiled in %.1f ms across %u shards on %u "
                     "threads (stitch %.1f ms)\n",
@@ -110,18 +122,18 @@ cmdSimulate(const CliOptions &cli)
         bwsa_fatal("simulate requires --in=<trace file>");
     std::uint64_t entries = cli.getUint("entries", 1024);
 
-    TraceFileReader reader(in);
+    auto reader = store::openTraceReader(in);
 
     PipelineConfig config;
     config.allocation.use_classification = true;
     AllocationPipeline pipeline(config);
     ProfileSession session(pipeline);
-    session.addStats(reader);
+    session.addStats(*reader);
     session.commit();
     if (unsigned shards = shardOption(cli); shards > 1)
-        session.addInterleaveSharded(reader, shards);
+        session.addInterleaveSharded(*reader, shards);
     else
-        session.addInterleave(reader);
+        session.addInterleave(*reader);
     session.finish();
 
     PredictorPtr base = makePredictor(paperBaselineSpec());
@@ -131,7 +143,7 @@ cmdSimulate(const CliOptions &cli)
     std::vector<Predictor *> contenders{base.get(), allocated.get(),
                                         ideal.get()};
     std::vector<PredictionStats> results =
-        comparePredictors(reader, contenders);
+        comparePredictors(*reader, contenders);
     for (const PredictionStats &r : results)
         std::printf("%-42s miss %s\n", r.predictor_name.c_str(),
                     percentString(r.mispredicts.ratio(), 3).c_str());
@@ -157,14 +169,14 @@ main(int argc, char **argv)
 
     CliOptions cli = CliOptions::parse(
         argc, argv,
-        {"preset", "out", "in", "scale", "threshold", "entries",
-         "shards", "quiet", "verbose"});
+        {"preset", "out", "in", "scale", "format", "threshold",
+         "entries", "shards", "quiet", "verbose"});
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
     if (!unknown.empty())
         bwsa_fatal("unknown option '", unknown[0],
                    "' (supported: --preset --out --in --scale "
-                   "--threshold --entries --shards --quiet "
+                   "--format --threshold --entries --shards --quiet "
                    "--verbose)");
     applyLogLevelOptions(cli);
 

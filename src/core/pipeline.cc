@@ -33,6 +33,23 @@ AllocationPipeline::lastSelection() const
     return _selection;
 }
 
+void
+AllocationPipeline::importProfile(const TraceStatsCollector &stats,
+                                  const FrequencySelection &selection,
+                                  const ConflictGraph &graph)
+{
+    BWSA_SPAN("pipeline.import_profile");
+    obs::MetricsRegistry::global().counter("pipeline.profiles").inc();
+    _stats = stats;
+    _selection = selection;
+    _stats_valid = true;
+    if (_profiles == 0)
+        _graph = graph;
+    else
+        _graph.mergeFrom(graph);
+    ++_profiles;
+}
+
 AllocationResult
 AllocationPipeline::allocate(std::uint64_t table_size) const
 {

@@ -87,6 +87,18 @@ class AllocationPipeline
     /** True once lastStats()/lastSelection() are safe to read. */
     bool hasProfileData() const { return _stats_valid; }
 
+    /**
+     * Merge a previously captured profile run -- statistics,
+     * frequency selection, and run conflict graph -- as if a
+     * ProfileSession had just produced them.  This is how the
+     * persistence layer replays a cached profile: the run counts
+     * toward profileCount() and lastStats()/lastSelection() expose
+     * the imported data.
+     */
+    void importProfile(const TraceStatsCollector &stats,
+                       const FrequencySelection &selection,
+                       const ConflictGraph &graph);
+
     /** Allocate the cumulative graph into @p table_size entries. */
     AllocationResult allocate(std::uint64_t table_size) const;
 

@@ -52,6 +52,17 @@ ConflictGraph::addInterleave(NodeId a, NodeId b, std::uint64_t count)
     _edges[packEdge(a, b)] += count;
 }
 
+NodeId
+ConflictGraph::restoreNode(BranchPc pc, std::uint64_t executed,
+                           std::uint64_t taken)
+{
+    NodeId id = addOrGetNode(pc);
+    _nodes[id].executed += executed;
+    _nodes[id].taken += taken;
+    _total_executions += executed;
+    return id;
+}
+
 std::uint64_t
 ConflictGraph::interleaveCount(NodeId a, NodeId b) const
 {

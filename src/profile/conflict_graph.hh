@@ -66,6 +66,16 @@ class ConflictGraph
     /** Add @p count interleavings between two distinct nodes. */
     void addInterleave(NodeId a, NodeId b, std::uint64_t count = 1);
 
+    /**
+     * Bulk-add a node with its accumulated execution counts, as
+     * recordExecution() would have over a whole run.  Calling this
+     * for distinct PCs in sequence assigns sequential ids, which is
+     * what the persistence layer relies on to round-trip a graph
+     * with identical node ids.
+     */
+    NodeId restoreNode(BranchPc pc, std::uint64_t executed,
+                       std::uint64_t taken);
+
     /** Interleave count between two nodes (0 when no edge). */
     std::uint64_t interleaveCount(NodeId a, NodeId b) const;
 

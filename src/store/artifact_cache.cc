@@ -1,0 +1,358 @@
+#include "store/artifact_cache.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "store/crc32.hh"
+#include "trace/varint.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace bwsa::store
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> envelope_magic = {'B', 'W', 'S', 'C'};
+constexpr std::uint32_t envelope_version = 1;
+constexpr std::uint64_t envelope_bytes = 4 + 4 + 8 + 4;
+constexpr const char *index_name = "index.txt";
+constexpr const char *object_suffix = ".obj";
+
+std::uint64_t
+fnv1a(std::uint64_t state, std::string_view bytes)
+{
+    for (unsigned char c : bytes) {
+        state ^= c;
+        state *= 1099511628211ull;
+    }
+    return state;
+}
+
+void
+appendHex64(std::string &out, std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(digits[(v >> shift) & 0xf]);
+}
+
+/** True when @p name looks like a cache key ("<32 hex>.obj" stem). */
+bool
+isKeyName(const std::string &stem)
+{
+    if (stem.size() != 32)
+        return false;
+    for (char c : stem)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+bwsa::obs::Counter
+cacheCounter(const char *name)
+{
+    return bwsa::obs::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CacheKeyBuilder
+
+CacheKeyBuilder &
+CacheKeyBuilder::add(std::string_view name, std::string_view value)
+{
+    _material.append(name);
+    _material.push_back('=');
+    _material.append(value);
+    _material.push_back(';');
+    return *this;
+}
+
+CacheKeyBuilder &
+CacheKeyBuilder::add(std::string_view name, std::uint64_t value)
+{
+    return add(name, std::string_view(std::to_string(value)));
+}
+
+CacheKeyBuilder &
+CacheKeyBuilder::add(std::string_view name, double value)
+{
+    // Shortest round-trippable form keeps 0.5 and 0.50 distinct from
+    // nothing else while remaining platform-stable.
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return add(name, std::string_view(os.str()));
+}
+
+std::string
+CacheKeyBuilder::key() const
+{
+    std::uint64_t lo = fnv1a(14695981039346656037ull, _material);
+    std::uint64_t hi =
+        fnv1a(fnv1a(0x9e3779b97f4a7c15ull, "bwsa.cache"), _material);
+    std::string out;
+    out.reserve(32);
+    appendHex64(out, hi);
+    appendHex64(out, lo);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ArtifactCache
+
+ArtifactCache::ArtifactCache(const std::string &dir,
+                             std::uint64_t max_bytes)
+    : _dir(dir), _max_bytes(max_bytes)
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    if (ec)
+        bwsa_fatal("cannot create cache directory ", _dir, ": ",
+                   ec.message());
+    loadIndex();
+}
+
+std::string
+ArtifactCache::objectPath(const std::string &key) const
+{
+    return _dir + "/" + key + object_suffix;
+}
+
+void
+ArtifactCache::loadIndex()
+{
+    // The index orders entries; object files are the ground truth for
+    // existence and size.
+    std::ifstream in(_dir + "/" + index_name);
+    std::string line;
+    while (in && std::getline(in, line)) {
+        auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue; // malformed line: skip, rebuild below
+        std::string key = line.substr(0, tab);
+        if (!isKeyName(key) || _entries.count(key))
+            continue;
+        std::error_code ec;
+        auto size = fs::file_size(objectPath(key), ec);
+        if (ec)
+            continue; // object vanished: drop the entry
+        std::uint64_t payload =
+            size >= envelope_bytes ? size - envelope_bytes : 0;
+        _lru.push_back(Entry{key, payload});
+        _entries.emplace(key, std::prev(_lru.end()));
+        _total_bytes += payload;
+    }
+
+    // Adopt object files the index does not know about (e.g. the
+    // index write was lost) as oldest so they are first to evict.
+    std::error_code ec;
+    for (const auto &dirent : fs::directory_iterator(_dir, ec)) {
+        const fs::path &p = dirent.path();
+        if (p.extension() != object_suffix)
+            continue;
+        std::string key = p.stem().string();
+        if (!isKeyName(key) || _entries.count(key))
+            continue;
+        auto size = fs::file_size(p, ec);
+        if (ec)
+            continue;
+        std::uint64_t payload =
+            size >= envelope_bytes ? size - envelope_bytes : 0;
+        _lru.push_front(Entry{key, payload});
+        _entries.emplace(key, _lru.begin());
+        _total_bytes += payload;
+    }
+}
+
+void
+ArtifactCache::saveIndex() const
+{
+    std::string tmp = _dir + "/" + index_name + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        for (const Entry &entry : _lru)
+            out << entry.key << '\t' << entry.bytes << '\n';
+        if (!out)
+            bwsa_fatal("cannot write cache index in ", _dir);
+    }
+    std::error_code ec;
+    fs::rename(tmp, _dir + "/" + index_name, ec);
+    if (ec)
+        bwsa_fatal("cannot publish cache index in ", _dir, ": ",
+                   ec.message());
+}
+
+void
+ArtifactCache::touch(const std::string &key)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return;
+    _lru.splice(_lru.end(), _lru, it->second);
+}
+
+void
+ArtifactCache::dropEntry(const std::string &key, bool delete_file)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return;
+    _total_bytes -= it->second->bytes;
+    _lru.erase(it->second);
+    _entries.erase(it);
+    if (delete_file) {
+        std::error_code ec;
+        fs::remove(objectPath(key), ec);
+    }
+}
+
+std::optional<std::string>
+ArtifactCache::load(const std::string &key)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        cacheCounter("store.cache.misses").inc();
+        return std::nullopt;
+    }
+
+    std::string envelope;
+    {
+        std::ifstream in(objectPath(key),
+                         std::ios::binary | std::ios::ate);
+        if (in) {
+            envelope.resize(static_cast<std::size_t>(in.tellg()));
+            in.seekg(0);
+            in.read(envelope.data(),
+                    static_cast<std::streamsize>(envelope.size()));
+            if (!in)
+                envelope.clear();
+        }
+    }
+
+    // Validate the envelope; anything off means the entry is damaged
+    // and must be dropped rather than returned.
+    bool valid = envelope.size() >= envelope_bytes &&
+                 std::memcmp(envelope.data(), envelope_magic.data(),
+                             4) == 0;
+    std::uint64_t payload_size = 0;
+    std::uint32_t crc = 0;
+    if (valid) {
+        ByteCursor cur(envelope.data() + 4, envelope.size() - 4);
+        std::uint32_t version = 0;
+        cur.getU32(version);
+        cur.getU64(payload_size);
+        cur.getU32(crc);
+        valid = version == envelope_version &&
+                payload_size == envelope.size() - envelope_bytes;
+    }
+    if (valid) {
+        std::string_view payload(envelope.data() + envelope_bytes,
+                                 payload_size);
+        valid = crc32Of(payload) == crc;
+    }
+    if (!valid) {
+        warn("cache entry ", key, " in ", _dir,
+             " failed validation; dropping it");
+        dropEntry(key, true);
+        saveIndex();
+        ++_corrupt;
+        ++_misses;
+        cacheCounter("store.cache.corrupt").inc();
+        cacheCounter("store.cache.misses").inc();
+        return std::nullopt;
+    }
+
+    touch(key);
+    saveIndex();
+    ++_hits;
+    _bytes_read += payload_size;
+    cacheCounter("store.cache.hits").inc();
+    cacheCounter("store.cache.bytes_read").inc(payload_size);
+    return envelope.substr(envelope_bytes);
+}
+
+void
+ArtifactCache::store(const std::string &key, std::string_view payload)
+{
+    std::string envelope;
+    envelope.reserve(envelope_bytes + payload.size());
+    envelope.append(envelope_magic.data(), envelope_magic.size());
+    appendU32(envelope, envelope_version);
+    appendU64(envelope, payload.size());
+    appendU32(envelope, crc32Of(payload));
+    envelope.append(payload);
+
+    std::string path = objectPath(key);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(envelope.data(),
+                  static_cast<std::streamsize>(envelope.size()));
+        if (!out)
+            bwsa_fatal("cannot write cache object ", tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        bwsa_fatal("cannot publish cache object ", path, ": ",
+                   ec.message());
+
+    dropEntry(key, false); // replaced in place; keep the new file
+    _lru.push_back(Entry{key, payload.size()});
+    _entries.emplace(key, std::prev(_lru.end()));
+    _total_bytes += payload.size();
+    _bytes_written += payload.size();
+    cacheCounter("store.cache.stores").inc();
+    cacheCounter("store.cache.bytes_written").inc(payload.size());
+
+    evictOver(_max_bytes, key);
+    saveIndex();
+}
+
+void
+ArtifactCache::evictOver(std::uint64_t budget, const std::string &keep)
+{
+    while (_total_bytes > budget && _lru.size() > 1) {
+        auto victim = _lru.begin();
+        if (victim->key == keep) {
+            // The just-stored entry survives even when it alone
+            // exceeds the budget; evict the next-oldest instead.
+            victim = std::next(victim);
+            if (victim == _lru.end())
+                break;
+        }
+        std::string key = victim->key;
+        dropEntry(key, true);
+        ++_evictions;
+        cacheCounter("store.cache.evictions").inc();
+    }
+}
+
+bool
+ArtifactCache::invalidate(const std::string &key)
+{
+    if (!_entries.count(key))
+        return false;
+    dropEntry(key, true);
+    saveIndex();
+    return true;
+}
+
+bool
+ArtifactCache::contains(const std::string &key) const
+{
+    return _entries.count(key) != 0;
+}
+
+} // namespace bwsa::store

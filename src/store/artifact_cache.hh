@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Content-addressed artifact cache.
+ *
+ * Stores opaque byte payloads under hex keys derived from everything
+ * that determines the payload (trace identity + profiling knobs, see
+ * CacheKeyBuilder), so a sweep that varies only predictor geometry
+ * profiles once and every remaining cell is a cache hit.
+ *
+ * On-disk layout inside the cache directory:
+ *
+ *   <key>.obj   envelope: magic "BWSC" | u32 envelope version |
+ *               u64 payload size | u32 crc32(payload) | payload
+ *   index.txt   one "key<TAB>bytes" line per entry, oldest first;
+ *               the line order IS the LRU order
+ *
+ * Guarantees:
+ *  - publication is atomic: objects and the index are written to a
+ *    temporary name in the same directory and rename()d into place,
+ *    so a crashed writer never leaves a half-visible entry;
+ *  - corruption self-heals: a load whose envelope fails validation
+ *    (bad magic/version, size mismatch, CRC mismatch) deletes the
+ *    entry and reports a miss -- corrupt bytes are never returned;
+ *  - the total payload footprint is capped; store() evicts
+ *    least-recently-used entries beyond the cap.
+ *
+ * The cache is deliberately ignorant of what the payloads mean;
+ * interpreting them (and versioning their schema) is the caller's job
+ * (see profile_artifact.hh).  Not thread-safe: one cache object per
+ * process, driven from the bench main thread.
+ */
+
+#ifndef BWSA_STORE_ARTIFACT_CACHE_HH
+#define BWSA_STORE_ARTIFACT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace bwsa::store
+{
+
+/**
+ * Builds a cache key from named fields.  Fields are folded into a
+ * canonical "name=value;" material string and hashed (2x FNV-1a-64
+ * with distinct salts) into a 32-hex-character key, so any change to
+ * any field -- or to the set of fields -- changes the key.
+ */
+class CacheKeyBuilder
+{
+  public:
+    CacheKeyBuilder &add(std::string_view name, std::string_view value);
+    CacheKeyBuilder &add(std::string_view name, std::uint64_t value);
+    CacheKeyBuilder &add(std::string_view name, double value);
+
+    /** The canonical material accumulated so far (for diagnostics). */
+    const std::string &material() const { return _material; }
+
+    /** 32 lowercase hex characters addressing the material. */
+    std::string key() const;
+
+  private:
+    std::string _material;
+};
+
+/**
+ * LRU-bounded on-disk cache of opaque payloads addressed by key.
+ */
+class ArtifactCache
+{
+  public:
+    /** Default footprint cap: 256 MiB of payload bytes. */
+    static constexpr std::uint64_t default_max_bytes =
+        256ull * 1024 * 1024;
+
+    /**
+     * Open (creating if needed) the cache at @p dir.  An unreadable
+     * or stale index is rebuilt from the object files present; index
+     * entries whose object file vanished are dropped.
+     */
+    explicit ArtifactCache(const std::string &dir,
+                           std::uint64_t max_bytes = default_max_bytes);
+
+    ArtifactCache(const ArtifactCache &) = delete;
+    ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /**
+     * Payload stored under @p key, or nullopt on miss.  A hit
+     * refreshes the entry's LRU position.  An entry that fails
+     * envelope validation is deleted (self-healing) and reported as
+     * a miss.
+     */
+    std::optional<std::string> load(const std::string &key);
+
+    /**
+     * Publish @p payload under @p key (replacing any previous entry)
+     * and evict least-recently-used entries beyond the size cap.  The
+     * newly stored entry is never evicted by its own store().
+     */
+    void store(const std::string &key, std::string_view payload);
+
+    /** Drop @p key if present; true when an entry was removed. */
+    bool invalidate(const std::string &key);
+
+    /** True when @p key has an entry (no LRU touch, no validation). */
+    bool contains(const std::string &key) const;
+
+    /** Number of entries. */
+    std::size_t entryCount() const { return _entries.size(); }
+
+    /** Total payload bytes across all entries. */
+    std::uint64_t totalBytes() const { return _total_bytes; }
+
+    /** Cache directory. */
+    const std::string &dir() const { return _dir; }
+
+    // Session counters (also mirrored into the global metrics
+    // registry as store.cache.* for run reports).
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t evictions() const { return _evictions; }
+    std::uint64_t corruptDropped() const { return _corrupt; }
+    std::uint64_t bytesRead() const { return _bytes_read; }
+    std::uint64_t bytesWritten() const { return _bytes_written; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::uint64_t bytes = 0;
+    };
+
+    std::string objectPath(const std::string &key) const;
+    void touch(const std::string &key);
+    void dropEntry(const std::string &key, bool delete_file);
+    void evictOver(std::uint64_t budget, const std::string &keep);
+    void loadIndex();
+    void saveIndex() const;
+
+    std::string _dir;
+    std::uint64_t _max_bytes;
+    /** LRU list, oldest first; map values point into the list. */
+    std::list<Entry> _lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        _entries;
+    std::uint64_t _total_bytes = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+    std::uint64_t _corrupt = 0;
+    std::uint64_t _bytes_read = 0;
+    std::uint64_t _bytes_written = 0;
+};
+
+} // namespace bwsa::store
+
+#endif // BWSA_STORE_ARTIFACT_CACHE_HH

@@ -1,0 +1,464 @@
+#include "store/block_trace.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+#include "store/crc32.hh"
+#include "trace/trace_io.hh"
+#include "trace/varint.hh"
+#include "util/logging.hh"
+
+namespace bwsa::store
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> trace_magic = {'B', 'W', 'S', 'T'};
+constexpr std::array<char, 4> end_magic = {'B', 'W', 'S', 'E'};
+
+constexpr std::uint64_t header_bytes = 8;  ///< magic + version
+constexpr std::uint64_t entry_bytes = 56;  ///< one footer entry
+constexpr std::uint64_t trailer_bytes = 36;
+
+void
+putU32(std::ofstream &out, std::uint32_t v)
+{
+    char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(buf, 4);
+}
+
+/** 64-bit FNV-1a over a byte buffer, continuing from @p state. */
+std::uint64_t
+fnv1a(std::uint64_t state, const void *data, std::size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= p[i];
+        state *= 1099511628211ull;
+    }
+    return state;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// BlockTraceWriter
+
+BlockTraceWriter::BlockTraceWriter(const std::string &path,
+                                   std::uint64_t block_records)
+    : _out(path, std::ios::binary), _path(path),
+      _block_records(block_records)
+{
+    if (_block_records == 0)
+        bwsa_fatal("block trace writer needs block_records >= 1");
+    if (!_out)
+        bwsa_fatal("cannot open trace file for writing: ", path);
+    _out.write(trace_magic.data(), trace_magic.size());
+    putU32(_out, block_trace_version);
+    _write_offset = header_bytes;
+    _open = true;
+}
+
+BlockTraceWriter::~BlockTraceWriter()
+{
+    close();
+}
+
+void
+BlockTraceWriter::onBranch(const BranchRecord &record)
+{
+    if (!_open)
+        bwsa_panic("BlockTraceWriter::onBranch after close");
+    if (_count != 0 && record.timestamp <= _last_timestamp)
+        bwsa_fatal("trace timestamps must strictly ascend (",
+                   record.timestamp, " after ", _last_timestamp, ")");
+    if (_block_count == 0) {
+        // New block: deltas restart from (pc 0, timestamp 0) so the
+        // block decodes with no context from its predecessors.
+        _last_pc = 0;
+        _last_timestamp = 0;
+        _block_first_ts = record.timestamp;
+    }
+    std::int64_t pc_delta = static_cast<std::int64_t>(record.pc) -
+                            static_cast<std::int64_t>(_last_pc);
+    std::uint64_t ts_delta = record.timestamp - _last_timestamp;
+    appendVarint(_payload, zigzagEncode(pc_delta));
+    appendVarint(_payload, (ts_delta << 1) | (record.taken ? 1u : 0u));
+    _last_pc = record.pc;
+    _last_timestamp = record.timestamp;
+    ++_count;
+    if (++_block_count == _block_records)
+        flushBlock();
+}
+
+void
+BlockTraceWriter::flushBlock()
+{
+    if (_block_count == 0)
+        return;
+    TraceBlockInfo info;
+    info.offset = _write_offset;
+    info.payload_bytes = _payload.size();
+    info.first_record = _count - _block_count;
+    info.record_count = _block_count;
+    info.first_timestamp = _block_first_ts;
+    info.last_timestamp = _last_timestamp;
+    info.crc = crc32Of(_payload);
+    _out.write(_payload.data(),
+               static_cast<std::streamsize>(_payload.size()));
+    _write_offset += _payload.size();
+    _index.push_back(info);
+    _payload.clear();
+    _block_count = 0;
+}
+
+void
+BlockTraceWriter::close()
+{
+    if (!_open)
+        return;
+    _open = false;
+    flushBlock();
+
+    std::string footer;
+    footer.reserve(_index.size() * entry_bytes);
+    for (const TraceBlockInfo &info : _index) {
+        appendU64(footer, info.offset);
+        appendU64(footer, info.payload_bytes);
+        appendU64(footer, info.first_record);
+        appendU64(footer, info.record_count);
+        appendU64(footer, info.first_timestamp);
+        appendU64(footer, info.last_timestamp);
+        appendU32(footer, info.crc);
+        appendU32(footer, 0); // reserved
+    }
+
+    std::string trailer;
+    trailer.reserve(trailer_bytes);
+    appendU64(trailer, _write_offset); // footer offset
+    appendU64(trailer, _index.size());
+    appendU64(trailer, _count);
+    appendU32(trailer, crc32Of(footer));
+    appendU32(trailer,
+              static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                  _block_records, 0xffffffffull)));
+    trailer.append(end_magic.data(), end_magic.size());
+
+    _out.write(footer.data(),
+               static_cast<std::streamsize>(footer.size()));
+    _out.write(trailer.data(),
+               static_cast<std::streamsize>(trailer.size()));
+    _out.close();
+    if (!_out)
+        bwsa_fatal("error finalizing trace file: ", _path);
+}
+
+// ---------------------------------------------------------------------
+// BlockTraceReader
+
+BlockTraceReader::BlockTraceReader(const std::string &path)
+    : _path(path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        bwsa_fatal("cannot open trace file: ", path);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(in.tellg());
+    if (file_size < header_bytes + trailer_bytes)
+        bwsa_fatal("trace file too small for a v2 container: ", path);
+
+    std::array<char, 8> header;
+    in.seekg(0);
+    in.read(header.data(), header.size());
+    if (!in || std::memcmp(header.data(), trace_magic.data(), 4) != 0)
+        bwsa_fatal("not a BWSA trace file: ", path);
+    std::uint32_t version = 0;
+    {
+        ByteCursor cur(header.data() + 4, 4);
+        cur.getU32(version);
+    }
+    if (version != block_trace_version)
+        bwsa_fatal("not a v2 block trace (version ", version, "): ",
+                   path);
+
+    std::array<char, trailer_bytes> trailer;
+    in.seekg(static_cast<std::streamoff>(file_size - trailer_bytes));
+    in.read(trailer.data(), trailer.size());
+    if (!in)
+        bwsa_fatal("cannot read trace trailer: ", path);
+    if (std::memcmp(trailer.data() + trailer_bytes - 4,
+                    end_magic.data(), 4) != 0)
+        bwsa_fatal("missing block-trace trailer magic (truncated or "
+                   "not a v2 container): ", path);
+
+    std::uint64_t footer_offset = 0, block_count = 0;
+    std::uint32_t footer_crc = 0, hint = 0;
+    {
+        ByteCursor cur(trailer.data(), trailer.size());
+        cur.getU64(footer_offset);
+        cur.getU64(block_count);
+        cur.getU64(_total);
+        cur.getU32(footer_crc);
+        cur.getU32(hint);
+    }
+    _block_records = hint;
+
+    if (footer_offset < header_bytes ||
+        footer_offset + block_count * entry_bytes + trailer_bytes !=
+            file_size)
+        bwsa_fatal("corrupt block-trace trailer (inconsistent sizes) "
+                   "in ", path);
+
+    std::string footer(block_count * entry_bytes, '\0');
+    in.seekg(static_cast<std::streamoff>(footer_offset));
+    in.read(footer.data(),
+            static_cast<std::streamsize>(footer.size()));
+    if (!in)
+        bwsa_fatal("cannot read trace footer index: ", path);
+    if (crc32Of(footer) != footer_crc)
+        bwsa_fatal("trace footer index CRC mismatch in ", path);
+
+    _blocks.reserve(block_count);
+    ByteCursor cur(footer);
+    std::uint64_t next_offset = header_bytes;
+    std::uint64_t next_record = 0;
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+        TraceBlockInfo info;
+        std::uint32_t reserved = 0;
+        cur.getU64(info.offset);
+        cur.getU64(info.payload_bytes);
+        cur.getU64(info.first_record);
+        cur.getU64(info.record_count);
+        cur.getU64(info.first_timestamp);
+        cur.getU64(info.last_timestamp);
+        cur.getU32(info.crc);
+        cur.getU32(reserved);
+        if (info.offset != next_offset ||
+            info.first_record != next_record ||
+            info.record_count == 0)
+            bwsa_fatal("corrupt trace footer index (block ", i,
+                       " not contiguous) in ", path);
+        next_offset += info.payload_bytes;
+        next_record += info.record_count;
+        _blocks.push_back(info);
+    }
+    if (next_record != _total || next_offset != footer_offset)
+        bwsa_fatal("corrupt trace footer index (totals disagree with "
+                   "trailer) in ", path);
+
+    // Content digest: FNV-1a over the footer (block CRCs + counts +
+    // timestamp ranges), salted with the total so empty files differ
+    // from the bare offset basis.
+    std::uint64_t digest = 14695981039346656037ull;
+    digest = fnv1a(digest, footer.data(), footer.size());
+    digest = fnv1a(digest, &_total, sizeof(_total));
+    _digest = digest;
+}
+
+bool
+BlockTraceReader::readBlock(std::ifstream &in, std::size_t index,
+                            std::string &payload,
+                            std::string &error) const
+{
+    const TraceBlockInfo &info = _blocks[index];
+    payload.resize(info.payload_bytes);
+    in.seekg(static_cast<std::streamoff>(info.offset));
+    in.read(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+    if (!in) {
+        error = "truncated block payload";
+        return false;
+    }
+    if (crc32Of(payload) != info.crc) {
+        error = "block CRC mismatch";
+        return false;
+    }
+    _blocks_read.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+BlockTraceReader::replay(TraceSink &sink) const
+{
+    replayRange(sink, 0, _total);
+}
+
+void
+BlockTraceReader::replayRange(TraceSink &sink, std::uint64_t begin,
+                              std::uint64_t end) const
+{
+    if (end > _total)
+        end = _total;
+    if (begin > end)
+        begin = end;
+
+    obs::PhaseTracer::Span span("trace.block_replay");
+    span.addWork(end - begin);
+    obs::MetricsRegistry::global()
+        .counter("trace.block.records_read")
+        .inc(end - begin);
+
+    if (begin == end) {
+        sink.onEnd();
+        return;
+    }
+
+    std::ifstream in(_path, std::ios::binary);
+    if (!in)
+        bwsa_fatal("cannot reopen trace file: ", _path);
+
+    // First block whose record range covers `begin`: the last block
+    // with first_record <= begin.
+    auto it = std::upper_bound(
+        _blocks.begin(), _blocks.end(), begin,
+        [](std::uint64_t pos, const TraceBlockInfo &info) {
+            return pos < info.first_record;
+        });
+    std::size_t block = static_cast<std::size_t>(
+        std::distance(_blocks.begin(), it)) - 1;
+
+    std::string payload;
+    std::string error;
+    bool stopped = false;
+    for (; block < _blocks.size() && !stopped; ++block) {
+        const TraceBlockInfo &info = _blocks[block];
+        if (info.first_record >= end)
+            break;
+        if (!readBlock(in, block, payload, error))
+            bwsa_fatal("corrupt trace block ", block, " in ", _path,
+                       ": ", error);
+        ByteCursor cur(payload);
+        std::uint64_t pc = 0;
+        std::uint64_t timestamp = 0;
+        for (std::uint64_t i = 0; i < info.record_count; ++i) {
+            std::uint64_t idx = info.first_record + i;
+            bool skipped = idx < begin;
+            if (!skipped && (idx >= end || sink.done())) {
+                stopped = true;
+                break;
+            }
+            std::uint64_t pc_raw = 0, ts_raw = 0;
+            if (!cur.getVarint(pc_raw) || !cur.getVarint(ts_raw))
+                bwsa_fatal("corrupt trace block ", block, " in ",
+                           _path, ": payload shorter than record "
+                           "count");
+            _decoded.fetch_add(1, std::memory_order_relaxed);
+            pc = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(pc) + zigzagDecode(pc_raw));
+            bool taken = (ts_raw & 1) != 0;
+            timestamp += ts_raw >> 1;
+            if (skipped)
+                continue;
+
+            BranchRecord record;
+            record.pc = pc;
+            record.timestamp = timestamp;
+            record.taken = taken;
+            sink.onBranch(record);
+        }
+    }
+    sink.onEnd();
+}
+
+std::vector<BlockCheckResult>
+BlockTraceReader::verifyBlocks() const
+{
+    std::vector<BlockCheckResult> results;
+    results.reserve(_blocks.size());
+    std::ifstream in(_path, std::ios::binary);
+    if (!in)
+        bwsa_fatal("cannot reopen trace file: ", _path);
+    std::string payload;
+    for (std::size_t b = 0; b < _blocks.size(); ++b) {
+        const TraceBlockInfo &info = _blocks[b];
+        BlockCheckResult result;
+        result.index = b;
+        if (!readBlock(in, b, payload, result.message)) {
+            result.ok = false;
+            results.push_back(result);
+            continue;
+        }
+        // Decode the whole block and cross-check the footer metadata.
+        ByteCursor cur(payload);
+        std::uint64_t timestamp = 0;
+        std::uint64_t first_ts = 0, decoded = 0;
+        while (!cur.atEnd()) {
+            std::uint64_t pc_raw = 0, ts_raw = 0;
+            if (!cur.getVarint(pc_raw) || !cur.getVarint(ts_raw)) {
+                result.ok = false;
+                result.message = "payload ends mid-record";
+                break;
+            }
+            _decoded.fetch_add(1, std::memory_order_relaxed);
+            timestamp += ts_raw >> 1;
+            if (decoded == 0)
+                first_ts = timestamp;
+            ++decoded;
+        }
+        if (result.ok && decoded != info.record_count) {
+            result.ok = false;
+            result.message = "record count disagrees with footer";
+        }
+        if (result.ok && (first_ts != info.first_timestamp ||
+                          timestamp != info.last_timestamp)) {
+            result.ok = false;
+            result.message = "timestamp range disagrees with footer";
+        }
+        results.push_back(result);
+    }
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// Free functions
+
+std::uint32_t
+traceFileVersion(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        bwsa_fatal("cannot open trace file: ", path);
+    std::array<char, 8> header;
+    in.read(header.data(), header.size());
+    if (!in || std::memcmp(header.data(), trace_magic.data(), 4) != 0)
+        bwsa_fatal("not a BWSA trace file: ", path);
+    std::uint32_t version = 0;
+    ByteCursor cur(header.data() + 4, 4);
+    cur.getU32(version);
+    return version;
+}
+
+std::unique_ptr<TraceSource>
+openTraceReader(const std::string &path)
+{
+    std::uint32_t version = traceFileVersion(path);
+    if (version == trace_format_version)
+        return std::make_unique<TraceFileReader>(path);
+    if (version == block_trace_version)
+        return std::make_unique<BlockTraceReader>(path);
+    bwsa_fatal("unsupported trace format version ", version, " in ",
+               path);
+}
+
+std::uint64_t
+writeBlockTraceFile(const std::string &path, const TraceSource &source,
+                    std::uint64_t block_records)
+{
+    BWSA_SPAN("trace.block_write");
+    BlockTraceWriter writer(path, block_records);
+    source.replay(writer);
+    writer.close();
+    obs::MetricsRegistry::global()
+        .counter("trace.block.records_written")
+        .inc(writer.recordCount());
+    return writer.recordCount();
+}
+
+} // namespace bwsa::store

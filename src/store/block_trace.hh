@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Version 2 seekable trace container.
+ *
+ * The v1 trace format (trace/trace_io.hh) is one continuous delta
+ * stream: reaching record N requires varint-decoding every record
+ * before it, so sharded profiling of a file trace pays O(N) decode
+ * per shard just to skip its prefix.  The v2 container keeps the same
+ * zig-zag/varint record coding but chops the stream into fixed-size
+ * blocks whose delta bases reset at each block start, making every
+ * block independently decodable.  A footer index locates any block in
+ * O(1), and each block carries a CRC-32 so corruption is detected at
+ * read time instead of silently skewing analyses.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   header   magic "BWST" | u32 version = 2
+ *   blocks   back-to-back block payloads; per record
+ *            varint(zigzag(pc delta)) varint(ts delta << 1 | taken),
+ *            with pc/timestamp deltas relative to (0, 0) at the
+ *            block's first record
+ *   footer   per block, 56 bytes:
+ *            u64 offset | u64 payload bytes | u64 first record |
+ *            u64 record count | u64 first timestamp |
+ *            u64 last timestamp | u32 crc32(payload) | u32 reserved
+ *   trailer  36 bytes, fixed at end of file:
+ *            u64 footer offset | u64 block count | u64 total records |
+ *            u32 crc32(footer) | u32 records-per-block hint |
+ *            magic "BWSE"
+ *
+ * A reader validates header magic/version, trailer magic, structural
+ * sizes and the footer CRC up front; block CRCs are verified on every
+ * block read.  BlockTraceReader::replayRange() seeks straight to the
+ * block containing the range start, so TraceSource::segments(K) costs
+ * O(N/K + block) decode per shard instead of O(N).
+ */
+
+#ifndef BWSA_STORE_BLOCK_TRACE_HH
+#define BWSA_STORE_BLOCK_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace bwsa::store
+{
+
+/** On-disk format version written by BlockTraceWriter. */
+constexpr std::uint32_t block_trace_version = 2;
+
+/** Default records per block (~a few hundred KB of varint payload). */
+constexpr std::uint64_t default_block_records = 65536;
+
+/** Footer entry describing one block (in-memory form). */
+struct TraceBlockInfo
+{
+    std::uint64_t offset = 0;          ///< payload file offset
+    std::uint64_t payload_bytes = 0;   ///< encoded payload size
+    std::uint64_t first_record = 0;    ///< stream position of record 0
+    std::uint64_t record_count = 0;    ///< records in the block
+    std::uint64_t first_timestamp = 0; ///< retired-instruction range lo
+    std::uint64_t last_timestamp = 0;  ///< retired-instruction range hi
+    std::uint32_t crc = 0;             ///< CRC-32 of the payload
+};
+
+/**
+ * Streaming v2 writer; a TraceSink that encodes to disk in blocks.
+ * Deterministic: the same record stream always produces the same
+ * bytes, which is what the CI round-trip comparison relies on.
+ */
+class BlockTraceWriter : public TraceSink
+{
+  public:
+    /**
+     * Open @p path for writing; fatal() when the file cannot be made.
+     *
+     * @param block_records records per block (>= 1)
+     */
+    explicit BlockTraceWriter(const std::string &path,
+                              std::uint64_t block_records =
+                                  default_block_records);
+
+    /** Closes (writing footer + trailer) if still open. */
+    ~BlockTraceWriter() override;
+
+    BlockTraceWriter(const BlockTraceWriter &) = delete;
+    BlockTraceWriter &operator=(const BlockTraceWriter &) = delete;
+
+    void onBranch(const BranchRecord &record) override;
+
+    void onEnd() override { close(); }
+
+    /** Flush the open block and write footer + trailer. */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t recordCount() const { return _count; }
+
+    /** Blocks finalized so far (an open partial block not included). */
+    std::uint64_t blockCount() const { return _index.size(); }
+
+  private:
+    void flushBlock();
+
+    std::ofstream _out;
+    std::string _path;
+    std::string _payload;              ///< open block's encoded bytes
+    std::vector<TraceBlockInfo> _index;
+    std::uint64_t _block_records;
+    std::uint64_t _count = 0;          ///< total records written
+    std::uint64_t _block_count = 0;    ///< records in the open block
+    std::uint64_t _last_pc = 0;
+    std::uint64_t _last_timestamp = 0;
+    std::uint64_t _block_first_ts = 0;
+    std::uint64_t _write_offset = 0;   ///< next payload file offset
+    bool _open = false;
+};
+
+/** Outcome of one block's integrity check (see verifyBlocks()). */
+struct BlockCheckResult
+{
+    std::size_t index = 0;
+    bool ok = true;
+    std::string message; ///< failure reason when !ok
+};
+
+/**
+ * Seekable v2 reader; a replayable TraceSource whose range replay
+ * decodes only the blocks covering the requested range.
+ */
+class BlockTraceReader : public TraceSource
+{
+  public:
+    /**
+     * Open and validate @p path: header magic/version, trailer magic,
+     * structural sizes, footer CRC and index monotonicity are all
+     * checked here; fatal() on any mismatch.  Block payloads are
+     * CRC-checked lazily as they are read.
+     */
+    explicit BlockTraceReader(const std::string &path);
+
+    void replay(TraceSink &sink) const override;
+
+    /**
+     * Range replay that seeks: binary-searches the footer index for
+     * the block containing @p begin, decodes from that block's start
+     * (skipping at most one block's worth of in-block prefix) and
+     * stops after @p end.  Each call opens its own stream, so
+     * segments of one reader replay concurrently.
+     */
+    void replayRange(TraceSink &sink, std::uint64_t begin,
+                     std::uint64_t end) const override;
+
+    /** Record count from the trailer (O(1)). */
+    std::uint64_t recordCount() const override { return _total; }
+
+    /** Number of blocks in the container. */
+    std::uint64_t blockCount() const { return _blocks.size(); }
+
+    /** The footer index, in block order. */
+    const std::vector<TraceBlockInfo> &blocks() const
+    {
+        return _blocks;
+    }
+
+    /** Records-per-block hint recorded by the writer. */
+    std::uint64_t blockRecordsHint() const { return _block_records; }
+
+    /**
+     * Records varint-decoded by this reader so far, including records
+     * skipped inside a partially-covered block.  The sharded-profiling
+     * tests assert that shard k's decode cost is O(N/K + block), not
+     * O(prefix); a serial replay counts every record once.
+     */
+    std::uint64_t recordsDecoded() const
+    {
+        return _decoded.load(std::memory_order_relaxed);
+    }
+
+    /** Blocks read (and CRC-checked) by this reader so far. */
+    std::uint64_t blocksRead() const
+    {
+        return _blocks_read.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Content digest of the container: a 64-bit FNV-1a over the
+     * footer index (block CRCs, counts and timestamp ranges).  Two
+     * containers with the same records share the digest; any payload
+     * change flips some block CRC and with it the digest.  O(blocks),
+     * computed once at open -- this is what cache keys use as the
+     * trace identity of an on-disk trace.
+     */
+    std::uint64_t digest() const { return _digest; }
+
+    /**
+     * Integrity sweep: read every block, recompute its CRC and decode
+     * it fully, checking record count and timestamp range against the
+     * footer.  Unlike replay, failures are reported, not fatal -- the
+     * trace_tool `info` command prints one status line per block.
+     */
+    std::vector<BlockCheckResult> verifyBlocks() const;
+
+  private:
+    /**
+     * Read block @p index's payload into @p payload and CRC-check it.
+     * Returns false with a reason in @p error instead of fataling so
+     * verifyBlocks() can keep scanning.
+     */
+    bool readBlock(std::ifstream &in, std::size_t index,
+                   std::string &payload, std::string &error) const;
+
+    std::string _path;
+    std::vector<TraceBlockInfo> _blocks;
+    std::uint64_t _total = 0;
+    std::uint64_t _block_records = 0;
+    std::uint64_t _digest = 0;
+    mutable std::atomic<std::uint64_t> _decoded{0};
+    mutable std::atomic<std::uint64_t> _blocks_read{0};
+};
+
+/**
+ * On-disk format version of @p path: 1 for the v1 stream format, 2
+ * for the block container; fatal() when the file is not a BWSA trace.
+ */
+std::uint32_t traceFileVersion(const std::string &path);
+
+/**
+ * Open a trace file of either format as a replayable TraceSource:
+ * v2 files get a seekable BlockTraceReader, v1 files transparently
+ * fall back to the skip-decoding TraceFileReader.  This is the entry
+ * point tools and benches should use for "a trace file on disk".
+ */
+std::unique_ptr<TraceSource> openTraceReader(const std::string &path);
+
+/** Write an entire source as a v2 container, returning the count. */
+std::uint64_t
+writeBlockTraceFile(const std::string &path, const TraceSource &source,
+                    std::uint64_t block_records =
+                        default_block_records);
+
+} // namespace bwsa::store
+
+#endif // BWSA_STORE_BLOCK_TRACE_HH

@@ -1,0 +1,49 @@
+#include "store/crc32.hh"
+
+#include <array>
+
+namespace bwsa::store
+{
+
+namespace
+{
+
+/** The 256-entry lookup table of the reflected IEEE polynomial. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t size)
+{
+    const auto &table = crcTable();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint32_t state = _state;
+    for (std::size_t i = 0; i < size; ++i)
+        state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+    _state = state;
+}
+
+std::uint32_t
+crc32Of(const void *data, std::size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace bwsa::store

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to
+ * checksum trace blocks and cache payloads.  Table-driven software
+ * implementation; the persistence layer's integrity checks are I/O
+ * bound, so a few GB/s of software CRC is not the bottleneck.
+ */
+
+#ifndef BWSA_STORE_CRC32_HH
+#define BWSA_STORE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bwsa::store
+{
+
+/**
+ * Incremental CRC-32.  Feed any number of update() calls; value()
+ * finalizes without disturbing the running state, so it can be read
+ * repeatedly.
+ */
+class Crc32
+{
+  public:
+    /** Fold @p size bytes at @p data into the running checksum. */
+    void update(const void *data, std::size_t size);
+
+    void update(std::string_view bytes)
+    {
+        update(bytes.data(), bytes.size());
+    }
+
+    /** Finalized checksum of everything fed so far. */
+    std::uint32_t value() const { return _state ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t _state = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a byte range. */
+std::uint32_t crc32Of(const void *data, std::size_t size);
+
+/** One-shot CRC-32 of a string view. */
+inline std::uint32_t
+crc32Of(std::string_view bytes)
+{
+    return crc32Of(bytes.data(), bytes.size());
+}
+
+} // namespace bwsa::store
+
+#endif // BWSA_STORE_CRC32_HH

@@ -210,6 +210,7 @@ TraceFileReader::replayRange(TraceSink &sink, std::uint64_t begin,
         if (!getVarint(in, pc_raw) || !getVarint(in, ts_raw))
             bwsa_fatal("truncated trace body in ", _path, " at record ",
                        i, " of ", _count);
+        _decoded.fetch_add(1, std::memory_order_relaxed);
         pc = static_cast<std::uint64_t>(
             static_cast<std::int64_t>(pc) + unzigzag(pc_raw));
         bool taken = (ts_raw & 1) != 0;

@@ -15,6 +15,7 @@
 #ifndef BWSA_TRACE_TRACE_IO_HH
 #define BWSA_TRACE_TRACE_IO_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -87,9 +88,22 @@ class TraceFileReader : public TraceSource
     /** Record count recorded in the header (O(1)). */
     std::uint64_t recordCount() const override { return _count; }
 
+    /**
+     * Records varint-decoded by this reader so far, including the
+     * skipped prefix of every replayRange() call.  This is the v1
+     * format's structural cost: K shards decode O(K*N/2) records
+     * total, which the block container (store/block_trace.hh) fixes;
+     * tests assert both behaviours through this counter.
+     */
+    std::uint64_t recordsDecoded() const
+    {
+        return _decoded.load(std::memory_order_relaxed);
+    }
+
   private:
     std::string _path;
     std::uint64_t _count = 0;
+    mutable std::atomic<std::uint64_t> _decoded{0};
 };
 
 /** Convenience: write an entire source to a file, returning the count. */

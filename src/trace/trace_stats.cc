@@ -44,6 +44,24 @@ TraceStatsCollector::branchesByFrequency() const
 }
 
 void
+TraceStatsCollector::restoreCounts(BranchPc pc,
+                                   const BranchCounts &counts)
+{
+    BranchCounts &c = _counts[pc];
+    c.executed += counts.executed;
+    c.taken += counts.taken;
+    _dynamic += counts.executed;
+    _taken += counts.taken;
+}
+
+void
+TraceStatsCollector::restoreLastTimestamp(std::uint64_t timestamp)
+{
+    if (timestamp > _last_timestamp)
+        _last_timestamp = timestamp;
+}
+
+void
 TraceStatsCollector::clear()
 {
     _counts.clear();

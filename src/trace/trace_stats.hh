@@ -74,6 +74,17 @@ class TraceStatsCollector : public TraceSink
     /** Reset to empty. */
     void clear();
 
+    /**
+     * Bulk-add @p counts for @p pc, as if the branch had been seen
+     * that many times; whole-trace totals update accordingly.  Used
+     * by the persistence layer to rebuild a collector from a
+     * serialized profile artifact.
+     */
+    void restoreCounts(BranchPc pc, const BranchCounts &counts);
+
+    /** Raise the last-seen timestamp to at least @p timestamp. */
+    void restoreLastTimestamp(std::uint64_t timestamp);
+
   private:
     std::unordered_map<BranchPc, BranchCounts> _counts;
     std::uint64_t _dynamic = 0;

@@ -15,11 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/pipeline.hh"
 #include "test_helpers.hh"
 #include "profile/interleave.hh"
 #include "profile/shard.hh"
+#include "store/block_trace.hh"
 #include "trace/frequency_filter.hh"
+#include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 #include "util/random.hh"
 #include "workload/presets.hh"
@@ -543,4 +547,107 @@ TEST(ProfileSession, CumulativeProfilesAcrossSessions)
     EXPECT_EQ(via_sessions.profileCount(), 2u);
     EXPECT_TRUE(
         graphsIdentical(via_helper.graph(), via_sessions.graph()));
+}
+
+// ---------------------------------------------------------------
+// Decode-cost asymmetry of sharding file traces: the v1 stream format
+// pays an O(prefix) skip-decode per shard, the v2 block container
+// seeks.  Both behaviours are pinned through the readers' decode
+// counters so a regression in either direction fails loudly.
+
+namespace
+{
+
+/** Temp trace path for the file-shard tests. */
+std::string
+shardTempPath(const std::string &stem)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("bwsa_shard_test_" + stem + ".trace"))
+        .string();
+}
+
+} // namespace
+
+TEST(ShardedFileTrace, V2SegmentsDecodeOnlyTheirOwnBlocks)
+{
+    constexpr std::size_t records = 8000;
+    constexpr std::uint64_t block_records = 100;
+    constexpr unsigned shards = 8;
+
+    MemoryTrace trace = makeRandomTrace(73, records, 600);
+    std::string path = shardTempPath("v2_segments");
+    store::writeBlockTraceFile(path, trace, block_records);
+    store::BlockTraceReader reader(path);
+
+    // Each segment's replay decodes its own records plus at most one
+    // block's worth of in-block prefix -- never the stream prefix.
+    std::uint64_t decoded_before = 0;
+    for (const TraceSegment &segment : reader.segments(shards)) {
+        TraceStatsCollector sink;
+        segment.replay(sink);
+        std::uint64_t decoded = reader.recordsDecoded();
+        EXPECT_LE(decoded - decoded_before,
+                  segment.recordCount() + block_records)
+            << "segment [" << segment.begin() << ", "
+            << segment.end() << ")";
+        decoded_before = decoded;
+    }
+    // Across all shards: O(N + K * block), nowhere near O(K * N).
+    EXPECT_LE(reader.recordsDecoded(),
+              records + std::uint64_t(shards) * block_records);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardedFileTrace, V2ShardedProfileSeeksAndMatchesSerial)
+{
+    constexpr std::size_t records = 8000;
+    constexpr std::uint64_t block_records = 100;
+    constexpr unsigned shards = 8;
+
+    MemoryTrace trace = makeRandomTrace(79, records, 600);
+    std::string path = shardTempPath("v2_profile");
+    store::writeBlockTraceFile(path, trace, block_records);
+    store::BlockTraceReader reader(path);
+
+    InterleaveConfig serial_config;
+    serial_config.max_window = 16;
+    ConflictGraph serial = serialReference(trace, serial_config);
+    ConflictGraph sharded =
+        profileTraceShardedGraph(reader, shardConfig(shards, 16));
+    EXPECT_TRUE(graphsIdentical(serial, sharded));
+
+    // Shard pass: N + at most one block prefix per shard.  Stitch
+    // pass: one early-stopping boundary scan per boundary.  Even with
+    // a generous stitch allowance the total stays far below the
+    // v1 skip-decode cost of N * (shards + 1) / 2 (4.5x N here).
+    EXPECT_LE(reader.recordsDecoded(), 3 * std::uint64_t(records));
+    std::filesystem::remove(path);
+}
+
+TEST(ShardedFileTrace, V1ShardsPayTheSkipDecodeTax)
+{
+    // Regression pin for the v1 structural cost this PR works around:
+    // shard k must decode its whole prefix, so K shards decode at
+    // least N * (K + 1) / 2 records in total.  (The stitch pass only
+    // adds to that.)  If this ever *drops*, the v1 reader grew
+    // seeking and the fallback docs/benches are stale.
+    constexpr std::size_t records = 6000;
+    constexpr unsigned shards = 6;
+
+    MemoryTrace trace = makeRandomTrace(83, records, 600);
+    std::string path = shardTempPath("v1_tax");
+    writeTraceFile(path, trace);
+    TraceFileReader reader(path);
+
+    InterleaveConfig serial_config;
+    serial_config.max_window = 16;
+    ConflictGraph serial = serialReference(trace, serial_config);
+    ConflictGraph sharded =
+        profileTraceShardedGraph(reader, shardConfig(shards, 16));
+    EXPECT_TRUE(graphsIdentical(serial, sharded));
+
+    EXPECT_GE(reader.recordsDecoded(),
+              std::uint64_t(records) * (shards + 1) / 2);
+    std::filesystem::remove(path);
 }

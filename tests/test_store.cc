@@ -1,0 +1,789 @@
+/**
+ * @file
+ * Tests of the persistence layer (src/store):
+ *
+ *  - the v2 block container round-trips any trace exactly, for block
+ *    sizes from 1 record up, and its range replay seeks -- decoding
+ *    only the blocks covering the range, never the prefix;
+ *  - corruption (flipped payload byte, truncation, missing footer,
+ *    damaged footer CRC) is detected loudly, never silently decoded;
+ *  - the artifact cache stores/loads atomically, self-heals corrupt
+ *    entries, evicts LRU beyond its cap, and persists across reopen;
+ *  - profile artifacts round-trip a full profile (stats + selection
+ *    + graph), reject stale schemas and structural damage, and an
+ *    imported artifact drives the pipeline to the same allocation as
+ *    a fresh profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.hh"
+#include "store/artifact_cache.hh"
+#include "store/block_trace.hh"
+#include "store/crc32.hh"
+#include "store/profile_artifact.hh"
+#include "test_helpers.hh"
+#include "trace/frequency_filter.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/random.hh"
+
+using namespace bwsa;
+using namespace bwsa::store;
+
+namespace
+{
+
+/** Random trace with strictly ascending timestamps. */
+MemoryTrace
+makeRandomTrace(std::uint64_t seed, std::size_t records,
+                std::uint64_t distinct = 400)
+{
+    Pcg32 rng(seed);
+    MemoryTrace trace;
+    std::uint64_t ts = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord r;
+        r.pc = 0x400000 + 8ull * rng.nextBounded(
+                              static_cast<std::uint32_t>(distinct));
+        ts += 1 + rng.nextBounded(20);
+        r.timestamp = ts;
+        r.taken = rng.nextBool(0.6);
+        trace.onBranch(r);
+    }
+    return trace;
+}
+
+/** Temp file path helper; unique per stem. */
+std::string
+tempPath(const std::string &stem)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("bwsa_store_test_" + stem))
+        .string();
+}
+
+/** Fresh (removed, then unique) temp directory for a cache. */
+std::string
+tempDir(const std::string &stem)
+{
+    std::string dir = tempPath(stem + ".dir");
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Sink that records everything it is delivered. */
+class RecordingSink : public TraceSink
+{
+  public:
+    void
+    onBranch(const BranchRecord &r) override
+    {
+        records.push_back(r);
+    }
+    void onEnd() override { ++ends; }
+    std::vector<BranchRecord> records;
+    int ends = 0;
+};
+
+/** Sink that stops after @p limit deliveries. */
+class StoppingSink : public TraceSink
+{
+  public:
+    explicit StoppingSink(int limit) : _limit(limit) {}
+    void onBranch(const BranchRecord &) override { ++branches; }
+    void onEnd() override { ++ends; }
+    bool done() const override { return branches >= _limit; }
+    int branches = 0;
+    int ends = 0;
+
+  private:
+    int _limit;
+};
+
+bool
+sameRecord(const BranchRecord &a, const BranchRecord &b)
+{
+    return a.pc == b.pc && a.timestamp == b.timestamp &&
+           a.taken == b.taken;
+}
+
+/** Write @p trace as v2 at a fresh temp path; returns the path. */
+std::string
+writeV2(const MemoryTrace &trace, const std::string &stem,
+        std::uint64_t block_records)
+{
+    std::string path = tempPath(stem + ".trace");
+    std::filesystem::remove(path);
+    writeBlockTraceFile(path, trace, block_records);
+    return path;
+}
+
+/** Flip one byte of the file at @p offset. */
+void
+flipByte(const std::string &path, std::uint64_t offset)
+{
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+}
+
+/** Truncate the file to @p keep bytes. */
+void
+truncateFile(const std::string &path, std::uint64_t keep)
+{
+    std::filesystem::resize_file(path, keep);
+}
+
+} // namespace
+
+// ------------------------------------------------------- block container
+
+TEST(BlockTrace, RoundTripsAcrossBlockSizes)
+{
+    MemoryTrace trace = makeRandomTrace(3, 1000, 200);
+    // Block sizes covering: one record per block, partial last block,
+    // exact multiple, and everything in one block.
+    for (std::uint64_t block_records :
+         {std::uint64_t(1), std::uint64_t(7), std::uint64_t(250),
+          std::uint64_t(1000), std::uint64_t(100000)}) {
+        std::string path = writeV2(trace, "roundtrip", block_records);
+        BlockTraceReader reader(path);
+        EXPECT_EQ(reader.recordCount(), trace.recordCount());
+        EXPECT_EQ(reader.blockRecordsHint(),
+                  std::min<std::uint64_t>(block_records, 0xffffffffu));
+
+        RecordingSink sink;
+        reader.replay(sink);
+        ASSERT_EQ(sink.records.size(), trace.size())
+            << "block_records=" << block_records;
+        EXPECT_EQ(sink.ends, 1);
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            ASSERT_TRUE(sameRecord(sink.records[i], trace[i]))
+                << "record " << i << " block_records="
+                << block_records;
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(BlockTrace, FooterDescribesBlocksExactly)
+{
+    MemoryTrace trace = makeRandomTrace(5, 1000, 100);
+    std::string path = writeV2(trace, "footer", 300);
+    BlockTraceReader reader(path);
+    ASSERT_EQ(reader.blockCount(), 4u); // 300+300+300+100
+    const std::vector<TraceBlockInfo> &blocks = reader.blocks();
+    std::uint64_t first = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        EXPECT_EQ(blocks[i].first_record, first);
+        first += blocks[i].record_count;
+        EXPECT_EQ(blocks[i].first_timestamp,
+                  trace[blocks[i].first_record].timestamp);
+        EXPECT_EQ(blocks[i].last_timestamp,
+                  trace[first - 1].timestamp);
+    }
+    EXPECT_EQ(first, trace.recordCount());
+    EXPECT_EQ(blocks.back().record_count, 100u);
+
+    for (const BlockCheckResult &check : reader.verifyBlocks())
+        EXPECT_TRUE(check.ok) << "block " << check.index << ": "
+                              << check.message;
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, EmptyTraceRoundTrips)
+{
+    MemoryTrace empty;
+    std::string path = writeV2(empty, "empty", 64);
+    EXPECT_EQ(traceFileVersion(path), 2u);
+    BlockTraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    EXPECT_EQ(reader.blockCount(), 0u);
+    RecordingSink sink;
+    reader.replay(sink);
+    EXPECT_TRUE(sink.records.empty());
+    EXPECT_EQ(sink.ends, 1);
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, ReplayRangeMatchesSlices)
+{
+    MemoryTrace trace = makeRandomTrace(7, 900, 150);
+    std::string path = writeV2(trace, "range", 128);
+    BlockTraceReader reader(path);
+
+    const std::uint64_t n = trace.recordCount();
+    const std::pair<std::uint64_t, std::uint64_t> ranges[] = {
+        {0, n},        {0, 1},       {127, 129},  {128, 256},
+        {500, 900},    {899, 900},   {300, 300},  {250, 700},
+        {n, n + 50},   {0, n + 100},
+    };
+    for (auto [begin, end] : ranges) {
+        RecordingSink sink;
+        reader.replayRange(sink, begin, end);
+        std::uint64_t lo = std::min(begin, n);
+        std::uint64_t hi = std::min(end, n);
+        if (hi < lo)
+            hi = lo;
+        ASSERT_EQ(sink.records.size(), hi - lo)
+            << "range [" << begin << ", " << end << ")";
+        EXPECT_EQ(sink.ends, 1);
+        for (std::uint64_t i = lo; i < hi; ++i)
+            ASSERT_TRUE(sameRecord(sink.records[i - lo], trace[i]))
+                << "range [" << begin << ", " << end << ") record "
+                << i;
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, RangeReplaySeeksInsteadOfSkipDecoding)
+{
+    // 10 blocks of 100 records.  Replaying the last 100 records must
+    // decode only the final block -- not the 900-record prefix.
+    MemoryTrace trace = makeRandomTrace(11, 1000, 80);
+    std::string path = writeV2(trace, "seek", 100);
+    BlockTraceReader reader(path);
+    ASSERT_EQ(reader.blockCount(), 10u);
+
+    RecordingSink sink;
+    reader.replayRange(sink, 900, 1000);
+    EXPECT_EQ(sink.records.size(), 100u);
+    EXPECT_EQ(reader.recordsDecoded(), 100u);
+    EXPECT_EQ(reader.blocksRead(), 1u);
+
+    // A mid-block start decodes at most one extra block's prefix.
+    RecordingSink mid;
+    reader.replayRange(mid, 450, 650);
+    EXPECT_EQ(mid.records.size(), 200u);
+    EXPECT_EQ(reader.recordsDecoded() - 100u, 250u); // blocks 4..6
+    EXPECT_EQ(reader.blocksRead() - 1u, 3u);
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, DoneStopsMidBlock)
+{
+    MemoryTrace trace = makeRandomTrace(13, 600, 50);
+    std::string path = writeV2(trace, "done", 200);
+    BlockTraceReader reader(path);
+
+    StoppingSink sink(10);
+    reader.replay(sink);
+    EXPECT_EQ(sink.branches, 10);
+    EXPECT_EQ(sink.ends, 1); // onEnd still delivered
+    // Stopping in block 0 must not read blocks 1 and 2.
+    EXPECT_EQ(reader.blocksRead(), 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, SegmentsCoverTheTrace)
+{
+    MemoryTrace trace = makeRandomTrace(17, 500, 60);
+    std::string path = writeV2(trace, "segments", 64);
+    BlockTraceReader reader(path);
+
+    std::vector<TraceSegment> segments = reader.segments(4);
+    ASSERT_EQ(segments.size(), 4u);
+    std::vector<BranchRecord> all;
+    for (const TraceSegment &segment : segments) {
+        RecordingSink sink;
+        segment.replay(sink);
+        all.insert(all.end(), sink.records.begin(),
+                   sink.records.end());
+    }
+    ASSERT_EQ(all.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_TRUE(sameRecord(all[i], trace[i])) << "record " << i;
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTrace, DigestIdentifiesContent)
+{
+    MemoryTrace trace = makeRandomTrace(19, 400, 40);
+    std::string a = writeV2(trace, "digest_a", 100);
+    std::string b = writeV2(trace, "digest_b", 100);
+    BlockTraceReader ra(a), rb(b);
+    EXPECT_EQ(ra.digest(), rb.digest());
+    EXPECT_NE(ra.digest(), 0u);
+
+    // One different record => different block CRC => different digest.
+    MemoryTrace other = trace;
+    BranchRecord extra;
+    extra.pc = 0x500000;
+    extra.timestamp = trace[trace.size() - 1].timestamp + 5;
+    extra.taken = true;
+    other.onBranch(extra);
+    std::string c = writeV2(other, "digest_c", 100);
+    BlockTraceReader rc(c);
+    EXPECT_NE(ra.digest(), rc.digest());
+    std::filesystem::remove(a);
+    std::filesystem::remove(b);
+    std::filesystem::remove(c);
+}
+
+TEST(BlockTrace, OpenTraceReaderDispatchesByVersion)
+{
+    MemoryTrace trace = makeRandomTrace(23, 300, 30);
+
+    std::string v1 = tempPath("dispatch_v1.trace");
+    std::filesystem::remove(v1);
+    writeTraceFile(v1, trace);
+    EXPECT_EQ(traceFileVersion(v1), 1u);
+
+    std::string v2 = writeV2(trace, "dispatch_v2", 100);
+    EXPECT_EQ(traceFileVersion(v2), 2u);
+
+    for (const std::string &path : {v1, v2}) {
+        std::unique_ptr<TraceSource> reader = openTraceReader(path);
+        ASSERT_NE(reader, nullptr);
+        EXPECT_EQ(reader->recordCount(), trace.recordCount());
+        RecordingSink sink;
+        reader->replay(sink);
+        ASSERT_EQ(sink.records.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            ASSERT_TRUE(sameRecord(sink.records[i], trace[i]));
+    }
+    std::filesystem::remove(v1);
+    std::filesystem::remove(v2);
+}
+
+TEST(BlockTrace, WriterRejectsNonAscendingTimestamps)
+{
+    EXPECT_EXIT(
+        {
+            std::string path = tempPath("descending.trace");
+            BlockTraceWriter writer(path, 16);
+            BranchRecord a;
+            a.pc = 0x400000;
+            a.timestamp = 10;
+            a.taken = true;
+            BranchRecord b = a; // same timestamp: not ascending
+            b.pc = 0x400008;
+            writer.onBranch(a);
+            writer.onBranch(b);
+        },
+        ::testing::ExitedWithCode(1), "strictly ascend");
+}
+
+// ------------------------------------------------- corruption detection
+
+TEST(BlockTraceCorruption, FlippedPayloadByteIsFatalOnReplay)
+{
+    MemoryTrace trace = makeRandomTrace(29, 500, 50);
+    std::string path = writeV2(trace, "flip", 100);
+    // Offset 20 lands inside block 0's payload (header is 8 bytes).
+    flipByte(path, 20);
+
+    EXPECT_EXIT(
+        {
+            BlockTraceReader reader(path);
+            RecordingSink sink;
+            reader.replay(sink);
+        },
+        ::testing::ExitedWithCode(1), "corrupt trace block 0");
+
+    // verifyBlocks reports the damage without dying, and pins it to
+    // exactly the block containing the flipped byte.
+    BlockTraceReader reader(path);
+    std::vector<BlockCheckResult> checks = reader.verifyBlocks();
+    ASSERT_EQ(checks.size(), 5u);
+    EXPECT_FALSE(checks[0].ok);
+    EXPECT_NE(checks[0].message.find("CRC"), std::string::npos);
+    for (std::size_t i = 1; i < checks.size(); ++i)
+        EXPECT_TRUE(checks[i].ok) << "block " << i;
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceCorruption, TruncationIsFatalAtOpen)
+{
+    MemoryTrace trace = makeRandomTrace(31, 400, 40);
+    std::string path = writeV2(trace, "truncate", 100);
+    std::uint64_t size = std::filesystem::file_size(path);
+    truncateFile(path, size - 20);
+    EXPECT_EXIT({ BlockTraceReader reader(path); },
+                ::testing::ExitedWithCode(1), "trailer");
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceCorruption, MissingFooterIsFatalAtOpen)
+{
+    MemoryTrace trace = makeRandomTrace(37, 400, 40);
+    std::string path = writeV2(trace, "nofooter", 100);
+    BlockTraceReader intact(path);
+    // Drop the whole footer + trailer, keeping only the payloads.
+    truncateFile(path, intact.blocks().back().offset +
+                           intact.blocks().back().payload_bytes);
+    EXPECT_EXIT({ BlockTraceReader reader(path); },
+                ::testing::ExitedWithCode(1), "trailer");
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceCorruption, DamagedFooterCrcIsFatalAtOpen)
+{
+    MemoryTrace trace = makeRandomTrace(41, 400, 40);
+    std::string path = writeV2(trace, "footercrc", 100);
+    std::uint64_t size = std::filesystem::file_size(path);
+    // The footer's first entry starts footer_offset bytes in; damage
+    // a byte inside the footer region (36-byte trailer at the end,
+    // 4 blocks x 56-byte entries before it).
+    flipByte(path, size - 36 - 4 * 56 + 10);
+    EXPECT_EXIT({ BlockTraceReader reader(path); },
+                ::testing::ExitedWithCode(1), "footer");
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceCorruption, NotATraceIsFatal)
+{
+    std::string path = tempPath("nottrace.trace");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file, it only plays one on tv";
+    }
+    EXPECT_EXIT({ traceFileVersion(path); },
+                ::testing::ExitedWithCode(1), "not a BWSA trace");
+    std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ crc32
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // IEEE CRC-32 of "123456789" is the classic check value.
+    EXPECT_EQ(crc32Of("123456789"), 0xcbf43926u);
+    EXPECT_EQ(crc32Of(""), 0u);
+    // Incremental == one-shot.
+    Crc32 crc;
+    crc.update("1234");
+    crc.update("56789");
+    EXPECT_EQ(crc.value(), 0xcbf43926u);
+}
+
+// ------------------------------------------------------- cache keys
+
+TEST(CacheKey, DeterministicAndSensitive)
+{
+    auto build = [](std::uint64_t records, double scale) {
+        CacheKeyBuilder b;
+        b.add("trace", "pgp:a").add("records", records).add("scale",
+                                                            scale);
+        return b.key();
+    };
+    std::string key = build(1000, 0.5);
+    EXPECT_EQ(key.size(), 32u);
+    EXPECT_EQ(key, build(1000, 0.5));
+    EXPECT_NE(key, build(1001, 0.5));
+    EXPECT_NE(key, build(1000, 0.25));
+
+    // Field *names* are part of the material: same values under
+    // different names must not collide.
+    CacheKeyBuilder renamed;
+    renamed.add("trace2", "pgp:a")
+        .add("records", std::uint64_t(1000))
+        .add("scale", 0.5);
+    EXPECT_NE(key, renamed.key());
+
+    for (char c : key)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << "non-hex key character " << c;
+}
+
+// -------------------------------------------------------- artifact cache
+
+TEST(ArtifactCache, StoreLoadMiss)
+{
+    std::string dir = tempDir("cache_basic");
+    ArtifactCache cache(dir);
+    EXPECT_EQ(cache.load("0123456789abcdef0123456789abcdef"),
+              std::nullopt);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.store("0123456789abcdef0123456789abcdef", "hello payload");
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_EQ(cache.totalBytes(), 13u);
+    std::optional<std::string> got =
+        cache.load("0123456789abcdef0123456789abcdef");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "hello payload");
+    EXPECT_EQ(cache.hits(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCache, PersistsAcrossReopen)
+{
+    std::string dir = tempDir("cache_reopen");
+    std::string key = "00112233445566778899aabbccddeeff";
+    {
+        ArtifactCache cache(dir);
+        cache.store(key, "survives the process");
+    }
+    ArtifactCache reopened(dir);
+    EXPECT_EQ(reopened.entryCount(), 1u);
+    std::optional<std::string> got = reopened.load(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "survives the process");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCache, CorruptEntrySelfHeals)
+{
+    std::string dir = tempDir("cache_corrupt");
+    std::string key = "ffeeddccbbaa99887766554433221100";
+    ArtifactCache cache(dir);
+    cache.store(key, "soon to be damaged");
+
+    // Flip a payload byte behind the cache's back: envelope is
+    // magic(4) + version(4) + size(8) + crc(4) = 20 bytes.
+    flipByte(dir + "/" + key + ".obj", 25);
+
+    EXPECT_EQ(cache.load(key), std::nullopt);
+    EXPECT_EQ(cache.corruptDropped(), 1u);
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_FALSE(
+        std::filesystem::exists(dir + "/" + key + ".obj"));
+    // And the damage does not resurrect on reopen.
+    ArtifactCache reopened(dir);
+    EXPECT_EQ(reopened.load(key), std::nullopt);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed)
+{
+    std::string dir = tempDir("cache_lru");
+    // Cap of 25 payload bytes; 10-byte entries.
+    ArtifactCache cache(dir, 25);
+    std::string a(32, 'a'), b(32, 'b'), c(32, 'c');
+    cache.store(a, "aaaaaaaaaa");
+    cache.store(b, "bbbbbbbbbb");
+    // Touch a so b becomes the LRU entry.
+    EXPECT_TRUE(cache.load(a).has_value());
+    cache.store(c, "cccccccccc"); // 30 > 25: evicts b
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+    EXPECT_LE(cache.totalBytes(), 25u);
+
+    // An oversized store never evicts itself.
+    std::string d(32, 'd');
+    cache.store(d, std::string(100, 'x'));
+    EXPECT_TRUE(cache.contains(d));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactCache, InvalidateRemovesEntry)
+{
+    std::string dir = tempDir("cache_invalidate");
+    std::string key = "0f1e2d3c4b5a69788796a5b4c3d2e1f0";
+    ArtifactCache cache(dir);
+    cache.store(key, "doomed");
+    EXPECT_TRUE(cache.invalidate(key));
+    EXPECT_FALSE(cache.contains(key));
+    EXPECT_FALSE(cache.invalidate(key));
+    EXPECT_EQ(cache.load(key), std::nullopt);
+    std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- profile artifact
+
+namespace
+{
+
+/** A profiled pipeline + its artifact, from one random trace. */
+ProfileArtifact
+makeArtifact(AllocationPipeline &pipeline, std::uint64_t seed)
+{
+    MemoryTrace trace = makeRandomTrace(seed, 3000, 250);
+    testhelpers::profileRun(pipeline, trace);
+    return ProfileArtifact{pipeline.lastStats(),
+                           pipeline.lastSelection(),
+                           pipeline.graph()};
+}
+
+} // namespace
+
+TEST(ProfileArtifactTest, RoundTripsExactly)
+{
+    AllocationPipeline pipeline;
+    ProfileArtifact original = makeArtifact(pipeline, 101);
+
+    std::string bytes = serializeProfileArtifact(original);
+    ProfileArtifact restored;
+    ASSERT_EQ(parseProfileArtifact(bytes, restored),
+              ArtifactParseStatus::Ok);
+
+    EXPECT_EQ(restored.stats.dynamicBranches(),
+              original.stats.dynamicBranches());
+    EXPECT_EQ(restored.stats.dynamicTaken(),
+              original.stats.dynamicTaken());
+    EXPECT_EQ(restored.stats.staticBranches(),
+              original.stats.staticBranches());
+    EXPECT_EQ(restored.stats.lastTimestamp(),
+              original.stats.lastTimestamp());
+    for (const auto &[pc, counts] : original.stats.table()) {
+        BranchCounts rc = restored.stats.counts(pc);
+        EXPECT_EQ(rc.executed, counts.executed);
+        EXPECT_EQ(rc.taken, counts.taken);
+    }
+    EXPECT_EQ(restored.selection.selected,
+              original.selection.selected);
+    EXPECT_EQ(restored.selection.total_dynamic,
+              original.selection.total_dynamic);
+    EXPECT_EQ(restored.selection.analyzed_dynamic,
+              original.selection.analyzed_dynamic);
+    ASSERT_EQ(restored.graph.nodeCount(),
+              original.graph.nodeCount());
+    for (NodeId id = 0; id < original.graph.nodeCount(); ++id) {
+        EXPECT_EQ(restored.graph.node(id).pc,
+                  original.graph.node(id).pc);
+        EXPECT_EQ(restored.graph.node(id).executed,
+                  original.graph.node(id).executed);
+    }
+    EXPECT_EQ(restored.graph.edges(), original.graph.edges());
+
+    // Canonical: serializing the restored artifact is byte-identical.
+    EXPECT_EQ(serializeProfileArtifact(restored), bytes);
+}
+
+TEST(ProfileArtifactTest, StaleSchemaIsStaleNotCorrupt)
+{
+    AllocationPipeline pipeline;
+    std::string bytes =
+        serializeProfileArtifact(makeArtifact(pipeline, 103));
+    // The schema version is the u32 after the 4-byte magic.
+    bytes[4] = static_cast<char>(bytes[4] + 1);
+    ProfileArtifact out;
+    EXPECT_EQ(parseProfileArtifact(bytes, out),
+              ArtifactParseStatus::Stale);
+}
+
+TEST(ProfileArtifactTest, DamageIsCorruptNeverPartial)
+{
+    AllocationPipeline pipeline;
+    std::string bytes =
+        serializeProfileArtifact(makeArtifact(pipeline, 107));
+
+    ProfileArtifact out;
+    // Bad magic.
+    std::string bad_magic = bytes;
+    bad_magic[0] = 'X';
+    EXPECT_EQ(parseProfileArtifact(bad_magic, out),
+              ArtifactParseStatus::Corrupt);
+    // Truncated at several depths.
+    for (std::size_t keep : {std::size_t(0), std::size_t(6),
+                             std::size_t(40), bytes.size() - 1}) {
+        EXPECT_EQ(parseProfileArtifact(
+                      std::string_view(bytes).substr(0, keep), out),
+                  ArtifactParseStatus::Corrupt)
+            << "kept " << keep << " bytes";
+    }
+    // Trailing garbage.
+    EXPECT_EQ(parseProfileArtifact(bytes + "extra", out),
+              ArtifactParseStatus::Corrupt);
+    // out must be untouched by all the failures above.
+    EXPECT_EQ(out.graph.nodeCount(), 0u);
+    EXPECT_EQ(out.stats.dynamicBranches(), 0u);
+}
+
+TEST(ProfileArtifactTest, LoadInvalidatesStaleEntries)
+{
+    std::string dir = tempDir("cache_stale");
+    ArtifactCache cache(dir);
+    AllocationPipeline pipeline;
+    ProfileArtifact artifact = makeArtifact(pipeline, 109);
+    std::string key = "abcdefabcdefabcdefabcdefabcdef00";
+
+    // A valid entry loads.
+    storeProfileArtifact(cache, key, artifact);
+    EXPECT_TRUE(loadProfileArtifact(cache, key).has_value());
+
+    // An entry from a different schema is dropped, not returned:
+    // simulate an old writer by patching the schema byte.
+    std::string stale = serializeProfileArtifact(artifact);
+    stale[4] = static_cast<char>(stale[4] + 1);
+    cache.store(key, stale);
+    EXPECT_EQ(loadProfileArtifact(cache, key), std::nullopt);
+    EXPECT_FALSE(cache.contains(key));
+
+    // A structurally damaged entry likewise.
+    cache.store(key, serializeProfileArtifact(artifact).substr(0, 30));
+    EXPECT_EQ(loadProfileArtifact(cache, key), std::nullopt);
+    EXPECT_FALSE(cache.contains(key));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileArtifactTest, ImportedProfileMatchesFreshProfile)
+{
+    MemoryTrace trace = makeRandomTrace(113, 4000, 300);
+
+    AllocationPipeline fresh;
+    testhelpers::profileRun(fresh, trace);
+
+    // Round-trip the profile through serialized bytes and import it
+    // into a new pipeline: the graph, the profile count, and the
+    // allocations at several table sizes must all be identical.
+    ProfileArtifact artifact{fresh.lastStats(), fresh.lastSelection(),
+                             fresh.graph()};
+    std::string bytes = serializeProfileArtifact(artifact);
+    ProfileArtifact restored;
+    ASSERT_EQ(parseProfileArtifact(bytes, restored),
+              ArtifactParseStatus::Ok);
+
+    AllocationPipeline imported;
+    imported.importProfile(restored.stats, restored.selection,
+                           restored.graph);
+    EXPECT_EQ(imported.profileCount(), 1u);
+    EXPECT_TRUE(imported.hasProfileData());
+    ASSERT_EQ(imported.graph().nodeCount(),
+              fresh.graph().nodeCount());
+    EXPECT_EQ(imported.graph().edges(), fresh.graph().edges());
+
+    for (std::uint64_t size : {64ull, 256ull, 1024ull}) {
+        AllocationResult a = fresh.allocate(size);
+        AllocationResult b = imported.allocate(size);
+        EXPECT_EQ(a.residual_conflict, b.residual_conflict)
+            << "table size " << size;
+        EXPECT_EQ(a.shared_nodes, b.shared_nodes)
+            << "table size " << size;
+    }
+    RequiredSizeResult rf = fresh.requiredSize(1024);
+    RequiredSizeResult ri = imported.requiredSize(1024);
+    EXPECT_EQ(rf.achieved, ri.achieved);
+    EXPECT_EQ(rf.required_entries, ri.required_entries);
+}
+
+TEST(ProfileArtifactTest, ImportMergesLikeASecondProfile)
+{
+    MemoryTrace a = makeRandomTrace(127, 1500, 120);
+    MemoryTrace b = makeRandomTrace(131, 1500, 120);
+
+    // Reference: two fresh profile runs on one pipeline.
+    AllocationPipeline reference;
+    testhelpers::profileRun(reference, a);
+    testhelpers::profileRun(reference, b);
+
+    // One fresh run, then importing b's artifact must merge exactly
+    // like profiling b directly (this is the ablation_profiles merged
+    // pipeline's cache-hit path).
+    AllocationPipeline donor;
+    testhelpers::profileRun(donor, b);
+    ProfileArtifact artifact{donor.lastStats(), donor.lastSelection(),
+                             donor.graph()};
+
+    AllocationPipeline merged;
+    testhelpers::profileRun(merged, a);
+    merged.importProfile(artifact.stats, artifact.selection,
+                         artifact.graph);
+    EXPECT_EQ(merged.profileCount(), 2u);
+    ASSERT_EQ(merged.graph().nodeCount(),
+              reference.graph().nodeCount());
+    EXPECT_EQ(merged.graph().edges(), reference.graph().edges());
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Trace container maintenance tool.
+ *
+ * Commands:
+ *   trace_tool convert --in=<trace> --out=<trace> [--to=v1|v2]
+ *                      [--block-records=N]
+ *       Re-encode a trace of either format into the requested format
+ *       (default v2).  v1 -> v2 -> v1 round-trips byte-identically,
+ *       which CI exploits to validate the block container.
+ *
+ *   trace_tool info --in=<trace>
+ *       Print format version, record count and instruction range; for
+ *       v2 containers also the block index and a per-block CRC +
+ *       decode status line.  Exits 1 when any block fails its check,
+ *       so scripts can use it as an integrity gate.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/block_trace.hh"
+#include "trace/trace_io.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace bwsa;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: trace_tool convert --in=<trace> --out=<trace>\n"
+        << "                  [--to=v1|v2] [--block-records=N]\n"
+        << "       trace_tool info --in=<trace>\n";
+    std::exit(1);
+}
+
+/** Min/max timestamp sink for v1 files (v2 reads them off the index). */
+class TimestampRangeSink : public TraceSink
+{
+  public:
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        if (_count == 0)
+            _first = record.timestamp;
+        _last = record.timestamp;
+        ++_count;
+    }
+
+    std::uint64_t first() const { return _first; }
+    std::uint64_t last() const { return _last; }
+    std::uint64_t count() const { return _count; }
+
+  private:
+    std::uint64_t _first = 0;
+    std::uint64_t _last = 0;
+    std::uint64_t _count = 0;
+};
+
+int
+runConvert(const CliOptions &options)
+{
+    std::string in = options.getRequiredString("in", "");
+    std::string out = options.getRequiredString("out", "");
+    if (in.empty() || out.empty())
+        bwsa_fatal("convert needs --in and --out");
+    std::string to = options.getRequiredString("to", "v2");
+    std::uint64_t block_records = options.getUint(
+        "block-records", store::default_block_records);
+
+    std::unique_ptr<TraceSource> source = store::openTraceReader(in);
+    std::uint64_t written = 0;
+    if (to == "v2") {
+        written = store::writeBlockTraceFile(out, *source,
+                                             block_records);
+    } else if (to == "v1") {
+        written = writeTraceFile(out, *source);
+    } else {
+        bwsa_fatal("unknown --to format '", to, "' (want v1 or v2)");
+    }
+    inform("wrote ", written, " records to ", out, " (", to, ")");
+    return 0;
+}
+
+int
+runInfo(const CliOptions &options)
+{
+    std::string in = options.getRequiredString("in", "");
+    if (in.empty())
+        bwsa_fatal("info needs --in");
+
+    std::uint32_t version = store::traceFileVersion(in);
+    std::cout << "file: " << in << "\n";
+    std::cout << "format: v" << version << "\n";
+
+    if (version == trace_format_version) {
+        TraceFileReader reader(in);
+        TimestampRangeSink range;
+        reader.replay(range);
+        std::cout << "records: " << reader.recordCount() << "\n";
+        std::cout << "instructions: [" << range.first() << ", "
+                  << range.last() << "]\n";
+        std::cout << "status: ok\n";
+        return 0;
+    }
+
+    store::BlockTraceReader reader(in);
+    const auto &blocks = reader.blocks();
+    std::cout << "records: " << reader.recordCount() << "\n";
+    std::cout << "blocks: " << blocks.size() << "\n";
+    std::uint64_t first_ts =
+        blocks.empty() ? 0 : blocks.front().first_timestamp;
+    std::uint64_t last_ts =
+        blocks.empty() ? 0 : blocks.back().last_timestamp;
+    std::cout << "instructions: [" << first_ts << ", " << last_ts
+              << "]\n";
+    std::cout << "digest: " << std::hex << reader.digest() << std::dec
+              << "\n";
+
+    std::vector<store::BlockCheckResult> checks =
+        reader.verifyBlocks();
+    std::size_t bad = 0;
+    for (const store::BlockCheckResult &check : checks) {
+        const store::TraceBlockInfo &info = blocks[check.index];
+        std::cout << "block " << check.index << ": records "
+                  << info.record_count << " ts ["
+                  << info.first_timestamp << ", "
+                  << info.last_timestamp << "] crc ";
+        if (check.ok) {
+            std::cout << "ok\n";
+        } else {
+            std::cout << "BAD (" << check.message << ")\n";
+            ++bad;
+        }
+    }
+    if (bad) {
+        std::cout << "status: corrupt (" << bad << " of "
+                  << checks.size() << " blocks failed)\n";
+        return 1;
+    }
+    std::cout << "status: ok\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options = CliOptions::parse(
+        argc, argv,
+        {"in", "out", "to", "block-records", "quiet", "verbose"});
+    applyLogLevelOptions(options);
+    for (const std::string &flag : CliOptions::unknownFlags(argc, argv))
+        bwsa_fatal("unknown option ", flag);
+
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    if (command == "convert")
+        return runConvert(options);
+    if (command == "info")
+        return runInfo(options);
+    std::cerr << "unknown command: " << command << "\n";
+    usage();
+}
