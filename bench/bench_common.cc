@@ -10,6 +10,7 @@
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
 #include "exec/thread_pool.hh"
+#include "obs/branch_telemetry.hh"
 #include "obs/progress.hh"
 #include "obs/run_report.hh"
 #include "obs/timeseries.hh"
@@ -46,8 +47,9 @@ parseBenchOptions(int &argc, char **argv,
         argc, argv,
         {"scale", "benchmarks", "threads", "shards", "csv",
          "threshold", "json", "trace", "progress", "timeseries",
-         "interval", "interference", "store-dir", "cache", "no-cache",
-         "quiet", "verbose"});
+         "interval", "interference", "branch-telemetry",
+         "top-branches", "store-dir", "cache", "no-cache", "quiet",
+         "verbose"});
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
@@ -56,7 +58,8 @@ parseBenchOptions(int &argc, char **argv,
                    "' (supported: --scale --benchmarks --threads "
                    "--shards --csv --threshold --json --trace "
                    "--progress --timeseries --interval "
-                   "--interference --store-dir --cache --no-cache "
+                   "--interference --branch-telemetry --top-branches "
+                   "--store-dir --cache --no-cache "
                    "--quiet --verbose)");
 
     applyLogLevelOptions(cli);
@@ -102,6 +105,17 @@ parseBenchOptions(int &argc, char **argv,
         bwsa_fatal("--interval must be >= 1 instruction");
     options.interference = cli.isBare("interference") ||
                            cli.getString("interference", "") == "true";
+    options.branch_telemetry =
+        cli.isBare("branch-telemetry") ||
+        cli.getString("branch-telemetry", "") == "true";
+    // Per-branch aliasing attribution comes from the probe, so
+    // telemetry implies it.
+    if (options.branch_telemetry)
+        options.interference = true;
+    options.top_branches =
+        static_cast<std::size_t>(cli.getUint("top-branches", 8));
+    if (options.top_branches == 0)
+        bwsa_fatal("--top-branches must be >= 1");
 
     // --store-dir implies --cache; --no-cache wins over both.
     options.store_dir = cli.getRequiredString("store-dir", "");
@@ -316,11 +330,12 @@ profileSource(AllocationPipeline &pipeline, const TraceSource &source,
               const BenchOptions &options, const std::string &label,
               const std::string &identity)
 {
-    // Time-series sampling happens during the profiling passes; a
-    // cache hit would silently suppress those series, so such runs
-    // always profile for real.
-    const bool cacheable =
-        artifact_cache && !identity.empty() && !options.timeseries;
+    // Time-series sampling and per-branch telemetry happen during the
+    // profiling passes; a cache hit would silently suppress them, so
+    // such runs always profile for real.
+    const bool cacheable = artifact_cache && !identity.empty() &&
+                           !options.timeseries &&
+                           !options.branch_telemetry;
     std::string key;
     if (cacheable) {
         const PipelineConfig &config = pipeline.config();
@@ -443,6 +458,221 @@ struct CellAliasing
     InterferenceCounters allocated; ///< alloc-1024 PAg
 };
 
+/** Per-cell top-N branch rows of one telemetry-enabled cell. */
+struct CellTelemetry
+{
+    bool valid = false;
+    std::vector<std::vector<std::string>> hot;
+    std::vector<std::vector<std::string>> hard;
+    std::vector<std::vector<std::string>> victims;
+};
+
+std::string
+pcHex(std::uint64_t pc)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+std::uint64_t
+branchExecuted(const PredictionStats &stats, std::uint64_t pc)
+{
+    auto it = stats.per_branch.find(pc);
+    return it == stats.per_branch.end() ? 0 : it->second.total();
+}
+
+double
+branchMissPercent(const PredictionStats &stats, std::uint64_t pc)
+{
+    auto it = stats.per_branch.find(pc);
+    return it == stats.per_branch.end() ? 0.0 : it->second.percent();
+}
+
+/**
+ * Assemble one cell's per-branch telemetry: the run report "branches"
+ * scope entry (every branch, pc-ascending, with per-predictor
+ * misprediction counts, probe victim/aggressor attribution and the
+ * profiled predictability/lifetime fields) plus the cell's top-N
+ * hot / hard / victim table rows.  Everything ranks on exact counts,
+ * so the output is deterministic for any thread/shard count.
+ */
+void
+collectCellTelemetry(const std::string &scope,
+                     const obs::BranchTelemetryMap &telemetry,
+                     const std::vector<PredictionStats> &results,
+                     const PAgPredictor *base_pag,
+                     const PAgPredictor *alloc_pag, std::size_t top_n,
+                     CellTelemetry &out)
+{
+    // Universe: every branch the simulator saw plus every profiled
+    // branch.  Profiling replays the same trace, so the profiled set
+    // is a subset of the simulated one in practice; the union keeps
+    // the section exhaustive regardless.
+    std::vector<std::uint64_t> pcs;
+    pcs.reserve(results[0].per_branch.size());
+    for (const auto &[pc, stat] : results[0].per_branch) {
+        (void)stat;
+        pcs.push_back(pc);
+    }
+    for (std::uint64_t pc : telemetry.pcs())
+        if (!results[0].per_branch.count(pc))
+            pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end());
+
+    const std::uint64_t span =
+        telemetry.lastTimestamp() - telemetry.firstTimestamp();
+
+    auto aliasingOf = [](const PAgPredictor *pag, std::uint64_t pc) {
+        BranchAliasing none;
+        if (!pag || !pag->interferenceProbe())
+            return none;
+        const auto &map = pag->interferenceProbe()->branchAliasing();
+        auto it = map.find(pc);
+        return it == map.end() ? none : it->second;
+    };
+
+    obs::JsonValue entry;
+    entry["scope"] = scope;
+    entry["entropy_order"] = telemetry.order();
+    entry["profiled_branches"] =
+        static_cast<std::uint64_t>(telemetry.size());
+
+    obs::JsonValue &totals = entry["totals"];
+    totals["sim_branches"] = results[0].mispredicts.total();
+    totals["first_timestamp"] = telemetry.firstTimestamp();
+    totals["last_timestamp"] = telemetry.lastTimestamp();
+    obs::JsonValue &total_miss = totals["mispredicts"];
+    for (const PredictionStats &r : results)
+        total_miss[r.predictor_name] = r.mispredicts.events();
+    obs::JsonValue &total_dest = totals["destructive"];
+    for (const PAgPredictor *pag : {base_pag, alloc_pag})
+        if (pag && pag->interferenceProbe())
+            total_dest[pag->name()] =
+                pag->interferenceProbe()->counters().destructive;
+
+    obs::JsonValue &branches = entry["branches"];
+    branches = obs::JsonValue::array();
+    for (std::uint64_t pc : pcs) {
+        obs::JsonValue b;
+        b["pc"] = pc;
+        b["sim_executed"] = branchExecuted(results[0], pc);
+        obs::JsonValue &miss = b["mispredicts"];
+        for (const PredictionStats &r : results) {
+            auto it = r.per_branch.find(pc);
+            miss[r.predictor_name] =
+                it == r.per_branch.end() ? std::uint64_t(0)
+                                         : it->second.events();
+        }
+        obs::JsonValue aliasing;
+        for (const PAgPredictor *pag : {base_pag, alloc_pag}) {
+            BranchAliasing a = aliasingOf(pag, pc);
+            if (a.victim == 0 && a.aggressor == 0)
+                continue;
+            obs::JsonValue &slot = aliasing[pag->name()];
+            slot["victim"] = a.victim;
+            slot["aggressor"] = a.aggressor;
+        }
+        if (!aliasing.isNull())
+            b["aliasing"] = std::move(aliasing);
+        const obs::BranchTelemetry *t = telemetry.find(pc);
+        b["profiled"] = (t != nullptr);
+        if (t) {
+            b["executed"] = t->executed;
+            b["taken"] = t->taken;
+            b["transitions"] = t->transitions;
+            b["taken_rate"] = t->takenRate();
+            b["transition_rate"] = t->transitionRate();
+            b["entropy_bits"] = t->entropyBits();
+            b["birth"] = t->first_seen;
+            b["death"] = t->last_seen;
+            b["residency"] =
+                span ? static_cast<double>(t->last_seen -
+                                           t->first_seen) /
+                           static_cast<double>(span)
+                     : 1.0;
+        }
+        branches.push(std::move(b));
+    }
+
+    auto &report = obs::RunReport::global();
+    if (report.active())
+        report.addBranchTelemetry(std::move(entry));
+
+    // Hot: most dynamic executions first.
+    out.valid = true;
+    std::vector<std::uint64_t> by_hot = pcs;
+    std::sort(by_hot.begin(), by_hot.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                  std::uint64_t ea = branchExecuted(results[0], a);
+                  std::uint64_t eb = branchExecuted(results[0], b);
+                  if (ea != eb)
+                      return ea > eb;
+                  return a < b;
+              });
+    if (by_hot.size() > top_n)
+        by_hot.resize(top_n);
+    for (std::uint64_t pc : by_hot) {
+        const obs::BranchTelemetry *t = telemetry.find(pc);
+        out.hot.push_back(
+            {scope + " " + pcHex(pc),
+             withCommas(branchExecuted(results[0], pc)),
+             t ? fixedString(100.0 * t->takenRate(), 1) : "-",
+             t ? fixedString(100.0 * t->transitionRate(), 1) : "-",
+             t ? fixedString(t->entropyBits(), 3) : "-",
+             fixedString(branchMissPercent(results[0], pc), 3)});
+    }
+
+    // Hard: worst baseline misprediction rate among branches with a
+    // meaningful sample (>= 32 executions keeps one-shot branches
+    // whose rate is 0%-or-100% out of the ranking).
+    std::vector<std::uint64_t> by_hard;
+    for (std::uint64_t pc : pcs)
+        if (branchExecuted(results[0], pc) >= 32)
+            by_hard.push_back(pc);
+    std::sort(by_hard.begin(), by_hard.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                  double ma = branchMissPercent(results[0], a);
+                  double mb = branchMissPercent(results[0], b);
+                  if (ma != mb)
+                      return ma > mb;
+                  std::uint64_t ea = branchExecuted(results[0], a);
+                  std::uint64_t eb = branchExecuted(results[0], b);
+                  if (ea != eb)
+                      return ea > eb;
+                  return a < b;
+              });
+    if (by_hard.size() > top_n)
+        by_hard.resize(top_n);
+    for (std::uint64_t pc : by_hard) {
+        const obs::BranchTelemetry *t = telemetry.find(pc);
+        out.hard.push_back(
+            {scope + " " + pcHex(pc),
+             withCommas(branchExecuted(results[0], pc)),
+             fixedString(branchMissPercent(results[0], pc), 3),
+             fixedString(branchMissPercent(results[3], pc), 3),
+             fixedString(branchMissPercent(results[4], pc), 3),
+             t ? fixedString(t->entropyBits(), 3) : "-"});
+    }
+
+    // Victims: the branches the baseline's destructive aliasing hit
+    // hardest, next to their fate under allocation.
+    if (base_pag && base_pag->interferenceProbe()) {
+        for (const auto &[pc, a] :
+             base_pag->interferenceProbe()->topVictims(top_n)) {
+            if (a.victim == 0)
+                continue;
+            BranchAliasing alloc = aliasingOf(alloc_pag, pc);
+            out.victims.push_back(
+                {scope + " " + pcHex(pc), withCommas(a.victim),
+                 withCommas(a.aggressor), withCommas(alloc.victim),
+                 fixedString(branchMissPercent(results[0], pc), 3),
+                 fixedString(branchMissPercent(results[3], pc), 3)});
+        }
+    }
+}
+
 } // namespace
 
 AllocationTables
@@ -455,6 +685,13 @@ buildAllocationTables(const BenchOptions &options, bool classification)
         TextTable({"benchmark", "base destructive", "base dest %",
                    "alloc destructive", "alloc dest %",
                    "eliminated %"}),
+        false,
+        TextTable({"branch", "executed", "taken %", "transition %",
+                   "entropy bits", "base miss %"}),
+        TextTable({"branch", "executed", "base miss %",
+                   "alloc-1024 %", "ideal %", "entropy bits"}),
+        TextTable({"branch", "base victim", "base aggressor",
+                   "alloc victim", "base miss %", "alloc-1024 %"}),
         false};
 
     std::vector<BenchmarkRun> runs = defaultRuns(options);
@@ -468,6 +705,7 @@ buildAllocationTables(const BenchOptions &options, bool classification)
     // independent of completion order.
     std::vector<std::vector<double>> row_values(runs.size());
     std::vector<CellAliasing> aliasing(runs.size());
+    std::vector<CellTelemetry> telemetry_rows(runs.size());
     runBenchSweep(
         options, classification ? "fig4" : "fig3", labels,
         [&](const exec::SweepCell &cell) {
@@ -482,6 +720,11 @@ buildAllocationTables(const BenchOptions &options, bool classification)
             config.allocation.use_classification = classification;
             if (options.timeseries)
                 config.interleave.series_scope = run.display;
+            // Cell-local telemetry map, filled by the interleave pass
+            // (sharded profiling folds its per-segment maps into it).
+            obs::BranchTelemetryMap cell_map;
+            if (options.branch_telemetry)
+                config.interleave.telemetry = &cell_map;
             AllocationPipeline pipeline(config);
             profileSource(pipeline, source, options, run.display,
                           run.preset + ":" + run.input_label);
@@ -516,7 +759,8 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                                                 ideal.get()};
             std::vector<PredictionStats> results = comparePredictors(
                 source, contenders,
-                options.timeseries ? run.display : std::string());
+                options.timeseries ? run.display : std::string(),
+                options.branch_telemetry);
 
             if (base_pag && alloc_pag) {
                 CellAliasing &slot = aliasing[cell.index];
@@ -534,6 +778,12 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                             run.display, alloc_pag->name()));
                 }
             }
+
+            if (options.branch_telemetry)
+                collectCellTelemetry(run.display, cell_map, results,
+                                     base_pag, alloc_pag,
+                                     options.top_branches,
+                                     telemetry_rows[cell.index]);
 
             double base_rate = results[0].mispredictPercent();
             double alloc1024_rate = results[3].mispredictPercent();
@@ -562,6 +812,17 @@ buildAllocationTables(const BenchOptions &options, bool classification)
              fixedString(values[1], 3), fixedString(values[2], 3),
              fixedString(values[3], 3), fixedString(values[4], 3),
              fixedString(values[5], 1)});
+
+        const CellTelemetry &tel = telemetry_rows[r];
+        if (tel.valid) {
+            out.has_telemetry = true;
+            for (const std::vector<std::string> &row : tel.hot)
+                out.hot_branches.addRow(row);
+            for (const std::vector<std::string> &row : tel.hard)
+                out.hard_branches.addRow(row);
+            for (const std::vector<std::string> &row : tel.victims)
+                out.victim_branches.addRow(row);
+        }
 
         const CellAliasing &cell = aliasing[r];
         if (!cell.valid)
@@ -610,6 +871,14 @@ runAllocationFigure(const BenchOptions &options, bool classification,
     if (tables.has_aliasing)
         emitTable(title + " -- destructive aliasing", tables.aliasing,
                   options);
+    if (tables.has_telemetry) {
+        emitTable("branch telemetry: hot branches",
+                  tables.hot_branches, options);
+        emitTable("branch telemetry: hard branches",
+                  tables.hard_branches, options);
+        emitTable("branch telemetry: victim branches",
+                  tables.victim_branches, options);
+    }
 }
 
 } // namespace bwsa::bench

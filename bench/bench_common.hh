@@ -36,6 +36,13 @@
  *                     destructive, prints the destructive-aliasing
  *                     table and fills the report's "interference"
  *                     section
+ *   --branch-telemetry collect per-static-branch telemetry (taken /
+ *                     transition rates, history entropy, lifetime,
+ *                     per-branch mispredictions and aliasing
+ *                     attribution) into the report's "branches"
+ *                     section, and print the top-N hot / hard /
+ *                     victim branch tables; implies --interference
+ *   --top-branches=<n> rows per top-N branch table (default 8)
  *   --store-dir=<dir> persistence directory for the profile artifact
  *                     cache (implies --cache)
  *   --cache           cache profile outputs (stats, selection,
@@ -89,6 +96,8 @@ struct BenchOptions
     bool timeseries = false;   ///< --timeseries: temporal sampling
     std::uint64_t interval = 65536; ///< --interval: window width
     bool interference = false; ///< --interference: aliasing probe
+    bool branch_telemetry = false; ///< --branch-telemetry: per-branch
+    std::size_t top_branches = 8;  ///< --top-branches: table rows
     std::string store_dir;     ///< --store-dir: persistence directory
     bool cache = false;        ///< profile artifact cache enabled
 };
@@ -245,6 +254,13 @@ TextTable buildWorkingSetTable(const BenchOptions &options);
  * section.  With `--timeseries` every predictor publishes its
  * windowed misprediction rate under the benchmark's scope.
  *
+ * With `--branch-telemetry` every cell additionally collects one
+ * per-branch telemetry scope (obs::BranchTelemetryMap wired into the
+ * profiling pass, per-branch simulation counts, probe victim/
+ * aggressor attribution) into the run report's "branches" section,
+ * plus the top-N hot / hard / victim branch tables (rows labeled
+ * "<benchmark> <pc>", `options.top_branches` rows per benchmark).
+ *
  * @param options        common bench options
  * @param classification enable the Section 5.2 refinement (Figure 4)
  */
@@ -253,6 +269,10 @@ struct AllocationTables
     TextTable misprediction; ///< the Figure 3/4 table
     TextTable aliasing;      ///< destructive attribution
     bool has_aliasing = false; ///< aliasing rows were collected
+    TextTable hot_branches;    ///< most-executed branches
+    TextTable hard_branches;   ///< highest-misprediction branches
+    TextTable victim_branches; ///< worst destructive-aliasing victims
+    bool has_telemetry = false; ///< telemetry rows were collected
 };
 
 AllocationTables buildAllocationTables(const BenchOptions &options,

@@ -17,6 +17,7 @@
 #include "core/allocation.hh"
 #include "core/pipeline.hh"
 #include "core/working_set.hh"
+#include "obs/branch_telemetry.hh"
 #include "store/artifact_cache.hh"
 #include "store/block_trace.hh"
 #include "store/profile_artifact.hh"
@@ -120,6 +121,34 @@ BM_PredictorStepProbe(benchmark::State &state, bool enable_probe)
         PredictionSim sim(*predictor);
         trace.replay(sim);
         benchmark::DoNotOptimize(sim.stats().mispredicts.events());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+/**
+ * Per-branch telemetry's profiling-replay cost, against the
+ * BM_InterleaveTracking baseline: telemetry_off must sit within noise
+ * of BM_InterleaveTracking (a disabled map is one null-pointer test
+ * per branch), telemetry_on quantifies the opt-in per-branch
+ * accumulation.
+ */
+void
+BM_InterleaveTrackingTelemetry(benchmark::State &state,
+                               bool enable_telemetry)
+{
+    const MemoryTrace &trace = cachedTrace();
+    for (auto _ : state) {
+        ConflictGraph graph;
+        obs::BranchTelemetryMap telemetry;
+        InterleaveConfig config;
+        if (enable_telemetry)
+            config.telemetry = &telemetry;
+        InterleaveTracker tracker(graph, config);
+        trace.replay(tracker);
+        benchmark::DoNotOptimize(graph.edgeCount());
+        benchmark::DoNotOptimize(telemetry.size());
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
@@ -406,6 +435,11 @@ emitStoreThroughput(const bench::BenchOptions &options)
 
 BENCHMARK(BM_SyntheticExecution)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterleaveTracking)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterleaveTrackingTelemetry, telemetry_off,
+                  false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterleaveTrackingTelemetry, telemetry_on, true)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_InterleaveTrackingSharded)
     ->Arg(2)
     ->Arg(4)

@@ -10,25 +10,99 @@
  * 93.74%).  We reproduce the same reduction at a coverage target of
  * 99.9% -- except for the gcc preset, where the paper's much tighter
  * static budget is modelled with an explicit cap.
+ *
+ * With --branch-telemetry the stats replay additionally feeds a
+ * per-branch telemetry map: the main table gains mean taken /
+ * transition / entropy columns, and a second table breaks
+ * predictability down by Section 5.2 branch class (biased-taken /
+ * biased-not-taken / mixed) -- the biased classes are exactly the ones
+ * whose near-zero entropy justifies sharing one BHT entry.
  */
 
 #include "bench_common.hh"
 
+#include "core/classification.hh"
+#include "obs/branch_telemetry.hh"
 #include "trace/frequency_filter.hh"
 #include "trace/trace_stats.hh"
+#include "util/stats.hh"
 #include "util/strutil.hh"
 
 using namespace bwsa;
 using namespace bwsa::bench;
+
+namespace
+{
+
+/** Feeds every dynamic branch into a BranchTelemetryMap. */
+class TelemetrySink : public TraceSink
+{
+  public:
+    explicit TelemetrySink(obs::BranchTelemetryMap &map) : _map(map) {}
+
+    void
+    onBranch(const BranchRecord &record) override
+    {
+        _map.record(record.pc, record.taken, record.timestamp);
+    }
+
+  private:
+    obs::BranchTelemetryMap &_map;
+};
+
+/** Predictability aggregate over one set of branches. */
+struct Predictability
+{
+    std::size_t branches = 0;
+    RunningStat taken;      ///< taken rates (percent)
+    RunningStat transition; ///< transition rates (percent)
+    RunningStat entropy;    ///< entropy (bits)
+
+    void
+    add(const obs::BranchTelemetry &t)
+    {
+        ++branches;
+        taken.add(100.0 * t.takenRate());
+        transition.add(100.0 * t.transitionRate());
+        entropy.add(t.entropyBits());
+    }
+
+    /** {mean taken %, mean transition %, mean entropy} or dashes. */
+    std::vector<std::string>
+    meanCells() const
+    {
+        if (branches == 0)
+            return {"-", "-", "-"};
+        return {fixedString(taken.mean(), 2),
+                fixedString(transition.mean(), 2),
+                fixedString(entropy.mean(), 3)};
+    }
+};
+
+constexpr BranchClass all_classes[] = {BranchClass::BiasedTaken,
+                                       BranchClass::BiasedNotTaken,
+                                       BranchClass::Mixed};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchOptions options = parseBenchOptions(argc, argv, "bench_table1_benchmarks");
 
-    TextTable table({"benchmark", "input set", "total dynamic",
-                     "analyzed dynamic", "% analyzed",
-                     "static branches", "static kept"});
+    std::vector<std::string> headers = {
+        "benchmark",        "input set",       "total dynamic",
+        "analyzed dynamic", "% analyzed",      "static branches",
+        "static kept"};
+    if (options.branch_telemetry) {
+        headers.push_back("mean taken %");
+        headers.push_back("mean transition %");
+        headers.push_back("mean entropy");
+    }
+    TextTable table(headers);
+    TextTable class_table({"benchmark class", "static branches",
+                           "mean taken %", "mean transition %",
+                           "mean entropy"});
 
     std::vector<BenchmarkRun> runs = perInputRuns(options);
     std::vector<std::string> labels;
@@ -38,6 +112,8 @@ main(int argc, char **argv)
     // Cells write only their own rows slot; the table is assembled in
     // input order below, so output is identical for any --threads.
     std::vector<std::vector<std::string>> rows(runs.size());
+    std::vector<std::vector<std::vector<std::string>>> class_rows(
+        runs.size());
     runBenchSweep(
         options, "table1", labels,
         [&](const exec::SweepCell &cell) {
@@ -48,7 +124,16 @@ main(int argc, char **argv)
             WorkloadTraceSource source = w.source();
 
             TraceStatsCollector stats;
-            source.replay(stats);
+            obs::BranchTelemetryMap telemetry;
+            if (options.branch_telemetry) {
+                TelemetrySink telemetry_sink(telemetry);
+                FanoutSink fanout;
+                fanout.addSink(stats);
+                fanout.addSink(telemetry_sink);
+                source.replay(fanout);
+            } else {
+                source.replay(stats);
+            }
 
             // The paper's gcc analyzed only 93.74% of the stream
             // because its static budget bit hardest there; emulate
@@ -65,11 +150,47 @@ main(int argc, char **argv)
                 percentString(selection.coverage(), 2),
                 withCommas(stats.staticBranches()),
                 withCommas(selection.selected.size())};
+
+            if (!options.branch_telemetry)
+                return;
+
+            // Predictability overall and by Section 5.2 class; pcs()
+            // is sorted, so the aggregation order (and thus the
+            // float accumulation) is deterministic.
+            BranchClassifier classifier;
+            Predictability overall;
+            Predictability by_class[3];
+            for (std::uint64_t pc : telemetry.pcs()) {
+                const obs::BranchTelemetry *t = telemetry.find(pc);
+                overall.add(*t);
+                BranchClass cls =
+                    classifier.classifyRate(t->takenRate());
+                by_class[static_cast<int>(cls)].add(*t);
+            }
+            for (const std::string &cellv : overall.meanCells())
+                rows[cell.index].push_back(cellv);
+            for (BranchClass cls : all_classes) {
+                const Predictability &p =
+                    by_class[static_cast<int>(cls)];
+                std::vector<std::string> row = {
+                    run.display + " " + branchClassName(cls),
+                    withCommas(p.branches)};
+                for (const std::string &cellv : p.meanCells())
+                    row.push_back(cellv);
+                class_rows[cell.index].push_back(row);
+            }
         });
     for (const std::vector<std::string> &row : rows)
         table.addRow(row);
+    for (const std::vector<std::vector<std::string>> &per_run :
+         class_rows)
+        for (const std::vector<std::string> &row : per_run)
+            class_table.addRow(row);
 
     emitTable("Table 1: benchmarks, inputs and branch coverage",
               table, options);
+    if (options.branch_telemetry)
+        emitTable("Table 1: predictability by branch class",
+                  class_table, options);
     return finishBench(options);
 }

@@ -29,10 +29,15 @@ BranchClassifier::BranchClassifier(double bias_cutoff)
 BranchClass
 BranchClassifier::classify(const ConflictNode &node) const
 {
+    return classifyRate(node.takenRate());
+}
+
+BranchClass
+BranchClassifier::classifyRate(double rate) const
+{
     // Compare both directions against the cutoff itself rather than
     // its complement (1 - cutoff is not exactly representable, which
     // would make the two boundaries asymmetric).
-    double rate = node.takenRate();
     if (rate > _cutoff)
         return BranchClass::BiasedTaken;
     if (1.0 - rate > _cutoff)

@@ -45,6 +45,9 @@ class BranchClassifier
     /** Classify one profiled branch. */
     BranchClass classify(const ConflictNode &node) const;
 
+    /** Classify a raw taken rate (e.g. from per-branch telemetry). */
+    BranchClass classifyRate(double taken_rate) const;
+
     /** Classify every node of a graph, indexed by NodeId. */
     std::vector<BranchClass>
     classifyGraph(const ConflictGraph &graph) const;

@@ -1,0 +1,219 @@
+#include "obs/branch_telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwsa::obs
+{
+
+double
+BranchTelemetry::takenRate() const
+{
+    return executed ? static_cast<double>(taken) /
+                          static_cast<double>(executed)
+                    : 0.0;
+}
+
+double
+BranchTelemetry::transitionRate() const
+{
+    return executed > 1 ? static_cast<double>(transitions) /
+                              static_cast<double>(executed - 1)
+                        : 0.0;
+}
+
+std::uint64_t
+BranchTelemetry::contextSamples() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : ctx)
+        total += count;
+    return total;
+}
+
+double
+BranchTelemetry::entropyBits() const
+{
+    std::uint64_t total = contextSamples();
+    if (total == 0)
+        return 0.0;
+    // H(outcome | context) = sum_c P(c) * H(outcome | c), the
+    // context-weighted average of per-context binary entropies.
+    double bits = 0.0;
+    for (std::size_t pattern = 0; pattern * 2 < ctx.size();
+         ++pattern) {
+        std::uint64_t not_taken = ctx[pattern * 2];
+        std::uint64_t taken_count = ctx[pattern * 2 + 1];
+        std::uint64_t samples = not_taken + taken_count;
+        if (samples == 0 || not_taken == 0 || taken_count == 0)
+            continue; // deterministic context: 0 bits
+        double h = 0.0;
+        for (std::uint64_t n : {not_taken, taken_count}) {
+            double p = static_cast<double>(n) /
+                       static_cast<double>(samples);
+            h -= p * std::log2(p);
+        }
+        bits += static_cast<double>(samples) /
+                static_cast<double>(total) * h;
+    }
+    return bits;
+}
+
+BranchTelemetryMap::BranchTelemetryMap(unsigned order)
+    : _order(order), _mask((1u << order) - 1u)
+{
+    if (order < 1 || order > 12)
+        bwsa_panic("telemetry entropy order must be 1..12, got ",
+                   order);
+}
+
+void
+BranchTelemetryMap::record(std::uint64_t pc, bool taken,
+                           std::uint64_t timestamp)
+{
+    auto [it, inserted] = _map.try_emplace(pc);
+    BranchTelemetry &t = it->second;
+    if (inserted) {
+        t.first_seen = timestamp;
+        t.ctx.assign(std::size_t(2) << _order, 0);
+    } else if (taken != ((t.suffix & 1u) != 0)) {
+        ++t.transitions;
+    }
+    if (t.executed >= _order)
+        ++t.ctx[(std::size_t(t.suffix & _mask) << 1) | (taken ? 1 : 0)];
+    t.suffix = ((t.suffix << 1) | (taken ? 1u : 0u)) & _mask;
+    if (t.suffix_len < _order)
+        ++t.suffix_len;
+    if (t.prefix_len < _order) {
+        if (taken)
+            t.prefix |= 1u << t.prefix_len;
+        ++t.prefix_len;
+    }
+    ++t.executed;
+    t.taken += taken ? 1 : 0;
+    t.last_seen = timestamp;
+}
+
+void
+BranchTelemetryMap::mergeAppend(const BranchTelemetryMap &next)
+{
+    if (next._order != _order)
+        bwsa_panic("telemetry merge with mismatched orders ", _order,
+                   " vs ", next._order);
+    for (const auto &[pc, n] : next._map) {
+        auto [it, inserted] = _map.try_emplace(pc);
+        BranchTelemetry &s = it->second;
+        if (inserted) {
+            s = n;
+            continue;
+        }
+
+        // Boundary transition: the last direction recorded here vs.
+        // the first direction of the appended segment.
+        bool boundary = ((s.suffix & 1u) != (n.prefix & 1u));
+
+        // Replay the appended segment's first min(order, n.executed)
+        // directions (its prefix) against the history carried across
+        // the boundary: exactly the context observations the cold
+        // segment could not count.
+        std::uint32_t hist = s.suffix;
+        for (std::uint8_t i = 0; i < n.prefix_len; ++i) {
+            std::uint32_t outcome = (n.prefix >> i) & 1u;
+            if (s.executed + i >= _order)
+                ++s.ctx[(std::size_t(hist & _mask) << 1) | outcome];
+            hist = ((hist << 1) | outcome) & _mask;
+        }
+        for (std::size_t i = 0; i < s.ctx.size(); ++i)
+            s.ctx[i] += n.ctx[i];
+
+        // The merged suffix is the appended segment's own suffix when
+        // that segment saw >= order executions; otherwise it is the
+        // carried history advanced by the replay above.
+        s.suffix = n.executed >= _order ? n.suffix : hist;
+        std::uint64_t merged_executed = s.executed + n.executed;
+        s.suffix_len = static_cast<std::uint8_t>(
+            std::min<std::uint64_t>(_order, merged_executed));
+
+        // Extend the prefix: when it is still short, every execution
+        // so far is in it, so the appended segment's first directions
+        // directly continue it.
+        for (std::uint8_t i = 0;
+             s.prefix_len < _order && i < n.prefix_len; ++i) {
+            if ((n.prefix >> i) & 1u)
+                s.prefix |= 1u << s.prefix_len;
+            ++s.prefix_len;
+        }
+
+        s.transitions += n.transitions + (boundary ? 1 : 0);
+        s.executed = merged_executed;
+        s.taken += n.taken;
+        s.first_seen = std::min(s.first_seen, n.first_seen);
+        s.last_seen = std::max(s.last_seen, n.last_seen);
+    }
+}
+
+const BranchTelemetry *
+BranchTelemetryMap::find(std::uint64_t pc) const
+{
+    auto it = _map.find(pc);
+    return it == _map.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t>
+BranchTelemetryMap::pcs() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(_map.size());
+    for (const auto &[pc, t] : _map)
+        out.push_back(pc);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::uint64_t
+BranchTelemetryMap::totalExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[pc, t] : _map)
+        total += t.executed;
+    return total;
+}
+
+std::uint64_t
+BranchTelemetryMap::firstTimestamp() const
+{
+    std::uint64_t first = 0;
+    bool any = false;
+    for (const auto &[pc, t] : _map) {
+        if (!any || t.first_seen < first)
+            first = t.first_seen;
+        any = true;
+    }
+    return first;
+}
+
+std::uint64_t
+BranchTelemetryMap::lastTimestamp() const
+{
+    std::uint64_t last = 0;
+    for (const auto &[pc, t] : _map)
+        last = std::max(last, t.last_seen);
+    return last;
+}
+
+bool
+BranchTelemetryMap::operator==(const BranchTelemetryMap &other) const
+{
+    if (_order != other._order || _map.size() != other._map.size())
+        return false;
+    for (const auto &[pc, t] : _map) {
+        const BranchTelemetry *o = other.find(pc);
+        if (!o || !(*o == t))
+            return false;
+    }
+    return true;
+}
+
+} // namespace bwsa::obs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-branch telemetry: predictability, lifetime and merge algebra.
+ *
+ * The paper's argument rests on properties of *individual* static
+ * branches -- how long they stay live, how predictable their direction
+ * stream is, which ones alias destructively -- yet the rest of the
+ * observability layer reports aggregates.  BranchTelemetryMap is the
+ * per-branch accumulator behind the run report's "branches" section:
+ * for every static branch it collects
+ *
+ *   * execution / taken counts (direction bias),
+ *   * transition count (direction changes between consecutive
+ *     executions; a 100% transition rate is the alternating branch),
+ *   * a bounded-order conditional history entropy
+ *     H(outcome | previous k outcomes), the standard predictability
+ *     measure: 0 bits for any branch a k-bit local history predicts
+ *     perfectly (constant, alternating, any period <= k pattern),
+ *     1 bit for a coin flip,
+ *   * working-set lifetime: first/last execution timestamps in
+ *     retired instructions (birth/death).
+ *
+ * The map is a producer-side object: the profiler's InterleaveTracker
+ * feeds one record per dynamic branch (see InterleaveConfig::
+ * telemetry), and the sharded engine gives each segment a cold local
+ * map and folds them with mergeAppend() in segment order.
+ *
+ * Merge semantics (the shard-merge algebra): counts and timestamps
+ * are plain sums / min / max.  Transitions and context counts need
+ * boundary repair because they look at consecutive executions -- each
+ * record therefore carries the branch's first min(k, n) directions
+ * (the *prefix*, whose contexts the producing segment could not see)
+ * and its last min(k, n) directions (the history suffix).  Appending
+ * segment B to segment A replays B's prefix against A's carried
+ * history, which recovers exactly the boundary-crossing contexts and
+ * the one possibly-missing transition, so a fold over any segmentation
+ * is bit-identical to the serial map.
+ */
+
+#ifndef BWSA_OBS_BRANCH_TELEMETRY_HH
+#define BWSA_OBS_BRANCH_TELEMETRY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bwsa::obs
+{
+
+/** Telemetry of one static branch. */
+struct BranchTelemetry
+{
+    std::uint64_t executed = 0;    ///< dynamic executions
+    std::uint64_t taken = 0;       ///< taken executions
+    std::uint64_t transitions = 0; ///< direction changes
+    std::uint64_t first_seen = 0;  ///< birth timestamp (instructions)
+    std::uint64_t last_seen = 0;   ///< death timestamp (instructions)
+
+    /**
+     * Context-conditional outcome counts,
+     * ctx[2 * pattern + outcome] with the pattern in shift-register
+     * encoding (bit 0 = most recent outcome); size 2^(order+1).
+     */
+    std::vector<std::uint64_t> ctx;
+
+    /** First min(order, executed) directions; bit i = i-th execution. */
+    std::uint32_t prefix = 0;
+    /** Last min(order, executed) directions; bit 0 = most recent. */
+    std::uint32_t suffix = 0;
+    std::uint8_t prefix_len = 0;
+    std::uint8_t suffix_len = 0;
+
+    /** Fraction of executions that were taken. */
+    double takenRate() const;
+
+    /**
+     * Fraction of consecutive-execution pairs that changed direction
+     * (0 with fewer than two executions).
+     */
+    double transitionRate() const;
+
+    /**
+     * Conditional entropy H(outcome | previous k outcomes) in bits,
+     * over the executions that had a full k-outcome context.  0 when
+     * no execution had one (fewer than k+1 executions).
+     */
+    double entropyBits() const;
+
+    /** Executions counted into ctx (those with a full context). */
+    std::uint64_t contextSamples() const;
+
+    bool operator==(const BranchTelemetry &) const = default;
+};
+
+/**
+ * Per-branch telemetry accumulator keyed by branch address.
+ */
+class BranchTelemetryMap
+{
+  public:
+    /** Default history order of the entropy estimator. */
+    static constexpr unsigned default_order = 4;
+
+    /** @param order history bits of the entropy context (1..12) */
+    explicit BranchTelemetryMap(unsigned order = default_order);
+
+    /** Record one dynamic execution. */
+    void record(std::uint64_t pc, bool taken, std::uint64_t timestamp);
+
+    /**
+     * Fold @p next into this map, where @p next covers the trace
+     * segment immediately *after* everything recorded here.  Orders
+     * must match.  The result is bit-identical to recording both
+     * segments serially into one map.
+     */
+    void mergeAppend(const BranchTelemetryMap &next);
+
+    unsigned order() const { return _order; }
+
+    /** Distinct static branches recorded. */
+    std::size_t size() const { return _map.size(); }
+
+    bool empty() const { return _map.empty(); }
+
+    /** Telemetry of @p pc; nullptr when never recorded. */
+    const BranchTelemetry *find(std::uint64_t pc) const;
+
+    /** All recorded branch addresses, ascending. */
+    std::vector<std::uint64_t> pcs() const;
+
+    /** Sum of per-branch execution counts (reconciliation handle). */
+    std::uint64_t totalExecuted() const;
+
+    /** Earliest first_seen over all branches (0 when empty). */
+    std::uint64_t firstTimestamp() const;
+
+    /** Latest last_seen over all branches (0 when empty). */
+    std::uint64_t lastTimestamp() const;
+
+    /** Deep equality: same order and identical per-branch records. */
+    bool operator==(const BranchTelemetryMap &other) const;
+
+  private:
+    unsigned _order;
+    std::uint32_t _mask; ///< (1 << order) - 1
+    std::unordered_map<std::uint64_t, BranchTelemetry> _map;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_BRANCH_TELEMETRY_HH

@@ -72,6 +72,37 @@ JsonValue::find(const std::string &key) const
     return nullptr;
 }
 
+double
+JsonValue::asNumber() const
+{
+    switch (_kind) {
+      case Kind::Int:
+        return static_cast<double>(_int);
+      case Kind::Uint:
+        return static_cast<double>(_uint);
+      case Kind::Double:
+        return _double;
+      default:
+        return 0.0;
+    }
+}
+
+std::uint64_t
+JsonValue::asCount() const
+{
+    switch (_kind) {
+      case Kind::Uint:
+        return _uint;
+      case Kind::Int:
+        return _int > 0 ? static_cast<std::uint64_t>(_int) : 0;
+      case Kind::Double:
+        return _double > 0.0 ? static_cast<std::uint64_t>(_double)
+                             : 0;
+      default:
+        return 0;
+    }
+}
+
 std::string
 JsonValue::escape(const std::string &raw)
 {
@@ -210,6 +241,320 @@ JsonValue::dumpString(int indent) const
     std::ostringstream os;
     dump(os, indent);
     return os.str();
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent JSON parser over an in-memory string.  Depth is
+ * bounded to keep adversarial inputs from exhausting the stack.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (_pos != _text.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+    const std::string &errorMessage() const { return _error; }
+
+  private:
+    static constexpr int max_depth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (_error.empty())
+            _error = what + " at offset " + std::to_string(_pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++_pos;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (_pos >= _text.size() || _text[_pos] != expected)
+            return fail(std::string("expected '") + expected + "'");
+        ++_pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word, JsonValue value, JsonValue &out)
+    {
+        std::size_t len = std::string(word).size();
+        if (_text.compare(_pos, len, word) != 0)
+            return fail("bad literal");
+        _pos += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > max_depth)
+            return fail("nesting too deep");
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        switch (_text[_pos]) {
+          case 'n':
+            return literal("null", JsonValue(), out);
+          case 't':
+            return literal("true", JsonValue(true), out);
+          case 'f':
+            return literal("false", JsonValue(false), out);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++_pos; // '['
+        out = JsonValue::array();
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            skipSpace();
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.push(std::move(element));
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++_pos; // '{'
+        out = JsonValue::object();
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return false;
+            skipSpace();
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out[key] = std::move(member);
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(esc);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parseHex4(code))
+                    return false;
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+    }
+
+    bool
+    parseHex4(unsigned &code)
+    {
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (_pos >= _text.size())
+                return fail("truncated \\u escape");
+            char c = _text[_pos++];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+            code = (code << 4) | digit;
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = _pos;
+        bool negative = false;
+        bool floating = false;
+        if (_pos < _text.size() && _text[_pos] == '-') {
+            negative = true;
+            ++_pos;
+        }
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c >= '0' && c <= '9') {
+                ++_pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    floating = true;
+                ++_pos;
+            } else {
+                break;
+            }
+        }
+        std::string token = _text.substr(start, _pos - start);
+        if (token.empty() || token == "-")
+            return fail("bad number");
+        try {
+            if (floating)
+                out = JsonValue(std::stod(token));
+            else if (negative)
+                out = JsonValue(
+                    static_cast<std::int64_t>(std::stoll(token)));
+            else
+                out = JsonValue(
+                    static_cast<std::uint64_t>(std::stoull(token)));
+        } catch (const std::exception &) {
+            _pos = start;
+            return fail("unparseable number");
+        }
+        return true;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    std::string _error;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string *error)
+{
+    Parser parser(text);
+    if (parser.parseDocument(out))
+        return true;
+    if (error)
+        *error = parser.errorMessage();
+    out = JsonValue();
+    return false;
 }
 
 } // namespace bwsa::obs

@@ -6,8 +6,9 @@
  * well-formed JSON without pulling in an external dependency; this is
  * a small value tree (null/bool/integer/double/string/array/object)
  * with insertion-ordered objects so reports serialize in a stable,
- * diffable key order.  It builds and writes documents only -- parsing
- * is left to the consumers (jq, python, Chrome's tracing UI).
+ * diffable key order.  Most consumers only build and write documents;
+ * parse() exists for the tools that read reports back (report_tool),
+ * accepting exactly what dump() emits plus arbitrary standard JSON.
  */
 
 #ifndef BWSA_OBS_JSON_HH
@@ -68,6 +69,12 @@ class JsonValue
     double asDouble() const { return _double; }
     const std::string &asString() const { return _string; }
 
+    /** Int/Uint/Double value as a double; 0.0 for other kinds. */
+    double asNumber() const;
+
+    /** Uint/Int/Double value as an unsigned count; 0 otherwise. */
+    std::uint64_t asCount() const;
+
     /** Array element access (panics on kind/range misuse). */
     const JsonValue &at(std::size_t index) const;
 
@@ -104,6 +111,15 @@ class JsonValue
 
     /** Escape @p raw as a JSON string literal (with quotes). */
     static std::string escape(const std::string &raw);
+
+    /**
+     * Parse JSON text into @p out.  Numbers without fraction or
+     * exponent parse as Int (leading '-') or Uint; everything else
+     * follows standard JSON.  Returns false on malformed input, with
+     * a position-annotated message in @p error when given.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *error = nullptr);
 
   private:
     void dumpImpl(std::ostream &out, int indent, int depth) const;

@@ -28,6 +28,7 @@ RunReport::begin(const std::string &bench_name)
     _notes.clear();
     _tables.clear();
     _interference.clear();
+    _branches.clear();
 }
 
 bool
@@ -82,6 +83,13 @@ RunReport::addInterference(JsonValue entry)
     _interference.push_back(std::move(entry));
 }
 
+void
+RunReport::addBranchTelemetry(JsonValue entry)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _branches.push_back(std::move(entry));
+}
+
 JsonValue
 RunReport::build(const MetricsSnapshot &metrics,
                  const std::vector<PhaseStat> &phases,
@@ -90,7 +98,7 @@ RunReport::build(const MetricsSnapshot &metrics,
     std::lock_guard<std::mutex> lock(_mutex);
 
     JsonValue doc = JsonValue::object();
-    doc["schema"] = "bwsa.run_report.v2";
+    doc["schema"] = "bwsa.run_report.v3";
     doc["bench"] = _bench_name;
     doc["started_unix_ms"] = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -129,13 +137,17 @@ RunReport::build(const MetricsSnapshot &metrics,
 
     doc["metrics"] = metrics.toJson();
 
-    // v2 sections: empty arrays when sampling / probing were off, so
-    // consumers need no presence checks.
+    // v2/v3 sections: empty arrays when sampling / probing /
+    // telemetry were off, so consumers need no presence checks.
     doc["timeseries"] = TimeSeriesRegistry::global().toJson();
     JsonValue interference = JsonValue::array();
     for (const JsonValue &entry : _interference)
         interference.push(entry);
     doc["interference"] = std::move(interference);
+    JsonValue branches = JsonValue::array();
+    for (const JsonValue &entry : _branches)
+        branches.push(entry);
+    doc["branches"] = std::move(branches);
 
     JsonValue tables = JsonValue::array();
     for (const Table &table : _tables) {

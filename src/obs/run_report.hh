@@ -7,15 +7,16 @@
  * tables it printed -- and serializes a single JSON document that
  * also embeds the per-phase span summary from the PhaseTracer, a
  * full MetricsRegistry snapshot, every TimeSeries the global
- * TimeSeriesRegistry collected and any interference-probe results.
- * The document follows a stable schema (`bwsa.run_report.v2`, see
- * DESIGN.md §Observability) so reports from different runs and
- * revisions can be diffed and tracked over time.
+ * TimeSeriesRegistry collected, any interference-probe results and
+ * any per-branch telemetry.  The document follows a stable schema
+ * (`bwsa.run_report.v3`, see DESIGN.md §Observability) so reports
+ * from different runs and revisions can be diffed and tracked over
+ * time.
  *
  * Document layout:
  *
  *   {
- *     "schema": "bwsa.run_report.v2",
+ *     "schema": "bwsa.run_report.v3",
  *     "bench": "<binary name>",
  *     "started_unix_ms": <system clock at begin()>,
  *     "wall_seconds": <begin() .. build() wall time>,
@@ -27,12 +28,17 @@
  *     "metrics": [ <MetricsSnapshot::toJson() entries>, ... ],
  *     "timeseries": [ <TimeSeries::toJson() entries>, ... ],
  *     "interference": [ <BhtInterferenceProbe::reportJson()>, ... ],
+ *     "branches": [ <one per-branch telemetry scope entry>, ... ],
  *     "tables": [ { "title", "columns": [...],
  *                   "rows": [[cell, ...], ...] }, ... ]
  *   }
  *
- * v2 adds the (possibly empty) "timeseries" and "interference"
- * arrays; everything a v1 consumer read is unchanged.
+ * v2 added the (possibly empty) "timeseries" and "interference"
+ * arrays; v3 adds the (possibly empty) "branches" array -- one entry
+ * per benchmark scope, carrying per-static-branch telemetry plus the
+ * aggregate totals it must reconcile with (see bench_common's
+ * --branch-telemetry and tools/check_report_schema.py).  Everything a
+ * v1/v2 consumer read is unchanged.
  */
 
 #ifndef BWSA_OBS_RUN_REPORT_HH
@@ -90,6 +96,15 @@ class RunReport
     void addInterference(JsonValue entry);
 
     /**
+     * Record one per-branch telemetry scope entry (built by the bench
+     * harness from a BranchTelemetryMap plus per-branch sim/probe
+     * results).  Thread-safe: parallel sweep cells append
+     * concurrently; entries serialize in arrival order (consumers key
+     * by the entry's "scope").
+     */
+    void addBranchTelemetry(JsonValue entry);
+
+    /**
      * Build the document from the given snapshot and phase summary.
      */
     JsonValue build(const MetricsSnapshot &metrics,
@@ -119,6 +134,7 @@ class RunReport
     std::vector<std::string> _notes;
     std::vector<Table> _tables;
     std::vector<JsonValue> _interference;
+    std::vector<JsonValue> _branches;
 };
 
 } // namespace bwsa::obs

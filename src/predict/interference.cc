@@ -33,8 +33,11 @@ BhtInterferenceProbe::observe(std::uint64_t entry, BranchPc pc,
         _entries.resize(entry + 1);
     EntryState &state = _entries[entry];
     if (!state.occupied || state.last_owner != pc) {
-        if (state.occupied)
+        if (state.occupied) {
             ++state.owner_switches;
+            state.prev_owner = state.last_owner;
+            state.has_prev = true;
+        }
         state.last_owner = pc;
         state.occupied = true;
     }
@@ -51,6 +54,14 @@ BhtInterferenceProbe::observe(std::uint64_t entry, BranchPc pc,
     } else {
         ++_counters.destructive;
         ++state.destructive;
+        // Attribution: this branch is the victim; the most recent
+        // distinct occupant diverged the shared history and is the
+        // aggressor.  A divergence requires a prior distinct owner
+        // (an entry with one occupant tracks its shadow exactly), so
+        // has_prev holds here; fall back to self-attribution anyway
+        // to keep the victim/aggressor sums equal by construction.
+        ++_aliasing[pc].victim;
+        ++_aliasing[state.has_prev ? state.prev_owner : pc].aggressor;
     }
 }
 
@@ -72,6 +83,24 @@ BhtInterferenceProbe::topConflicts(std::size_t n) const
                   if (a.owner_switches != b.owner_switches)
                       return a.owner_switches > b.owner_switches;
                   return a.entry < b.entry;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+std::vector<std::pair<BranchPc, BranchAliasing>>
+BhtInterferenceProbe::topVictims(std::size_t n) const
+{
+    std::vector<std::pair<BranchPc, BranchAliasing>> all(
+        _aliasing.begin(), _aliasing.end());
+    std::sort(all.begin(), all.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.victim != b.second.victim)
+                      return a.second.victim > b.second.victim;
+                  if (a.second.aggressor != b.second.aggressor)
+                      return a.second.aggressor > b.second.aggressor;
+                  return a.first < b.first;
               });
     if (all.size() > n)
         all.resize(n);
@@ -104,6 +133,15 @@ BhtInterferenceProbe::reportJson(const std::string &scope,
         top.push(std::move(entry));
     }
     doc["top_entries"] = std::move(top);
+    obs::JsonValue victims = obs::JsonValue::array();
+    for (const auto &[pc, aliasing] : topVictims(top_n)) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry["pc"] = pc;
+        entry["victim"] = aliasing.victim;
+        entry["aggressor"] = aliasing.aggressor;
+        victims.push(std::move(entry));
+    }
+    doc["top_victims"] = std::move(victims);
     return doc;
 }
 

@@ -27,6 +27,15 @@
  * switched, how much destruction each entry hosted -- so the worst
  * conflict entries can be ranked (the conflict top-N of run reports).
  *
+ * Per-branch attribution: every destructive event has a *victim* (the
+ * branch whose prediction went wrong) and an *aggressor* (the most
+ * recent distinct branch that wrote the shared entry before the
+ * victim's access -- the occupant whose updates diverged the shared
+ * history).  Both counts accumulate per static branch, summing
+ * exactly to the aggregate destructive counter, so run reports can
+ * say which branches allocation actually saved and which branches
+ * did the damage.
+ *
  * The probe is opt-in per predictor and entirely passive: predictions
  * and table updates are identical with and without it.
  */
@@ -74,6 +83,15 @@ struct InterferenceCounters
     }
 };
 
+/** Destructive-interference attribution of one static branch. */
+struct BranchAliasing
+{
+    /** Destructive events where this branch was mispredicted. */
+    std::uint64_t victim = 0;
+    /** Destructive events this branch's entry updates caused. */
+    std::uint64_t aggressor = 0;
+};
+
 /** One entry of the per-entry conflict ranking. */
 struct EntryConflict
 {
@@ -118,6 +136,20 @@ class BhtInterferenceProbe
     /** Entries ranked by destructive events (ties: switches, index). */
     std::vector<EntryConflict> topConflicts(std::size_t n) const;
 
+    /**
+     * Per-branch victim/aggressor attribution.  The victim counts sum
+     * to counters().destructive, and so do the aggressor counts.
+     */
+    const std::unordered_map<BranchPc, BranchAliasing> &
+    branchAliasing() const
+    {
+        return _aliasing;
+    }
+
+    /** Branches ranked by victim count (ties: aggressor, pc). */
+    std::vector<std::pair<BranchPc, BranchAliasing>>
+    topVictims(std::size_t n) const;
+
     /** Distinct static branches the probe has shadowed. */
     std::size_t shadowedBranches() const { return _shadows.size(); }
 
@@ -125,7 +157,8 @@ class BhtInterferenceProbe
      * Run-report entry: {"scope", "predictor", "predictions",
      * "agree", "neutral", "constructive", "destructive",
      * "destructive_percent", "shadowed_branches", "top_entries":
-     * [{"entry", "owner_switches", "destructive", "branches"}, ...]}.
+     * [{"entry", "owner_switches", "destructive", "branches"}, ...],
+     * "top_victims": [{"pc", "victim", "aggressor"}, ...]}.
      */
     obs::JsonValue reportJson(const std::string &scope,
                               const std::string &predictor_name,
@@ -135,7 +168,10 @@ class BhtInterferenceProbe
     struct EntryState
     {
         BranchPc last_owner = 0;
+        /** Most recent occupant distinct from last_owner. */
+        BranchPc prev_owner = 0;
         bool occupied = false;
+        bool has_prev = false;
         std::uint64_t owner_switches = 0;
         std::uint64_t destructive = 0;
         std::unordered_set<BranchPc> owners; ///< distinct branches
@@ -144,6 +180,7 @@ class BhtInterferenceProbe
     unsigned _history_bits;
     InterferenceCounters _counters;
     std::unordered_map<BranchPc, HistoryRegister> _shadows;
+    std::unordered_map<BranchPc, BranchAliasing> _aliasing;
     std::vector<EntryState> _entries;
 };
 

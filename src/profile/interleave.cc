@@ -1,5 +1,6 @@
 #include "profile/interleave.hh"
 
+#include "obs/branch_telemetry.hh"
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
 #include "util/logging.hh"
@@ -81,6 +82,9 @@ InterleaveTracker::onBranch(const BranchRecord &record)
     _graph.recordExecution(id, record.taken);
     if (_set_sampler)
         _set_sampler->sample(record.pc, record.timestamp);
+    if (_config.telemetry)
+        _config.telemetry->record(record.pc, record.taken,
+                                  record.timestamp);
 
     ListNode &node = _list[id];
     if (node.in_list) {

@@ -38,6 +38,11 @@
 namespace bwsa
 {
 
+namespace obs
+{
+class BranchTelemetryMap;
+} // namespace obs
+
 /** Tuning knobs of the interleave analysis. */
 struct InterleaveConfig
 {
@@ -56,6 +61,16 @@ struct InterleaveConfig
      * must be unique per concurrent tracker (single-writer contract).
      */
     std::string series_scope;
+
+    /**
+     * Per-branch telemetry accumulator fed one record per dynamic
+     * branch the tracker sees (after any frequency filtering).  Not
+     * owned; null disables collection entirely.  The sharded engine
+     * substitutes a cold local map per segment and folds them back
+     * in segment order, so sharded and serial runs fill an identical
+     * map (see obs/branch_telemetry.hh).
+     */
+    obs::BranchTelemetryMap *telemetry = nullptr;
 };
 
 /**

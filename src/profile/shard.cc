@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/thread_pool.hh"
+#include "obs/branch_telemetry.hh"
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
 #include "obs/timeseries.hh"
@@ -347,7 +348,16 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
 
     exec::ThreadPool pool(threads);
 
-    // --- Parallel pass: one cold tracker per segment.
+    // --- Parallel pass: one cold tracker per segment.  Per-branch
+    // telemetry gets one cold local map per segment too (same order
+    // as the caller's map), folded back in segment order after the
+    // pass -- mergeAppend repairs the boundary-crossing transitions
+    // and entropy contexts, so the folded map is bit-identical to a
+    // serial run's.  The stitch passes below replay boundary regions
+    // a second time and therefore must not feed telemetry.
+    obs::BranchTelemetryMap *telemetry = config.interleave.telemetry;
+    std::vector<std::unique_ptr<obs::BranchTelemetryMap>> shard_maps(
+        telemetry ? count : 0);
     std::vector<ShardResult> results(count);
     stats.timings.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -367,6 +377,12 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
                 progress = obs::TimeSeriesRegistry::global().series(
                     shard_config.series_scope + "/progress");
             }
+            if (telemetry) {
+                shard_maps[i] =
+                    std::make_unique<obs::BranchTelemetryMap>(
+                        telemetry->order());
+                shard_config.telemetry = shard_maps[i].get();
+            }
             InterleaveTracker tracker(results[i].graph, shard_config);
             ShardProgressSink sink(tracker, progress);
             replayFiltered(segments[i], config.selection, sink);
@@ -381,6 +397,12 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
         });
     }
     pool.wait();
+
+    // --- Fold the per-segment telemetry maps, in segment order (the
+    // merge algebra is ordered: each fold repairs one boundary).
+    if (telemetry)
+        for (std::size_t i = 0; i < count; ++i)
+            telemetry->mergeAppend(*shard_maps[i]);
 
     // --- Boundary window states, composed from per-shard summaries
     // (no serial scan of the trace is needed).  boundaries[k] is the

@@ -88,7 +88,7 @@ simulatePredictor(const TraceSource &source, Predictor &predictor,
 std::vector<PredictionStats>
 comparePredictors(const TraceSource &source,
                   const std::vector<Predictor *> &predictors,
-                  const std::string &series_scope)
+                  const std::string &series_scope, bool per_branch)
 {
     obs::PhaseTracer::Span span("sim.compare");
     span.addWork(predictors.size());
@@ -101,7 +101,7 @@ comparePredictors(const TraceSource &source,
         if (!series_scope.empty())
             miss_series = obs::TimeSeriesRegistry::global().series(
                 series_scope + "/" + p->name() + "/miss_rate");
-        sims.emplace_back(*p, false, miss_series);
+        sims.emplace_back(*p, per_branch, miss_series);
         // Safe: sims is reserved, so elements never relocate.
         fanout.addSink(sims.back());
     }

@@ -104,12 +104,16 @@ PredictionStats simulatePredictor(const TraceSource &source,
  * @param source       the trace
  * @param predictors   predictors under test (not owned)
  * @param series_scope time-series name prefix; "" records nothing
+ * @param per_branch   also collect per-static-branch ratios for
+ *                     every predictor (the run report's per-branch
+ *                     misprediction attribution)
  * @return one PredictionStats per predictor, in input order
  */
 std::vector<PredictionStats>
 comparePredictors(const TraceSource &source,
                   const std::vector<Predictor *> &predictors,
-                  const std::string &series_scope = "");
+                  const std::string &series_scope = "",
+                  bool per_branch = false);
 
 } // namespace bwsa
 

@@ -451,7 +451,7 @@ TEST(RunReport, DocumentStructureAndFileRoundTrip)
     phases[0].work = 42;
 
     JsonValue doc = report.build(registry.snapshot(), phases, 1);
-    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v2");
+    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v3");
     EXPECT_EQ(doc.find("bench")->asString(), "test_bench");
     EXPECT_GT(doc.find("started_unix_ms")->asUint(), 0u);
     EXPECT_GE(doc.find("wall_seconds")->asDouble(), 0.0);
@@ -481,13 +481,16 @@ TEST(RunReport, DocumentStructureAndFileRoundTrip)
     EXPECT_EQ(metrics->at(0).find("name")->asString(), "rows");
     EXPECT_EQ(metrics->at(0).find("value")->asUint(), 2u);
 
-    // v2 sections are always present, as (possibly empty) arrays.
+    // v2/v3 sections are always present, as (possibly empty) arrays.
     const JsonValue *series = doc.find("timeseries");
     ASSERT_NE(series, nullptr);
     EXPECT_TRUE(series->isArray());
     const JsonValue *interference = doc.find("interference");
     ASSERT_NE(interference, nullptr);
     EXPECT_TRUE(interference->isArray());
+    const JsonValue *branches = doc.find("branches");
+    ASSERT_NE(branches, nullptr);
+    EXPECT_TRUE(branches->isArray());
 
     // Serialization is stable through the filesystem.
     std::string golden = doc.dumpString(2);

@@ -14,7 +14,12 @@ The headline record carries:
   * per result table: the "average" row when present (the paper's
     figures quote the averages), otherwise the first row;
   * per interference entry: the destructive count and percentage;
-  * totals: number of timeseries exported and their point count.
+  * totals: number of timeseries exported and their point count;
+  * per telemetry scope (schema v3 "branches"): the static/profiled
+    branch counts and the per-branch allocation headline -- how many
+    destructive-aliasing victim branches the baseline had, and how
+    many of them allocation eliminated outright (victims that went
+    to zero under the allocated predictor).
 
 Scheduling tables ("sweep cells:", "profile shards:") are skipped.
 Only the standard library is used.
@@ -38,6 +43,38 @@ def table_headline(table):
             headline = row
             break
     return dict(zip(table.get("columns", []), headline))
+
+
+def branches_headline(entry):
+    """The per-branch allocation headline of one telemetry scope.
+
+    The scope's totals carry the probed predictors in report order:
+    baseline first, allocated second.  A "victim branch" suffered
+    destructive aliasing under the baseline; it counts as eliminated
+    when the allocated predictor shows zero victim events for it.
+    """
+    destructive = entry.get("totals", {}).get("destructive", {})
+    probed = list(destructive)
+    base = probed[0] if probed else None
+    alloc = probed[1] if len(probed) > 1 else None
+
+    victim_branches = 0
+    victims_eliminated = 0
+    for branch in entry.get("branches", []):
+        aliasing = branch.get("aliasing", {})
+        if aliasing.get(base, {}).get("victim", 0) == 0:
+            continue
+        victim_branches += 1
+        if aliasing.get(alloc, {}).get("victim", 0) == 0:
+            victims_eliminated += 1
+
+    return {
+        "scope": entry.get("scope"),
+        "static_branches": len(entry.get("branches", [])),
+        "profiled_branches": entry.get("profiled_branches"),
+        "victim_branches": victim_branches,
+        "victims_eliminated": victims_eliminated,
+    }
 
 
 def build_record(report, label):
@@ -70,6 +107,11 @@ def build_record(report, label):
             }
             for entry in interference
         ]
+
+    branches = report.get("branches", [])
+    if branches:
+        record["branches"] = [branches_headline(entry)
+                              for entry in branches]
 
     timeseries = report.get("timeseries", [])
     if timeseries:

@@ -9,8 +9,13 @@ structural invariants the bench harnesses promise (see DESIGN.md,
 distinct phase timings, at least 10 metric series, at least one
 result table, and sane numeric fields.  v2 reports additionally
 carry the "timeseries" and "interference" sections, whose entry
-shapes are validated too.  Exits non-zero with a message on the
-first violation, so CI can gate on it.
+shapes are validated too.  v3 reports add the per-branch "branches"
+section; its scope entries are checked structurally AND arithmetically
+(per-branch execution/misprediction/victim counts must sum exactly to
+the scope totals, and the totals must agree with the matching
+"interference" entries), so CI catches any drift between the
+per-branch producers and the aggregate counters.  Exits non-zero with
+a message on the first violation, so CI can gate on it.
 
 Only the standard library is used.
 """
@@ -18,7 +23,8 @@ Only the standard library is used.
 import json
 import sys
 
-ACCEPTED_SCHEMAS = ("bwsa.run_report.v1", "bwsa.run_report.v2")
+ACCEPTED_SCHEMAS = ("bwsa.run_report.v1", "bwsa.run_report.v2",
+                    "bwsa.run_report.v3")
 
 
 def fail(path, message):
@@ -129,6 +135,131 @@ def check_interference(path, entry):
         expect(path, conflict["branches"] >= 2,
                f"interference {label}: conflict entry with < 2 "
                "branches")
+    # v3 probes also rank per-branch victims; older reports omit it.
+    for victim in entry.get("top_victims", ()):
+        for key in ("pc", "victim", "aggressor"):
+            expect(path, key in victim,
+                   f"interference {label}: top victim missing '{key}'")
+        expect(path, victim["victim"] <= entry["destructive"],
+               f"interference {label}: victim count exceeds the "
+               "destructive total")
+
+
+def check_branch_entry(path, label, branch, predictors):
+    for key in ("pc", "sim_executed", "mispredicts", "profiled"):
+        expect(path, key in branch,
+               f"branches {label}: branch entry missing '{key}'")
+    pc = branch["pc"]
+    expect(path, set(branch["mispredicts"]) == predictors,
+           f"branches {label}: branch {pc:#x} predictor set "
+           f"{sorted(branch['mispredicts'])} != scope totals "
+           f"{sorted(predictors)}")
+    for name, count in branch["mispredicts"].items():
+        expect(path, 0 <= count <= branch["sim_executed"],
+               f"branches {label}: branch {pc:#x} {name} mispredicts "
+               f"{count} exceed executions {branch['sim_executed']}")
+    for name, aliasing in branch.get("aliasing", {}).items():
+        for key in ("victim", "aggressor"):
+            expect(path, key in aliasing,
+                   f"branches {label}: branch {pc:#x} aliasing for "
+                   f"{name} missing '{key}'")
+    if not branch["profiled"]:
+        return
+    for key in ("executed", "taken", "transitions", "taken_rate",
+                "transition_rate", "entropy_bits", "birth", "death",
+                "residency"):
+        expect(path, key in branch,
+               f"branches {label}: profiled branch {pc:#x} missing "
+               f"'{key}'")
+    expect(path, branch["taken"] <= branch["executed"],
+           f"branches {label}: branch {pc:#x} taken > executed")
+    expect(path, branch["transitions"] < max(branch["executed"], 1),
+           f"branches {label}: branch {pc:#x} transitions must be < "
+           "executions")
+    for key in ("taken_rate", "transition_rate", "residency"):
+        expect(path, 0.0 <= branch[key] <= 1.0,
+               f"branches {label}: branch {pc:#x} {key} out of [0,1]")
+    expect(path, branch["entropy_bits"] >= 0.0,
+           f"branches {label}: branch {pc:#x} negative entropy")
+    expect(path, branch["birth"] <= branch["death"],
+           f"branches {label}: branch {pc:#x} birth after death")
+
+
+def check_branches_scope(path, entry, interference):
+    expect(path, isinstance(entry, dict),
+           "branches entry is not an object")
+    for key in ("scope", "entropy_order", "profiled_branches",
+                "totals", "branches"):
+        expect(path, key in entry, f"branches entry missing '{key}'")
+    label = entry["scope"]
+    totals = entry["totals"]
+    for key in ("sim_branches", "first_timestamp", "last_timestamp",
+                "mispredicts", "destructive"):
+        expect(path, key in totals,
+               f"branches {label}: totals missing '{key}'")
+    expect(path, entry["entropy_order"] >= 1,
+           f"branches {label}: entropy_order must be >= 1")
+    predictors = set(totals["mispredicts"])
+    expect(path, len(predictors) >= 1,
+           f"branches {label}: no predictors in totals")
+
+    branches = entry["branches"]
+    profiled = 0
+    prev_pc = -1
+    sum_executed = 0
+    sum_miss = {name: 0 for name in predictors}
+    sum_victim = {name: 0 for name in totals["destructive"]}
+    sum_aggressor = {name: 0 for name in totals["destructive"]}
+    for branch in branches:
+        check_branch_entry(path, label, branch, predictors)
+        expect(path, branch["pc"] > prev_pc,
+               f"branches {label}: pcs not strictly ascending at "
+               f"{branch['pc']:#x}")
+        prev_pc = branch["pc"]
+        profiled += bool(branch["profiled"])
+        sum_executed += branch["sim_executed"]
+        for name, count in branch["mispredicts"].items():
+            sum_miss[name] += count
+        for name, aliasing in branch.get("aliasing", {}).items():
+            expect(path, name in sum_victim,
+                   f"branches {label}: aliasing predictor '{name}' "
+                   "not in totals.destructive")
+            sum_victim[name] += aliasing["victim"]
+            sum_aggressor[name] += aliasing["aggressor"]
+
+    # Reconciliation: the per-branch maps must sum exactly to the
+    # aggregates -- no event may be lost or double-counted.
+    expect(path, profiled == entry["profiled_branches"],
+           f"branches {label}: {profiled} profiled branches, header "
+           f"says {entry['profiled_branches']}")
+    expect(path, sum_executed == totals["sim_branches"],
+           f"branches {label}: per-branch executions sum to "
+           f"{sum_executed}, totals say {totals['sim_branches']}")
+    for name in predictors:
+        expect(path, sum_miss[name] == totals["mispredicts"][name],
+               f"branches {label}: {name} per-branch mispredictions "
+               f"sum to {sum_miss[name]}, totals say "
+               f"{totals['mispredicts'][name]}")
+    for name, destructive in totals["destructive"].items():
+        expect(path, sum_victim[name] == destructive,
+               f"branches {label}: {name} victim counts sum to "
+               f"{sum_victim[name]}, destructive total is "
+               f"{destructive}")
+        expect(path, sum_aggressor[name] == destructive,
+               f"branches {label}: {name} aggressor counts sum to "
+               f"{sum_aggressor[name]}, destructive total is "
+               f"{destructive}")
+
+    # Cross-check against the probe's own section when present.
+    for probe in interference:
+        if (probe["scope"] == label and
+                probe["predictor"] in totals["destructive"]):
+            expect(path,
+                   totals["destructive"][probe["predictor"]] ==
+                   probe["destructive"],
+               f"branches {label}: destructive total for "
+               f"{probe['predictor']} disagrees with the "
+               "interference section")
 
 
 def check_report(path):
@@ -178,19 +309,29 @@ def check_report(path):
         check_table(path, table)
 
     extras = ""
-    if schema == "bwsa.run_report.v2":
+    if schema in ("bwsa.run_report.v2", "bwsa.run_report.v3"):
         timeseries = doc.get("timeseries")
         expect(path, isinstance(timeseries, list),
-               "v2 report missing timeseries list")
+               f"{schema} report missing timeseries list")
         for entry in timeseries:
             check_series(path, entry)
         interference = doc.get("interference")
         expect(path, isinstance(interference, list),
-               "v2 report missing interference list")
+               f"{schema} report missing interference list")
         for entry in interference:
             check_interference(path, entry)
         extras = (f", {len(timeseries)} timeseries, "
                   f"{len(interference)} interference entries")
+    if schema == "bwsa.run_report.v3":
+        branches = doc.get("branches")
+        expect(path, isinstance(branches, list),
+               "v3 report missing branches list")
+        for entry in branches:
+            check_branches_scope(path, entry, doc["interference"])
+        scopes = {entry["scope"] for entry in branches}
+        expect(path, len(scopes) == len(branches),
+               "duplicate telemetry scopes in branches list")
+        extras += f", {len(branches)} telemetry scopes"
 
     print(f"{path}: OK ({len(names)} phases, {len(series)} series, "
           f"{len(tables)} tables{extras})")

@@ -15,7 +15,16 @@ What is compared:
     match within tolerance (non-numeric cells must match exactly);
   * every golden interference entry (keyed scope/predictor) must exist
     in the candidate, with its classification counters within
-    tolerance.
+    tolerance;
+  * every golden per-branch telemetry scope (schema v3 "branches",
+    keyed by scope then branch pc) must exist in the candidate.
+    Event *counts* (executions, mispredictions, transitions, victim/
+    aggressor attribution, timestamps) must match *exactly* -- they
+    are deterministic by the shard-merge algebra, whatever the thread
+    or shard count -- while derived *rates* (taken_rate,
+    transition_rate, entropy_bits, residency) go through the normal
+    tolerance machinery under the name
+    "branches/<scope>/<pc>/<field>".
 
 What is deliberately skipped (nondeterministic between runs):
   * wall-clock anything: wall_seconds, started_unix_ms, phase
@@ -43,6 +52,14 @@ SKIPPED_TABLE_PREFIXES = ("sweep cells:", "profile shards:")
 INTERFERENCE_FIELDS = ("predictions", "agree", "neutral",
                        "constructive", "destructive",
                        "destructive_percent", "shadowed_branches")
+
+# Per-branch event counts: deterministic, compared exactly.
+BRANCH_COUNT_FIELDS = ("sim_executed", "executed", "taken",
+                       "transitions", "birth", "death")
+
+# Per-branch derived rates: compared through the tolerance machinery.
+BRANCH_RATE_FIELDS = ("taken_rate", "transition_rate", "entropy_bits",
+                      "residency")
 
 
 def parse_number(text):
@@ -135,6 +152,56 @@ class Comparator:
                     f"{key[0]}/{key[1]}/{field}",
                     entry[field], other.get(field, "absent"))
 
+    def compare_exact(self, name, golden, candidate):
+        if golden != candidate:
+            self.fail(f"{name}: golden {golden!r} != candidate "
+                      f"{candidate!r} (counts must match exactly)")
+
+    def compare_branch(self, name, golden, candidate):
+        for field in BRANCH_COUNT_FIELDS:
+            if field in golden:
+                self.compare_exact(f"{name}/{field}", golden[field],
+                                   candidate.get(field, "absent"))
+        self.compare_exact(f"{name}/profiled",
+                           golden.get("profiled"),
+                           candidate.get("profiled"))
+        self.compare_exact(f"{name}/mispredicts",
+                           golden.get("mispredicts"),
+                           candidate.get("mispredicts"))
+        self.compare_exact(f"{name}/aliasing",
+                           golden.get("aliasing"),
+                           candidate.get("aliasing"))
+        for field in BRANCH_RATE_FIELDS:
+            if field in golden:
+                self.compare_value(f"{name}/{field}", golden[field],
+                                   candidate.get(field, "absent"))
+
+    def compare_branches(self, golden, candidate):
+        candidate_by_scope = {e["scope"]: e
+                              for e in candidate.get("branches", [])}
+        for entry in golden.get("branches", []):
+            scope = entry["scope"]
+            other = candidate_by_scope.get(scope)
+            if other is None:
+                self.fail(f"branches {scope}: missing from candidate")
+                continue
+            name = f"branches/{scope}"
+            self.compare_exact(f"{name}/totals",
+                               entry.get("totals"),
+                               other.get("totals"))
+            golden_pcs = {b["pc"]: b for b in entry["branches"]}
+            candidate_pcs = {b["pc"]: b for b in other["branches"]}
+            if set(golden_pcs) != set(candidate_pcs):
+                gone = sorted(set(golden_pcs) - set(candidate_pcs))
+                new = sorted(set(candidate_pcs) - set(golden_pcs))
+                self.fail(f"branches {scope}: branch set changed "
+                          f"(-{[hex(p) for p in gone]} "
+                          f"+{[hex(p) for p in new]})")
+                continue
+            for pc, branch in golden_pcs.items():
+                self.compare_branch(f"{name}/{pc:#x}", branch,
+                                    candidate_pcs[pc])
+
 
 def main(argv):
     default_tolerance = 0.0
@@ -169,6 +236,7 @@ def main(argv):
                         f"-> {candidate.get('bench')!r}")
     comparator.compare_tables(golden, candidate)
     comparator.compare_interference(golden, candidate)
+    comparator.compare_branches(golden, candidate)
 
     if comparator.failures:
         print(f"{candidate_path}: {len(comparator.failures)} "
