@@ -15,6 +15,7 @@
 #include "obs/run_report.hh"
 #include "obs/timeseries.hh"
 #include "predict/twolevel.hh"
+#include "sim/batched_replay.hh"
 #include "sim/bpred_sim.hh"
 #include "store/artifact_cache.hh"
 #include "store/profile_artifact.hh"
@@ -47,7 +48,7 @@ parseBenchOptions(int &argc, char **argv,
         argc, argv,
         {"scale", "benchmarks", "threads", "shards", "csv",
          "threshold", "json", "trace", "progress", "timeseries",
-         "interval", "interference", "branch-telemetry",
+         "interval", "interference", "replay", "branch-telemetry",
          "top-branches", "store-dir", "cache", "no-cache", "quiet",
          "verbose"});
 
@@ -58,8 +59,8 @@ parseBenchOptions(int &argc, char **argv,
                    "' (supported: --scale --benchmarks --threads "
                    "--shards --csv --threshold --json --trace "
                    "--progress --timeseries --interval "
-                   "--interference --branch-telemetry --top-branches "
-                   "--store-dir --cache --no-cache "
+                   "--interference --replay --branch-telemetry "
+                   "--top-branches --store-dir --cache --no-cache "
                    "--quiet --verbose)");
 
     applyLogLevelOptions(cli);
@@ -105,6 +106,14 @@ parseBenchOptions(int &argc, char **argv,
         bwsa_fatal("--interval must be >= 1 instruction");
     options.interference = cli.isBare("interference") ||
                            cli.getString("interference", "") == "true";
+    std::string replay = cli.getRequiredString("replay", "batched");
+    if (replay == "batched")
+        options.batched = true;
+    else if (replay == "fanout")
+        options.batched = false;
+    else
+        bwsa_fatal("--replay must be 'batched' or 'fanout', got '",
+                   replay, "'");
     options.branch_telemetry =
         cli.isBare("branch-telemetry") ||
         cli.getString("branch-telemetry", "") == "true";
@@ -498,13 +507,20 @@ branchMissPercent(const PredictionStats &stats, std::uint64_t pc)
  * hot / hard / victim table rows.  Everything ranks on exact counts,
  * so the output is deterministic for any thread/shard count.
  */
+/** One probed predictor as the telemetry assembly sees it. */
+struct ProbedPredictor
+{
+    const BhtInterferenceProbe *probe = nullptr;
+    std::string name;
+};
+
 void
 collectCellTelemetry(const std::string &scope,
                      const obs::BranchTelemetryMap &telemetry,
                      const std::vector<PredictionStats> &results,
-                     const PAgPredictor *base_pag,
-                     const PAgPredictor *alloc_pag, std::size_t top_n,
-                     CellTelemetry &out)
+                     const ProbedPredictor &base_pag,
+                     const ProbedPredictor &alloc_pag,
+                     std::size_t top_n, CellTelemetry &out)
 {
     // Universe: every branch the simulator saw plus every profiled
     // branch.  Profiling replays the same trace, so the profiled set
@@ -524,11 +540,12 @@ collectCellTelemetry(const std::string &scope,
     const std::uint64_t span =
         telemetry.lastTimestamp() - telemetry.firstTimestamp();
 
-    auto aliasingOf = [](const PAgPredictor *pag, std::uint64_t pc) {
+    auto aliasingOf = [](const ProbedPredictor &pag,
+                         std::uint64_t pc) {
         BranchAliasing none;
-        if (!pag || !pag->interferenceProbe())
+        if (!pag.probe)
             return none;
-        const auto &map = pag->interferenceProbe()->branchAliasing();
+        const auto &map = pag.probe->branchAliasing();
         auto it = map.find(pc);
         return it == map.end() ? none : it->second;
     };
@@ -547,10 +564,10 @@ collectCellTelemetry(const std::string &scope,
     for (const PredictionStats &r : results)
         total_miss[r.predictor_name] = r.mispredicts.events();
     obs::JsonValue &total_dest = totals["destructive"];
-    for (const PAgPredictor *pag : {base_pag, alloc_pag})
-        if (pag && pag->interferenceProbe())
-            total_dest[pag->name()] =
-                pag->interferenceProbe()->counters().destructive;
+    for (const ProbedPredictor *pag : {&base_pag, &alloc_pag})
+        if (pag->probe)
+            total_dest[pag->name] =
+                pag->probe->counters().destructive;
 
     obs::JsonValue &branches = entry["branches"];
     branches = obs::JsonValue::array();
@@ -566,11 +583,11 @@ collectCellTelemetry(const std::string &scope,
                                          : it->second.events();
         }
         obs::JsonValue aliasing;
-        for (const PAgPredictor *pag : {base_pag, alloc_pag}) {
-            BranchAliasing a = aliasingOf(pag, pc);
+        for (const ProbedPredictor *pag : {&base_pag, &alloc_pag}) {
+            BranchAliasing a = aliasingOf(*pag, pc);
             if (a.victim == 0 && a.aggressor == 0)
                 continue;
-            obs::JsonValue &slot = aliasing[pag->name()];
+            obs::JsonValue &slot = aliasing[pag->name];
             slot["victim"] = a.victim;
             slot["aggressor"] = a.aggressor;
         }
@@ -658,9 +675,8 @@ collectCellTelemetry(const std::string &scope,
 
     // Victims: the branches the baseline's destructive aliasing hit
     // hardest, next to their fate under allocation.
-    if (base_pag && base_pag->interferenceProbe()) {
-        for (const auto &[pc, a] :
-             base_pag->interferenceProbe()->topVictims(top_n)) {
+    if (base_pag.probe) {
+        for (const auto &[pc, a] : base_pag.probe->topVictims(top_n)) {
             if (a.victim == 0)
                 continue;
             BranchAliasing alloc = aliasingOf(alloc_pag, pc);
@@ -729,53 +745,75 @@ buildAllocationTables(const BenchOptions &options, bool classification)
             profileSource(pipeline, source, options, run.display,
                           run.preset + ":" + run.input_label);
 
-            PredictorPtr base = makePredictor(paperBaselineSpec());
-            PredictorPtr a16 =
-                makePredictor(pipeline.predictorSpec(16));
-            PredictorPtr a128 =
-                makePredictor(pipeline.predictorSpec(128));
-            PredictorPtr a1024 =
-                makePredictor(pipeline.predictorSpec(1024));
-            PredictorPtr ideal =
-                makePredictor(interferenceFreeSpec());
+            const std::vector<PredictorSpec> specs{
+                paperBaselineSpec(), pipeline.predictorSpec(16),
+                pipeline.predictorSpec(128),
+                pipeline.predictorSpec(1024), interferenceFreeSpec()};
+            const std::string series_scope =
+                options.timeseries ? run.display : std::string();
 
             // The probe rides the baseline and the like-sized
-            // allocated PAg: the pair whose destructive counts the
-            // allocation claim is about.
-            PAgPredictor *base_pag = nullptr;
-            PAgPredictor *alloc_pag = nullptr;
-            if (options.interference) {
-                base_pag = dynamic_cast<PAgPredictor *>(base.get());
-                alloc_pag = dynamic_cast<PAgPredictor *>(a1024.get());
-                if (base_pag)
-                    base_pag->enableInterferenceProbe();
-                if (alloc_pag)
-                    alloc_pag->enableInterferenceProbe();
+            // allocated PAg (contenders 0 and 3): the pair whose
+            // destructive counts the allocation claim is about.
+            std::vector<PredictionStats> results;
+            ProbedPredictor base_pag, alloc_pag;
+
+            // Objects that must outlive the probe pointers below.
+            std::vector<PredictorPtr> fanout_predictors;
+            BatchedReplayer replayer(options.branch_telemetry);
+
+            if (options.batched) {
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    BatchedLaneOptions lane_options;
+                    lane_options.series_scope = series_scope;
+                    lane_options.probe =
+                        options.interference && (i == 0 || i == 3);
+                    replayer.addLane(specs[i], lane_options);
+                }
+                replayer.replay(source);
+                results = replayer.allStats();
+                base_pag = {replayer.probe(0), replayer.laneName(0)};
+                alloc_pag = {replayer.probe(3), replayer.laneName(3)};
+            } else {
+                std::vector<Predictor *> contenders;
+                for (const PredictorSpec &spec : specs) {
+                    fanout_predictors.push_back(makePredictor(spec));
+                    contenders.push_back(
+                        fanout_predictors.back().get());
+                }
+                if (options.interference) {
+                    for (std::size_t i : {std::size_t(0),
+                                          std::size_t(3)})
+                        if (auto *pag = dynamic_cast<PAgPredictor *>(
+                                contenders[i]))
+                            pag->enableInterferenceProbe();
+                }
+                results = comparePredictors(source, contenders,
+                                            series_scope,
+                                            options.branch_telemetry);
+                auto probed = [&](std::size_t i) {
+                    ProbedPredictor p;
+                    p.name = contenders[i]->name();
+                    if (auto *pag = dynamic_cast<PAgPredictor *>(
+                            contenders[i]))
+                        p.probe = pag->interferenceProbe();
+                    return p;
+                };
+                base_pag = probed(0);
+                alloc_pag = probed(3);
             }
 
-            std::vector<Predictor *> contenders{base.get(), a16.get(),
-                                                a128.get(),
-                                                a1024.get(),
-                                                ideal.get()};
-            std::vector<PredictionStats> results = comparePredictors(
-                source, contenders,
-                options.timeseries ? run.display : std::string(),
-                options.branch_telemetry);
-
-            if (base_pag && alloc_pag) {
+            if (base_pag.probe && alloc_pag.probe) {
                 CellAliasing &slot = aliasing[cell.index];
                 slot.valid = true;
-                slot.base = base_pag->interferenceProbe()->counters();
-                slot.allocated =
-                    alloc_pag->interferenceProbe()->counters();
+                slot.base = base_pag.probe->counters();
+                slot.allocated = alloc_pag.probe->counters();
                 auto &report = obs::RunReport::global();
                 if (report.active()) {
-                    report.addInterference(
-                        base_pag->interferenceProbe()->reportJson(
-                            run.display, base_pag->name()));
-                    report.addInterference(
-                        alloc_pag->interferenceProbe()->reportJson(
-                            run.display, alloc_pag->name()));
+                    report.addInterference(base_pag.probe->reportJson(
+                        run.display, base_pag.name));
+                    report.addInterference(alloc_pag.probe->reportJson(
+                        run.display, alloc_pag.name));
                 }
             }
 

@@ -30,6 +30,14 @@
  *   --interval=<n>    time-series window width in retired
  *                     instructions (default 65536); windows merge
  *                     pairwise when a series outgrows its budget
+ *   --replay=<mode>   how sweep cells replay their predictor set:
+ *                     "batched" (default) steps all configurations
+ *                     through the packed BatchedReplayer in one trace
+ *                     decode; "fanout" drives one PredictionSim per
+ *                     predictor through comparePredictors(), the
+ *                     reference implementation.  Both modes emit
+ *                     byte-identical tables, interference sections
+ *                     and per-branch telemetry
  *   --interference    attach the BHT interference probe to every PAg
  *                     under test: classifies each prediction under
  *                     entry sharing as agree/neutral/constructive/
@@ -96,6 +104,7 @@ struct BenchOptions
     bool timeseries = false;   ///< --timeseries: temporal sampling
     std::uint64_t interval = 65536; ///< --interval: window width
     bool interference = false; ///< --interference: aliasing probe
+    bool batched = true;       ///< --replay=batched (vs fanout)
     bool branch_telemetry = false; ///< --branch-telemetry: per-branch
     std::size_t top_branches = 8;  ///< --top-branches: table rows
     std::string store_dir;     ///< --store-dir: persistence directory

@@ -26,6 +26,7 @@
 #include "predict/twolevel.hh"
 #include "profile/interleave.hh"
 #include "profile/shard.hh"
+#include "sim/batched_replay.hh"
 #include "sim/bpred_sim.hh"
 #include "trace/trace.hh"
 #include "trace/trace_stats.hh"
@@ -101,6 +102,59 @@ BM_PredictorStep(benchmark::State &state, PredictorSpec spec)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(trace.size()));
+}
+
+/** The fig3-shaped contender set the replay-engine benchmarks step. */
+std::vector<PredictorSpec>
+replayContenders()
+{
+    return {paperBaselineSpec(), parsePredictorSpec("pag:bht=16"),
+            parsePredictorSpec("pag:bht=128"), interferenceFreeSpec(),
+            parsePredictorSpec("gshare")};
+}
+
+/**
+ * The batched replay engine over the whole contender set: one trace
+ * decode, all predictors stepped through packed lanes.  Compare
+ * against BM_FanoutReplay (same set through comparePredictors()) --
+ * items processed count (records x predictors) in both, so the
+ * items/s rates are directly comparable.
+ */
+void
+BM_BatchedReplay(benchmark::State &state)
+{
+    const MemoryTrace &trace = cachedTrace();
+    const std::vector<PredictorSpec> specs = replayContenders();
+    for (auto _ : state) {
+        std::vector<PredictionStats> stats =
+            replayBatched(trace, specs);
+        benchmark::DoNotOptimize(stats[0].mispredicts.events());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size() * specs.size()));
+}
+
+/** Reference path: the same contender set via comparePredictors(). */
+void
+BM_FanoutReplay(benchmark::State &state)
+{
+    const MemoryTrace &trace = cachedTrace();
+    const std::vector<PredictorSpec> specs = replayContenders();
+    for (auto _ : state) {
+        std::vector<PredictorPtr> owned;
+        std::vector<Predictor *> raw;
+        for (const PredictorSpec &spec : specs) {
+            owned.push_back(makePredictor(spec));
+            raw.push_back(owned.back().get());
+        }
+        std::vector<PredictionStats> stats =
+            comparePredictors(trace, raw);
+        benchmark::DoNotOptimize(stats[0].mispredicts.events());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size() * specs.size()));
 }
 
 /**
@@ -338,7 +392,19 @@ emitStoreThroughput(const bench::BenchOptions &options)
     }
     {
         store::BlockTraceReader reader(v2_path);
-        row(io, "v2 read", timedMillis([&] {
+        row(io,
+            reader.usingMmap() ? "v2 read (auto: mmap)"
+                               : "v2 read (auto: stream)",
+            timedMillis([&] {
+                TraceStatsCollector sink;
+                reader.replay(sink);
+                benchmark::DoNotOptimize(sink.dynamicBranches());
+            }));
+    }
+    {
+        store::BlockTraceReader reader(v2_path,
+                                       store::ReadMode::Stream);
+        row(io, "v2 read (stream)", timedMillis([&] {
                 TraceStatsCollector sink;
                 reader.replay(sink);
                 benchmark::DoNotOptimize(sink.dynamicBranches());
@@ -431,6 +497,72 @@ emitStoreThroughput(const bench::BenchOptions &options)
     fs::remove_all(base);
 }
 
+/**
+ * The headline batched-replay measurement: the fig3-shaped contender
+ * set replayed three ways -- N serial single-predictor replays (N
+ * decodes), the comparePredictors() fan-out (1 decode, virtual
+ * dispatch) and the batched engine (1 decode, packed lanes) -- with
+ * per-lane misprediction identity checked across all three.  The
+ * speedups are what the trajectory file (BENCH_7) tracks.
+ */
+void
+emitBatchedReplay(const bench::BenchOptions &options)
+{
+    const MemoryTrace &trace = cachedTrace();
+    const std::vector<PredictorSpec> specs = replayContenders();
+
+    std::vector<PredictionStats> serial_stats;
+    double serial_ms = timedMillis([&] {
+        for (const PredictorSpec &spec : specs) {
+            PredictorPtr predictor = makePredictor(spec);
+            serial_stats.push_back(
+                simulatePredictor(trace, *predictor));
+        }
+    });
+
+    std::vector<PredictionStats> fanout_stats;
+    double fanout_ms = timedMillis([&] {
+        std::vector<PredictorPtr> owned;
+        std::vector<Predictor *> raw;
+        for (const PredictorSpec &spec : specs) {
+            owned.push_back(makePredictor(spec));
+            raw.push_back(owned.back().get());
+        }
+        fanout_stats = comparePredictors(trace, raw);
+    });
+
+    std::vector<PredictionStats> batched_stats;
+    double batched_ms = timedMillis(
+        [&] { batched_stats = replayBatched(trace, specs); });
+
+    bool identical = true;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        identical = identical &&
+                    batched_stats[i].mispredicts.events() ==
+                        fanout_stats[i].mispredicts.events() &&
+                    batched_stats[i].mispredicts.events() ==
+                        serial_stats[i].mispredicts.events() &&
+                    batched_stats[i].mispredicts.total() ==
+                        fanout_stats[i].mispredicts.total();
+
+    auto speedup = [](double base_ms, double ms) {
+        return ms > 0.0 ? fixedString(base_ms / ms, 2) + "x"
+                        : std::string("-");
+    };
+    TextTable table({"predictors", "records", "serial ms",
+                     "fanout ms", "batched ms", "vs serial",
+                     "vs fanout", "identical"});
+    table.addRow({std::to_string(specs.size()),
+                  withCommas(trace.size()), fixedString(serial_ms, 3),
+                  fixedString(fanout_ms, 3),
+                  fixedString(batched_ms, 3),
+                  speedup(serial_ms, batched_ms),
+                  speedup(fanout_ms, batched_ms),
+                  identical ? "yes" : "NO"});
+    bench::emitTable("batched replay (one decode, N predictors)",
+                     table, options);
+}
+
 } // namespace
 
 BENCHMARK(BM_SyntheticExecution)->Unit(benchmark::kMillisecond);
@@ -448,6 +580,8 @@ BENCHMARK_CAPTURE(BM_PredictorStep, pag_modulo, paperBaselineSpec())
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStep, pag_ideal, interferenceFreeSpec())
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FanoutReplay)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStepProbe, probe_off, false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PredictorStepProbe, probe_on, true)
@@ -485,5 +619,6 @@ main(int argc, char **argv)
     ::benchmark::Shutdown();
     emitProfilingThroughput(options);
     emitStoreThroughput(options);
+    emitBatchedReplay(options);
     return bwsa::bench::finishBench(options);
 }

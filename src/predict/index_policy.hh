@@ -46,6 +46,14 @@ class BhtIndexer
 
     /** Policy name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Forget any state accumulated from index() calls.  Stateless
+     * policies (ModuloIndexer, AllocatedIndexer) need nothing;
+     * IdealIndexer drops its allocated ids so the backing table can
+     * shrink back to a fresh predictor's footprint.
+     */
+    virtual void reset() {}
 };
 
 /** Owning handle. */
@@ -118,6 +126,7 @@ class IdealIndexer : public BhtIndexer
     std::uint64_t index(BranchPc pc) override;
     std::uint64_t tableSize() const override { return 0; }
     std::string name() const override { return "ideal"; }
+    void reset() override { _ids.clear(); }
 
     /** Distinct branches seen so far. */
     std::size_t seen() const { return _ids.size(); }

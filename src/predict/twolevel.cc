@@ -179,8 +179,13 @@ PAgPredictor::name() const
 void
 PAgPredictor::reset()
 {
-    for (HistoryRegister &h : _bht)
-        h.clear();
+    // Rebuild the BHT at the indexer's nominal size: unbounded
+    // policies grow it on demand, and a reset predictor must not keep
+    // the previous trace's footprint (or report a stale bhtSize()).
+    _indexer->reset();
+    std::uint64_t bht_entries = _indexer->tableSize();
+    _bht.assign(bht_entries, HistoryRegister(_history_bits));
+    _bht.shrink_to_fit();
     for (SatCounter &c : _pht)
         c = initialCounter(_counter_bits);
     if (_probe)
@@ -246,8 +251,11 @@ PAsPredictor::name() const
 void
 PAsPredictor::reset()
 {
-    for (HistoryRegister &h : _bht)
-        h.clear();
+    // Same footprint contract as PAgPredictor::reset().
+    _indexer->reset();
+    std::uint64_t bht_entries = _indexer->tableSize();
+    _bht.assign(bht_entries, HistoryRegister(_history_bits));
+    _bht.shrink_to_fit();
     for (SatCounter &c : _pht)
         c = initialCounter(_counter_bits);
 }

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Single-pass batched predictor replay (the Figure 3/4 hot path).
+ *
+ * comparePredictors() already feeds N predictors from one trace
+ * decode, but every prediction still goes through two virtual calls
+ * (predict()/update()) per predictor per record, and each predictor
+ * object scatters its tables across SatCounter/HistoryRegister
+ * vectors of small structs.  The batched replayer flattens both
+ * costs: each predictor configuration becomes a *lane* whose BHT and
+ * PHT live in packed flat arrays owned by the replayer (histories as
+ * `uint16_t` patterns, saturating counters as raw `uint8_t` values),
+ * and the record loop steps every lane through a kind switch -- no
+ * virtual dispatch, no per-entry objects, all lane state contiguous.
+ *
+ * Lanes are described by the same PredictorSpec the factory consumes,
+ * so anything the benches can build they can also batch.  The flat
+ * step loop covers the whole paper zoo (always-taken/not-taken,
+ * bimodal, GAg, gshare, agree, PAg with modulo/allocated/ideal
+ * indexing, PAs); specs outside it (tournament, static-filtered, or
+ * histories wider than 16 bits) transparently fall back to a generic
+ * lane that drives the real Predictor object, so batched replay is
+ * *always* available and always produces results byte-identical to
+ * comparePredictors() -- the reference implementation, which stays.
+ *
+ * Instrumentation parity: per-lane per-branch ratio maps, windowed
+ * miss-rate time series and the BHT interference probe (for PAg
+ * lanes) behave exactly as they do under PredictionSim, so the
+ * Figure 3/4 interference and telemetry sections do not depend on
+ * which engine replayed the trace.
+ */
+
+#ifndef BWSA_SIM_BATCHED_REPLAY_HH
+#define BWSA_SIM_BATCHED_REPLAY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hh"
+#include "predict/factory.hh"
+#include "predict/interference.hh"
+#include "sim/bpred_sim.hh"
+#include "trace/trace.hh"
+
+namespace bwsa
+{
+
+/** Per-lane options of BatchedReplayer::addLane(). */
+struct BatchedLaneOptions
+{
+    /**
+     * Attach a BHT interference probe to this lane.  Honoured for PAg
+     * lanes (flat or generic), matching
+     * PAgPredictor::enableInterferenceProbe(); ignored for kinds
+     * without a shared first-level table.
+     */
+    bool probe = false;
+
+    /**
+     * Time-series scope: when nonempty and the global registry is
+     * enabled, the lane publishes its windowed misprediction rate as
+     * "<scope>/<predictor name>/miss_rate", exactly like
+     * comparePredictors().
+     */
+    std::string series_scope;
+};
+
+/**
+ * TraceSink stepping N packed predictor lanes per record.
+ *
+ * Usage: addLane() every configuration, replay() the trace, read
+ * stats()/probe() per lane.  A replayer is single-use: lanes must be
+ * added before the first record arrives.
+ */
+class BatchedReplayer : public TraceSink
+{
+  public:
+    /** @param per_branch also collect per-static-branch ratios */
+    explicit BatchedReplayer(bool per_branch = false);
+    ~BatchedReplayer() override;
+
+    BatchedReplayer(const BatchedReplayer &) = delete;
+    BatchedReplayer &operator=(const BatchedReplayer &) = delete;
+
+    /**
+     * Add one predictor lane built from @p spec (validated through
+     * the factory, so malformed specs fail exactly like
+     * makePredictor).  Returns the lane index, in add order.
+     */
+    std::size_t addLane(const PredictorSpec &spec,
+                        const BatchedLaneOptions &options = {});
+
+    /**
+     * One full trace pass: opens the "sim.batched" span, counts one
+     * trace replay (sim.runs) and laneCount() predictor replays
+     * (sim.predictor_runs), then replays @p source into this sink.
+     */
+    void replay(const TraceSource &source);
+
+    void onBranch(const BranchRecord &record) override;
+
+    /** Flush whole-replay totals (delta) into the metrics registry. */
+    void onEnd() override;
+
+    std::size_t laneCount() const { return _lanes.size(); }
+
+    /** Statistics of one lane (same shape as PredictionSim). */
+    const PredictionStats &stats(std::size_t lane) const;
+
+    /** All lane statistics, in add order (comparePredictors shape). */
+    std::vector<PredictionStats> allStats() const;
+
+    /** The lane's interference probe; nullptr when none attached. */
+    const BhtInterferenceProbe *probe(std::size_t lane) const;
+
+    /** Predictor name of one lane (identical to Predictor::name()). */
+    const std::string &laneName(std::size_t lane) const;
+
+    /**
+     * True when the lane runs in the packed flat step loop; false for
+     * generic fallback lanes driving a real Predictor object.
+     */
+    bool laneIsFlat(std::size_t lane) const;
+
+  private:
+    struct Lane;
+
+    /** Advance one lane by one record; returns the prediction. */
+    static bool step(Lane &lane, BranchPc pc, bool taken);
+
+    bool _per_branch;
+    bool _sealed = false; ///< records seen; no more addLane()
+    std::vector<std::unique_ptr<Lane>> _lanes;
+};
+
+/**
+ * Batched equivalent of comparePredictors(): build one lane per spec,
+ * replay @p source once, return per-lane statistics in input order.
+ * Byte-identical to running comparePredictors() over
+ * makePredictor(spec) instances.
+ */
+std::vector<PredictionStats>
+replayBatched(const TraceSource &source,
+              const std::vector<PredictorSpec> &specs,
+              const std::string &series_scope = "",
+              bool per_branch = false);
+
+} // namespace bwsa
+
+#endif // BWSA_SIM_BATCHED_REPLAY_HH

@@ -51,11 +51,21 @@ mispredictsCounter()
     return counter;
 }
 
+/** One per trace replay, however many predictors consumed it. */
 obs::Counter &
 runsCounter()
 {
     static obs::Counter counter =
         obs::MetricsRegistry::global().counter("sim.runs");
+    return counter;
+}
+
+/** One per (predictor, trace replay) pair. */
+obs::Counter &
+predictorRunsCounter()
+{
+    static obs::Counter counter =
+        obs::MetricsRegistry::global().counter("sim.predictor_runs");
     return counter;
 }
 
@@ -80,6 +90,7 @@ simulatePredictor(const TraceSource &source, Predictor &predictor,
 {
     BWSA_SPAN("sim.replay");
     runsCounter().inc();
+    predictorRunsCounter().inc();
     PredictionSim sim(predictor, per_branch);
     source.replay(sim);
     return sim.stats();
@@ -93,6 +104,7 @@ comparePredictors(const TraceSource &source,
     obs::PhaseTracer::Span span("sim.compare");
     span.addWork(predictors.size());
     runsCounter().inc();
+    predictorRunsCounter().inc(predictors.size());
     std::vector<PredictionSim> sims;
     sims.reserve(predictors.size());
     FanoutSink fanout;

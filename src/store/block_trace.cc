@@ -5,6 +5,15 @@
 #include <cstring>
 #include <filesystem>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define BWSA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define BWSA_HAVE_MMAP 0
+#endif
+
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
 #include "store/crc32.hh"
@@ -45,6 +54,24 @@ fnv1a(std::uint64_t state, const void *data, std::size_t size)
     }
     return state;
 }
+
+#if BWSA_HAVE_MMAP
+
+/** Read-only mapping of @p size bytes of @p path; null on failure. */
+const char *
+mapFile(const std::string &path, std::size_t size)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping outlives the descriptor
+    if (map == MAP_FAILED)
+        return nullptr;
+    return static_cast<const char *>(map);
+}
+
+#endif // BWSA_HAVE_MMAP
 
 } // namespace
 
@@ -163,7 +190,8 @@ BlockTraceWriter::close()
 // ---------------------------------------------------------------------
 // BlockTraceReader
 
-BlockTraceReader::BlockTraceReader(const std::string &path)
+BlockTraceReader::BlockTraceReader(const std::string &path,
+                                   ReadMode mode)
     : _path(path)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -260,28 +288,62 @@ BlockTraceReader::BlockTraceReader(const std::string &path)
     digest = fnv1a(digest, footer.data(), footer.size());
     digest = fnv1a(digest, &_total, sizeof(_total));
     _digest = digest;
+
+    // Payload access: map the validated file read-only, falling back
+    // to the already-open stream (hoisted into the reader; the file is
+    // never reopened per replay).
+    if (mode != ReadMode::Stream) {
+#if BWSA_HAVE_MMAP
+        _map = mapFile(path, static_cast<std::size_t>(file_size));
+        _map_size = static_cast<std::size_t>(file_size);
+#endif
+        if (!_map && mode == ReadMode::Mmap)
+            bwsa_fatal("cannot mmap trace file: ", path);
+    }
+    if (!_map) {
+        in.clear();
+        _in = std::move(in);
+    }
 }
 
-bool
-BlockTraceReader::readBlock(std::ifstream &in, std::size_t index,
-                            std::string &payload,
+BlockTraceReader::~BlockTraceReader()
+{
+#if BWSA_HAVE_MMAP
+    if (_map)
+        ::munmap(const_cast<char *>(_map), _map_size);
+#endif
+}
+
+const char *
+BlockTraceReader::blockData(std::size_t index, std::string &scratch,
                             std::string &error) const
 {
     const TraceBlockInfo &info = _blocks[index];
-    payload.resize(info.payload_bytes);
-    in.seekg(static_cast<std::streamoff>(info.offset));
-    in.read(payload.data(),
-            static_cast<std::streamsize>(payload.size()));
-    if (!in) {
-        error = "truncated block payload";
-        return false;
+    const char *data = nullptr;
+    if (_map) {
+        // The constructor verified offset + payload_bytes chains up to
+        // the footer offset inside the mapped file, so the view is in
+        // bounds.
+        data = _map + info.offset;
+    } else {
+        scratch.resize(info.payload_bytes);
+        std::lock_guard<std::mutex> lock(_in_mutex);
+        _in.clear();
+        _in.seekg(static_cast<std::streamoff>(info.offset));
+        _in.read(scratch.data(),
+                 static_cast<std::streamsize>(scratch.size()));
+        if (!_in) {
+            error = "truncated block payload";
+            return nullptr;
+        }
+        data = scratch.data();
     }
-    if (crc32Of(payload) != info.crc) {
+    if (crc32Of(data, info.payload_bytes) != info.crc) {
         error = "block CRC mismatch";
-        return false;
+        return nullptr;
     }
     _blocks_read.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return data;
 }
 
 void
@@ -310,10 +372,6 @@ BlockTraceReader::replayRange(TraceSink &sink, std::uint64_t begin,
         return;
     }
 
-    std::ifstream in(_path, std::ios::binary);
-    if (!in)
-        bwsa_fatal("cannot reopen trace file: ", _path);
-
     // First block whose record range covers `begin`: the last block
     // with first_record <= begin.
     auto it = std::upper_bound(
@@ -324,17 +382,18 @@ BlockTraceReader::replayRange(TraceSink &sink, std::uint64_t begin,
     std::size_t block = static_cast<std::size_t>(
         std::distance(_blocks.begin(), it)) - 1;
 
-    std::string payload;
+    std::string scratch;
     std::string error;
     bool stopped = false;
     for (; block < _blocks.size() && !stopped; ++block) {
         const TraceBlockInfo &info = _blocks[block];
         if (info.first_record >= end)
             break;
-        if (!readBlock(in, block, payload, error))
+        const char *data = blockData(block, scratch, error);
+        if (!data)
             bwsa_fatal("corrupt trace block ", block, " in ", _path,
                        ": ", error);
-        ByteCursor cur(payload);
+        ByteCursor cur(data, info.payload_bytes);
         std::uint64_t pc = 0;
         std::uint64_t timestamp = 0;
         for (std::uint64_t i = 0; i < info.record_count; ++i) {
@@ -372,21 +431,19 @@ BlockTraceReader::verifyBlocks() const
 {
     std::vector<BlockCheckResult> results;
     results.reserve(_blocks.size());
-    std::ifstream in(_path, std::ios::binary);
-    if (!in)
-        bwsa_fatal("cannot reopen trace file: ", _path);
-    std::string payload;
+    std::string scratch;
     for (std::size_t b = 0; b < _blocks.size(); ++b) {
         const TraceBlockInfo &info = _blocks[b];
         BlockCheckResult result;
         result.index = b;
-        if (!readBlock(in, b, payload, result.message)) {
+        const char *data = blockData(b, scratch, result.message);
+        if (!data) {
             result.ok = false;
             results.push_back(result);
             continue;
         }
         // Decode the whole block and cross-check the footer metadata.
-        ByteCursor cur(payload);
+        ByteCursor cur(data, info.payload_bytes);
         std::uint64_t timestamp = 0;
         std::uint64_t first_ts = 0, decoded = 0;
         while (!cur.atEnd()) {

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -129,9 +130,28 @@ struct BlockCheckResult
     std::string message; ///< failure reason when !ok
 };
 
+/** How BlockTraceReader accesses block payloads. */
+enum class ReadMode
+{
+    /** mmap when the platform supports it, else buffered streams. */
+    Auto,
+    /** Require the zero-copy mmap view; fatal() when unavailable. */
+    Mmap,
+    /** Force the buffered-stream path (tests, odd filesystems). */
+    Stream,
+};
+
 /**
  * Seekable v2 reader; a replayable TraceSource whose range replay
  * decodes only the blocks covering the requested range.
+ *
+ * The file is opened exactly once.  In mmap mode (the default on
+ * POSIX platforms) block payloads decode straight out of the mapped
+ * view -- no payload copies, and concurrent replayRange() calls share
+ * the read-only mapping with no synchronization.  The stream fallback
+ * keeps one file handle hoisted into the reader; concurrent range
+ * replays read payloads into per-call scratch buffers under a short
+ * lock and decode outside it.
  */
 class BlockTraceReader : public TraceSource
 {
@@ -142,7 +162,13 @@ class BlockTraceReader : public TraceSource
      * checked here; fatal() on any mismatch.  Block payloads are
      * CRC-checked lazily as they are read.
      */
-    explicit BlockTraceReader(const std::string &path);
+    explicit BlockTraceReader(const std::string &path,
+                              ReadMode mode = ReadMode::Auto);
+
+    ~BlockTraceReader() override;
+
+    BlockTraceReader(const BlockTraceReader &) = delete;
+    BlockTraceReader &operator=(const BlockTraceReader &) = delete;
 
     void replay(TraceSink &sink) const override;
 
@@ -150,11 +176,15 @@ class BlockTraceReader : public TraceSource
      * Range replay that seeks: binary-searches the footer index for
      * the block containing @p begin, decodes from that block's start
      * (skipping at most one block's worth of in-block prefix) and
-     * stops after @p end.  Each call opens its own stream, so
-     * segments of one reader replay concurrently.
+     * stops after @p end.  Decodes off the shared mapping (or the
+     * hoisted stream), so segments of one reader replay concurrently
+     * without reopening the file.
      */
     void replayRange(TraceSink &sink, std::uint64_t begin,
                      std::uint64_t end) const override;
+
+    /** True when payloads decode from the zero-copy mmap view. */
+    bool usingMmap() const { return _map != nullptr; }
 
     /** Record count from the trailer (O(1)). */
     std::uint64_t recordCount() const override { return _total; }
@@ -208,18 +238,28 @@ class BlockTraceReader : public TraceSource
 
   private:
     /**
-     * Read block @p index's payload into @p payload and CRC-check it.
-     * Returns false with a reason in @p error instead of fataling so
-     * verifyBlocks() can keep scanning.
+     * CRC-checked payload bytes of block @p index: a pointer into the
+     * mmap view (zero-copy), or into @p scratch after reading through
+     * the hoisted stream.  Returns nullptr with a reason in @p error
+     * instead of fataling so verifyBlocks() can keep scanning.
      */
-    bool readBlock(std::ifstream &in, std::size_t index,
-                   std::string &payload, std::string &error) const;
+    const char *blockData(std::size_t index, std::string &scratch,
+                          std::string &error) const;
 
     std::string _path;
     std::vector<TraceBlockInfo> _blocks;
     std::uint64_t _total = 0;
     std::uint64_t _block_records = 0;
     std::uint64_t _digest = 0;
+
+    /** Zero-copy view of the whole file (null in stream mode). */
+    const char *_map = nullptr;
+    std::size_t _map_size = 0;
+
+    /** Stream fallback: the one handle opened by the constructor. */
+    mutable std::ifstream _in;
+    mutable std::mutex _in_mutex;
+
     mutable std::atomic<std::uint64_t> _decoded{0};
     mutable std::atomic<std::uint64_t> _blocks_read{0};
 };

@@ -365,6 +365,64 @@ TEST(Predictors, ResetRestoresInitialBehavior)
     EXPECT_EQ(trained->predict(0x400000), fresh->predict(0x400000));
 }
 
+TEST(Predictors, IdealPAgResetDropsGrownFootprint)
+{
+    // An unbounded (ideal) indexer grows the BHT on demand; reset()
+    // must hand that memory back and forget the id assignments, so a
+    // reset predictor is indistinguishable from a fresh one.
+    PAgPredictor p(std::make_unique<IdealIndexer>(), 12, 4096, 2);
+    for (int i = 0; i < 500; ++i) {
+        BranchPc pc = 0x400000 + 8ull * i;
+        p.predict(pc);
+        p.update(pc, i % 2 == 0);
+    }
+    EXPECT_EQ(p.bhtSize(), 500u);
+
+    p.reset();
+    EXPECT_EQ(p.bhtSize(), 0u);
+
+    // After reset the indexer re-assigns ids from scratch: replaying
+    // the same stream mispredicts exactly like a fresh predictor.
+    PAgPredictor fresh(std::make_unique<IdealIndexer>(), 12, 4096, 2);
+    Pcg32 rng(77);
+    int reset_misses = 0, fresh_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        BranchPc pc = 0x400000 + 8ull * rng.nextBounded(64);
+        bool taken = rng.nextBool(0.6);
+        reset_misses += p.predict(pc) != taken;
+        fresh_misses += fresh.predict(pc) != taken;
+        p.update(pc, taken);
+        fresh.update(pc, taken);
+    }
+    EXPECT_EQ(reset_misses, fresh_misses);
+    EXPECT_EQ(p.bhtSize(), fresh.bhtSize());
+}
+
+TEST(Predictors, IdealPAsResetMatchesFresh)
+{
+    // Same footprint contract for PAs over an unbounded indexer.
+    PAsPredictor p(std::make_unique<IdealIndexer>(), 8, 4, 2, 3);
+    for (int i = 0; i < 300; ++i) {
+        BranchPc pc = 0x400000 + 8ull * i;
+        p.predict(pc);
+        p.update(pc, true);
+    }
+    p.reset();
+
+    PAsPredictor fresh(std::make_unique<IdealIndexer>(), 8, 4, 2, 3);
+    Pcg32 rng(79);
+    int reset_misses = 0, fresh_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        BranchPc pc = 0x400000 + 8ull * rng.nextBounded(64);
+        bool taken = rng.nextBool(0.7);
+        reset_misses += p.predict(pc) != taken;
+        fresh_misses += fresh.predict(pc) != taken;
+        p.update(pc, taken);
+        fresh.update(pc, taken);
+    }
+    EXPECT_EQ(reset_misses, fresh_misses);
+}
+
 // ------------------------------------------- spec string parsing
 
 TEST(SpecParse, EveryKindKeyword)

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/pipeline.hh"
 #include "store/artifact_cache.hh"
@@ -372,6 +373,136 @@ TEST(BlockTrace, WriterRejectsNonAscendingTimestamps)
             writer.onBranch(b);
         },
         ::testing::ExitedWithCode(1), "strictly ascend");
+}
+
+// ----------------------------------------------------------- read modes
+
+TEST(BlockTraceReadMode, AutoPrefersMmapWherePossible)
+{
+    MemoryTrace trace = makeRandomTrace(37, 300, 30);
+    std::string path = writeV2(trace, "mode_auto", 100);
+
+    BlockTraceReader auto_reader(path);
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(auto_reader.usingMmap());
+    BlockTraceReader mmap_reader(path, ReadMode::Mmap);
+    EXPECT_TRUE(mmap_reader.usingMmap());
+#endif
+    BlockTraceReader stream_reader(path, ReadMode::Stream);
+    EXPECT_FALSE(stream_reader.usingMmap());
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceReadMode, MmapAndStreamReplayIdentically)
+{
+    MemoryTrace trace = makeRandomTrace(41, 900, 120);
+    std::string path = writeV2(trace, "mode_identity", 128);
+
+    BlockTraceReader mapped(path);           // Auto: mmap on POSIX
+    BlockTraceReader streamed(path, ReadMode::Stream);
+    EXPECT_EQ(mapped.digest(), streamed.digest());
+    EXPECT_EQ(mapped.recordCount(), streamed.recordCount());
+
+    // Full replay delivers the same records through either path.
+    RecordingSink from_map, from_stream;
+    mapped.replay(from_map);
+    streamed.replay(from_stream);
+    ASSERT_EQ(from_map.records.size(), from_stream.records.size());
+    for (std::size_t i = 0; i < from_map.records.size(); ++i)
+        ASSERT_TRUE(
+            sameRecord(from_map.records[i], from_stream.records[i]))
+            << "record " << i;
+
+    // Range replays, including block-boundary and past-the-end cases.
+    const std::uint64_t n = trace.recordCount();
+    const std::pair<std::uint64_t, std::uint64_t> ranges[] = {
+        {0, n},     {0, 1},    {127, 129}, {128, 256},
+        {500, 900}, {899, n},  {300, 300}, {n, n + 10},
+    };
+    for (auto [begin, end] : ranges) {
+        RecordingSink a, b;
+        mapped.replayRange(a, begin, end);
+        streamed.replayRange(b, begin, end);
+        ASSERT_EQ(a.records.size(), b.records.size())
+            << "range [" << begin << ", " << end << ")";
+        for (std::size_t i = 0; i < a.records.size(); ++i)
+            ASSERT_TRUE(sameRecord(a.records[i], b.records[i]));
+        EXPECT_EQ(a.ends, 1);
+        EXPECT_EQ(b.ends, 1);
+    }
+
+    // Early-stopping sinks behave identically: stop mid-block, touch
+    // only the blocks actually needed.
+    StoppingSink stop_map(10), stop_stream(10);
+    std::uint64_t map_blocks = mapped.blocksRead();
+    std::uint64_t stream_blocks = streamed.blocksRead();
+    mapped.replay(stop_map);
+    streamed.replay(stop_stream);
+    EXPECT_EQ(stop_map.branches, stop_stream.branches);
+    EXPECT_EQ(stop_map.ends, 1);
+    EXPECT_EQ(stop_stream.ends, 1);
+    EXPECT_EQ(mapped.blocksRead() - map_blocks, 1u);
+    EXPECT_EQ(streamed.blocksRead() - stream_blocks, 1u);
+
+    for (const BlockCheckResult &check : streamed.verifyBlocks())
+        EXPECT_TRUE(check.ok) << check.message;
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceReadMode, ConcurrentSegmentsShareOneHandle)
+{
+    // Sharded profiling replays segments of one reader concurrently.
+    // Both read paths must serve parallel replayRange calls off the
+    // single handle opened at construction (the stream path guards a
+    // shared ifstream; mmap needs no synchronization at all).
+    MemoryTrace trace = makeRandomTrace(43, 1200, 90);
+    std::string path = writeV2(trace, "mode_threads", 100);
+
+    for (ReadMode mode : {ReadMode::Auto, ReadMode::Stream}) {
+        BlockTraceReader reader(path, mode);
+        constexpr std::size_t workers = 6;
+        std::uint64_t span = trace.recordCount() / workers;
+        std::vector<RecordingSink> sinks(workers);
+        std::vector<std::thread> threads;
+        for (std::size_t w = 0; w < workers; ++w)
+            threads.emplace_back([&, w] {
+                std::uint64_t begin = w * span;
+                std::uint64_t end = (w + 1 == workers)
+                                        ? trace.recordCount()
+                                        : begin + span;
+                reader.replayRange(sinks[w], begin, end);
+            });
+        for (std::thread &t : threads)
+            t.join();
+
+        std::vector<BranchRecord> all;
+        for (const RecordingSink &sink : sinks)
+            all.insert(all.end(), sink.records.begin(),
+                       sink.records.end());
+        ASSERT_EQ(all.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            ASSERT_TRUE(sameRecord(all[i], trace[i]))
+                << "record " << i;
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(BlockTraceReadMode, CorruptionDetectedInBothModes)
+{
+    MemoryTrace trace = makeRandomTrace(47, 500, 50);
+    std::string path = writeV2(trace, "mode_corrupt", 100);
+    flipByte(path, 20); // inside block 0's payload
+
+    for (ReadMode mode : {ReadMode::Auto, ReadMode::Stream}) {
+        BlockTraceReader reader(path, mode);
+        std::vector<BlockCheckResult> checks = reader.verifyBlocks();
+        ASSERT_EQ(checks.size(), 5u);
+        EXPECT_FALSE(checks[0].ok);
+        EXPECT_NE(checks[0].message.find("CRC"), std::string::npos);
+        for (std::size_t i = 1; i < checks.size(); ++i)
+            EXPECT_TRUE(checks[i].ok) << "block " << i;
+    }
+    std::filesystem::remove(path);
 }
 
 // ------------------------------------------------- corruption detection

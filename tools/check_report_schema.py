@@ -71,6 +71,29 @@ def check_metric(path, metric):
                    f"histogram {metric['name']}: missing '{key}'")
 
 
+def check_sim_counters(path, metrics):
+    """Reconcile the simulator counters (see src/sim/bpred_sim.cc):
+    sim.runs counts trace replays, sim.predictor_runs counts
+    (predictor, replay) pairs, so every replay must account for at
+    least one predictor run, and per-prediction counters (branches,
+    mispredicts) aggregate across predictor runs."""
+    counters = {m["name"]: m["value"] for m in metrics
+                if m.get("kind") == "counter"}
+    runs = counters.get("sim.runs", 0)
+    if runs == 0:
+        return
+    expect(path, "sim.predictor_runs" in counters,
+           "report has sim.runs but no sim.predictor_runs")
+    predictor_runs = counters["sim.predictor_runs"]
+    expect(path, predictor_runs >= runs,
+           f"sim.predictor_runs {predictor_runs} < sim.runs {runs}: "
+           "every trace replay drives at least one predictor")
+    branches = counters.get("sim.branches", 0)
+    mispredicts = counters.get("sim.mispredicts", 0)
+    expect(path, mispredicts <= branches,
+           f"sim.mispredicts {mispredicts} > sim.branches {branches}")
+
+
 def check_table(path, table):
     expect(path, isinstance(table, dict), "table entry is not an object")
     for key in ("title", "columns", "rows"):
@@ -301,6 +324,7 @@ def check_report(path):
     expect(path, len(series) >= 10,
            f"expected >= 10 metric series, got {len(series)}: "
            f"{sorted(series)}")
+    check_sim_counters(path, metrics)
 
     tables = doc.get("tables")
     expect(path, isinstance(tables, list) and len(tables) >= 1,
