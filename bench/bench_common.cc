@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,28 +41,73 @@ std::mutex cache_mutex;
 
 } // namespace
 
+const std::vector<BenchFlagSpec> &
+commonBenchFlags()
+{
+    // THE single declaration of the shared bench flag surface: the
+    // parser's known-name list, the unknown-option error and --help
+    // are all generated from this table.
+    static const std::vector<BenchFlagSpec> flags = {
+        {"scale", "multiply run lengths (default 1.0)"},
+        {"benchmarks", "comma-separated preset subset to run"},
+        {"threads", "sweep worker threads (default: hardware)"},
+        {"shards", "trace segments per profiling pass (default 1)"},
+        {"csv", "also write the table as CSV to this path"},
+        {"threshold", "conflict-edge threshold (default 100)"},
+        {"json", "write a machine-readable run report (v3 schema)"},
+        {"trace", "write a Chrome trace_event JSON of the spans"},
+        {"progress", "heartbeat line on stderr every N seconds"},
+        {"timeseries", "sample temporal signals into the report"},
+        {"interval",
+         "time-series window width in instructions (default 65536)"},
+        {"interference", "attach the BHT interference probe"},
+        {"replay", "sweep replay engine: 'batched' or 'fanout'"},
+        {"branch-telemetry",
+         "per-branch telemetry section (implies --interference)"},
+        {"top-branches", "rows per top-N branch table (default 8)"},
+        {"store-dir", "profile artifact cache directory"},
+        {"cache", "cache profile outputs (default with --store-dir)"},
+        {"no-cache", "force the artifact cache off"},
+        {"quiet", "suppress diagnostics and the heartbeat"},
+        {"verbose", "verbose diagnostics"},
+        {"help", "print the flag table and exit"},
+    };
+    return flags;
+}
+
 BenchOptions
 parseBenchOptions(int &argc, char **argv,
-                  const std::string &bench_name, bool reject_unknown)
+                  const std::string &bench_name, bool reject_unknown,
+                  const std::vector<BenchFlagSpec> &extra_flags,
+                  CliOptions *cli_out)
 {
-    CliOptions cli = CliOptions::parse(
-        argc, argv,
-        {"scale", "benchmarks", "threads", "shards", "csv",
-         "threshold", "json", "trace", "progress", "timeseries",
-         "interval", "interference", "replay", "branch-telemetry",
-         "top-branches", "store-dir", "cache", "no-cache", "quiet",
-         "verbose"});
+    std::vector<BenchFlagSpec> flags = commonBenchFlags();
+    flags.insert(flags.end(), extra_flags.begin(),
+                 extra_flags.end());
+    std::vector<std::string> known;
+    known.reserve(flags.size());
+    for (const BenchFlagSpec &flag : flags)
+        known.push_back(flag.name);
+
+    CliOptions cli = CliOptions::parse(argc, argv, known);
+
+    if (cli.has("help")) {
+        std::cout << "usage: " << bench_name << " [flags]\n";
+        for (const BenchFlagSpec &flag : flags)
+            std::printf("  --%-18s %s\n", flag.name.c_str(),
+                        flag.doc.c_str());
+        std::exit(0);
+    }
 
     std::vector<std::string> unknown =
         CliOptions::unknownFlags(argc, argv);
-    if (reject_unknown && !unknown.empty())
+    if (reject_unknown && !unknown.empty()) {
+        std::string supported;
+        for (const BenchFlagSpec &flag : flags)
+            supported += " --" + flag.name;
         bwsa_fatal("unknown option '", unknown[0],
-                   "' (supported: --scale --benchmarks --threads "
-                   "--shards --csv --threshold --json --trace "
-                   "--progress --timeseries --interval "
-                   "--interference --replay --branch-telemetry "
-                   "--top-branches --store-dir --cache --no-cache "
-                   "--quiet --verbose)");
+                   "' (supported:", supported, ")");
+    }
 
     applyLogLevelOptions(cli);
 
@@ -172,6 +218,8 @@ parseBenchOptions(int &argc, char **argv,
 
     run_span =
         std::make_unique<obs::PhaseTracer::Span>("bench.run");
+    if (cli_out)
+        *cli_out = cli;
     return options;
 }
 
@@ -345,6 +393,19 @@ profileSource(AllocationPipeline &pipeline, const TraceSource &source,
     const bool cacheable = artifact_cache && !identity.empty() &&
                            !options.timeseries &&
                            !options.branch_telemetry;
+    if (artifact_cache && !identity.empty() && !cacheable) {
+        // The user asked for both the cache and a cache-defeating
+        // mode; say so once per profile instead of silently
+        // re-profiling.
+        obs::MetricsRegistry::global()
+            .counter("store.cache.bypassed")
+            .inc();
+        inform("profile cache bypassed for ", label, ": ",
+               options.timeseries ? "--timeseries"
+                                  : "--branch-telemetry",
+               " samples during profiling, so this run profiles "
+               "for real");
+    }
     std::string key;
     if (cacheable) {
         const PipelineConfig &config = pipeline.config();

@@ -89,6 +89,25 @@
 namespace bwsa::bench
 {
 
+/**
+ * One command-line flag a bench binary accepts: the name (without
+ * leading dashes) and a one-line description.  The common flag set
+ * lives in a single declarative table (commonBenchFlags()) from which
+ * parseBenchOptions() derives the known-name list, the
+ * unknown-option error message and the `--help` text -- the three
+ * can never drift apart.  Benches with their own knobs pass extra
+ * specs to parseBenchOptions() and read the values back through its
+ * @p cli_out.
+ */
+struct BenchFlagSpec
+{
+    std::string name; ///< flag name, e.g. "scale"
+    std::string doc;  ///< one-line help text
+};
+
+/** The declarative table of flags every bench binary accepts. */
+const std::vector<BenchFlagSpec> &commonBenchFlags();
+
 /** Parsed common options. */
 struct BenchOptions
 {
@@ -120,10 +139,18 @@ struct BenchOptions
  * @param reject_unknown fatal() on unrecognized `--` flags; pass
  *                       false when a wrapping framework (google-
  *                       benchmark) consumes its own flags from argv
+ * @param extra_flags    bench-specific flags accepted on top of
+ *                       commonBenchFlags() (listed in --help and
+ *                       excluded from unknown-flag rejection)
+ * @param cli_out        when non-null, receives the parsed CliOptions
+ *                       so the bench can read its extra flags' values
  */
-BenchOptions parseBenchOptions(int &argc, char **argv,
-                               const std::string &bench_name,
-                               bool reject_unknown = true);
+BenchOptions
+parseBenchOptions(int &argc, char **argv,
+                  const std::string &bench_name,
+                  bool reject_unknown = true,
+                  const std::vector<BenchFlagSpec> &extra_flags = {},
+                  CliOptions *cli_out = nullptr);
 
 /**
  * Finish the run: close the "bench.run" span, stop the heartbeat and

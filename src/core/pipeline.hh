@@ -21,12 +21,15 @@
 #define BWSA_CORE_PIPELINE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "core/allocation.hh"
 #include "predict/factory.hh"
 #include "profile/interleave.hh"
 #include "profile/shard.hh"
+#include "store/profile_artifact.hh"
 #include "trace/frequency_filter.hh"
 #include "trace/trace.hh"
 #include "trace/trace_stats.hh"
@@ -219,6 +222,144 @@ class ProfileSession
     bool _committed = false;
     bool _finished = false;
     bool _sharded = false;
+};
+
+/** Knobs of one incremental streaming session. */
+struct StreamingSessionConfig
+{
+    /**
+     * Analysis knobs.  A streaming session sees each record exactly
+     * once, so the two-pass frequency reduction is unavailable:
+     * coverage must be 1.0 and max_static 0 (the ctor checks), and
+     * the interleave config must carry no telemetry map or series
+     * scope.  The allocation half of the config drives snapshot-time
+     * allocations.
+     */
+    PipelineConfig pipeline;
+
+    /**
+     * Approximate resident-state bound, in bytes; when the conflict
+     * graph outgrows it the epoch is spilled into @p spill_cache and
+     * in-memory accumulation restarts cold.  0 = unbounded.
+     */
+    std::uint64_t max_resident_bytes = 0;
+
+    /**
+     * Shared artifact cache receiving spilled epochs (required when
+     * max_resident_bytes > 0; not owned).  The cache's LRU cap must
+     * comfortably exceed a session's total spilled state -- an
+     * evicted epoch is unrecoverable and snapshot() is fatal.
+     */
+    store::ArtifactCache *spill_cache = nullptr;
+
+    /**
+     * Spill key namespace, unique per live session (e.g.
+     * "tenant3/session17"); required when spilling is enabled.
+     */
+    std::string spill_scope;
+};
+
+/**
+ * Incremental profiling session: the batch ProfileSession redesigned
+ * around block arrival.  Records stream in as v2-framed blocks
+ * (appendBlock), the conflict graph updates as each block lands, and
+ * snapshot() serves the full profile -- statistics, selection, graph,
+ * and through allocate() an allocation map -- at any point without
+ * ending the session.
+ *
+ * Exactness: each block is profiled by a cold InterleaveTracker, its
+ * graph merged in arrival order, and the increments lost at the block
+ * boundary recovered by the shard engine's boundary-stitch algebra
+ * (profile/stitch.hh) -- the blocks play the role of shards, with the
+ * boundary window composed forward instead of precomputed.  The
+ * merged graph after any appendBlock() is byte-identical to a batch
+ * ProfileSession over the records seen so far, for any block
+ * partitioning (asserted by tests/test_serve.cc).
+ *
+ * Bounded memory: with max_resident_bytes set, epochs spill into the
+ * artifact cache and snapshot() folds them back in epoch order;
+ * boundary state and cross-epoch stitch deltas stay resident, so
+ * exactness is unaffected by spilling.
+ *
+ * Misuse (input after finish(), non-ascending timestamps) is fatal;
+ * validating untrusted input is the service layer's job
+ * (serve/service.hh), which rejects bad frames with protocol errors
+ * before they reach the session.
+ */
+class StreamingProfileSession
+{
+  public:
+    explicit StreamingProfileSession(StreamingSessionConfig config);
+
+    StreamingProfileSession(const StreamingProfileSession &) = delete;
+    StreamingProfileSession &
+    operator=(const StreamingProfileSession &) = delete;
+
+    ~StreamingProfileSession();
+
+    /**
+     * Ingest one block of records (in trace order, strictly
+     * ascending timestamps across the whole session).  Empty blocks
+     * are no-ops.
+     */
+    void appendBlock(const BranchRecord *records, std::size_t count);
+
+    void
+    appendBlock(const std::vector<BranchRecord> &records)
+    {
+        appendBlock(records.data(), records.size());
+    }
+
+    /**
+     * The profile over everything appended so far, identical to what
+     * a batch ProfileSession (same config) would produce from the
+     * same records.  Does not end the session; spilled epochs are
+     * folded back without disturbing resident state.
+     */
+    store::ProfileArtifact snapshot();
+
+    /** Allocation map of the current snapshot graph. */
+    AllocationResult allocate(std::uint64_t table_size);
+
+    /**
+     * Final snapshot; closes the session and drops its spilled
+     * epochs from the cache.  Further input is fatal.
+     */
+    store::ProfileArtifact finish();
+
+    std::uint64_t recordCount() const { return _records; }
+
+    std::uint64_t blockCount() const { return _blocks; }
+
+    /** Highest timestamp ingested (0 before any record). */
+    std::uint64_t lastTimestamp() const { return _last_timestamp; }
+
+    /** Epochs spilled into the cache so far. */
+    std::uint64_t spilledEpochs() const { return _epochs; }
+
+    /** Rough resident footprint driving the spill decision. */
+    std::uint64_t residentBytes() const;
+
+    bool finished() const { return _finished; }
+
+    const StreamingSessionConfig &config() const { return _config; }
+
+  private:
+    ConflictGraph mergedGraph();
+    void spillEpoch();
+    std::string spillKey(std::uint64_t epoch) const;
+
+    StreamingSessionConfig _config;
+    TraceStatsCollector _stats;
+    ConflictGraph _graph;            ///< current epoch's graph
+    std::vector<BranchPc> _boundary; ///< window state at next block
+    /** Stitch increments deferred to snapshot time, keyed by pc pair. */
+    std::map<std::pair<BranchPc, BranchPc>, std::uint64_t> _pending;
+    std::uint64_t _records = 0;
+    std::uint64_t _blocks = 0;
+    std::uint64_t _last_timestamp = 0;
+    std::uint64_t _epochs = 0;
+    bool _finished = false;
 };
 
 } // namespace bwsa

@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/pipeline.hh"
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+#include "profile/stitch.hh"
+#include "util/logging.hh"
+
+namespace bwsa
+{
+
+StreamingProfileSession::StreamingProfileSession(
+    StreamingSessionConfig config)
+    : _config(std::move(config))
+{
+    const PipelineConfig &pipeline = _config.pipeline;
+    if (pipeline.coverage != 1.0 || pipeline.max_static != 0)
+        bwsa_fatal("streaming sessions see each record once, so the "
+                   "two-pass frequency reduction is unavailable: "
+                   "coverage must be 1.0 and max_static 0 (got ",
+                   pipeline.coverage, ", ", pipeline.max_static, ")");
+    if (pipeline.interleave.telemetry ||
+        !pipeline.interleave.series_scope.empty())
+        bwsa_fatal("streaming sessions do not support per-branch "
+                   "telemetry or time-series scopes");
+    if (_config.max_resident_bytes != 0) {
+        if (!_config.spill_cache)
+            bwsa_fatal("bounded streaming sessions need a spill "
+                       "cache");
+        if (_config.spill_scope.empty())
+            bwsa_fatal("bounded streaming sessions need a spill "
+                       "scope");
+    }
+}
+
+StreamingProfileSession::~StreamingProfileSession()
+{
+    // Abandoned sessions must not leak spilled epochs into the
+    // shared cache.
+    if (!_finished && _epochs != 0 && _config.spill_cache)
+        for (std::uint64_t e = 0; e < _epochs; ++e)
+            _config.spill_cache->invalidate(spillKey(e));
+}
+
+std::string
+StreamingProfileSession::spillKey(std::uint64_t epoch) const
+{
+    store::CacheKeyBuilder builder;
+    builder
+        .add("schema", static_cast<std::uint64_t>(
+                           store::profile_artifact_schema))
+        .add("spill", _config.spill_scope)
+        .add("epoch", epoch);
+    return builder.key();
+}
+
+void
+StreamingProfileSession::appendBlock(const BranchRecord *records,
+                                     std::size_t count)
+{
+    if (_finished)
+        bwsa_panic("StreamingProfileSession: appendBlock after "
+                   "finish()");
+    if (count == 0)
+        return;
+
+    BWSA_SPAN("stream.append");
+    const std::size_t max_window =
+        _config.pipeline.interleave.max_window;
+
+    // Cold-profile the block, exactly like one shard of the sharded
+    // engine; the stitch sink replays the same records seeded with
+    // the boundary window to recover the increments whose anchor
+    // lies before the block start.
+    ConflictGraph block_graph;
+    InterleaveTracker tracker(block_graph,
+                              _config.pipeline.interleave);
+    std::unique_ptr<StitchSink> stitch;
+    if (!_boundary.empty())
+        stitch = std::make_unique<StitchSink>(_boundary, max_window);
+
+    std::uint64_t last_ts = _last_timestamp;
+    for (std::size_t i = 0; i < count; ++i) {
+        const BranchRecord &record = records[i];
+        if (_records + i != 0 && record.timestamp <= last_ts)
+            bwsa_panic("StreamingProfileSession: timestamps must "
+                       "strictly ascend across the session");
+        last_ts = record.timestamp;
+        _stats.onBranch(record);
+        tracker.onBranch(record);
+        if (stitch && !stitch->done())
+            stitch->onBranch(record);
+    }
+    tracker.onEnd();
+    _last_timestamp = last_ts;
+    _records += count;
+    ++_blocks;
+
+    // Boundary state first (composeBoundary consults the block graph
+    // before it is merged away), then the in-order merge, then the
+    // stitch deltas -- deferred to snapshot time so a spilled epoch
+    // can hold one endpoint of a pair.
+    std::vector<BranchPc> window = tracker.windowPcs();
+    std::vector<BranchPc> next_boundary =
+        composeBoundary(_boundary, block_graph, window, max_window);
+    if (_graph.nodeCount() == 0)
+        _graph = std::move(block_graph);
+    else
+        _graph.mergeFrom(block_graph);
+    if (stitch)
+        for (const auto &[a, b, n] : stitch->pcDeltas())
+            _pending[std::minmax(a, b)] += n;
+    _boundary = std::move(next_boundary);
+
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("stream.blocks").inc();
+    registry.counter("stream.records").inc(count);
+
+    if (_config.max_resident_bytes != 0 &&
+        residentBytes() > _config.max_resident_bytes &&
+        _graph.nodeCount() != 0)
+        spillEpoch();
+}
+
+std::uint64_t
+StreamingProfileSession::residentBytes() const
+{
+    // Rough accounting of the dominant containers; precise to within
+    // allocator overhead, which is all the spill threshold needs.
+    std::uint64_t bytes = 0;
+    bytes += _graph.nodeCount() * (sizeof(ConflictNode) + 48);
+    bytes += _graph.edgeCount() * 48;
+    bytes += _stats.table().size() * 64;
+    bytes += _boundary.size() * sizeof(BranchPc);
+    bytes += _pending.size() * 64;
+    return bytes;
+}
+
+void
+StreamingProfileSession::spillEpoch()
+{
+    BWSA_SPAN("stream.spill");
+    // Only the graph spills; statistics stay resident (bounded by
+    // the static branch population) and the boundary window survives
+    // so the next block still stitches against it.
+    store::ProfileArtifact epoch;
+    epoch.graph = std::move(_graph);
+    store::storeProfileArtifact(*_config.spill_cache,
+                                spillKey(_epochs), epoch);
+    _graph = ConflictGraph();
+    ++_epochs;
+    obs::MetricsRegistry::global().counter("stream.spills").inc();
+}
+
+ConflictGraph
+StreamingProfileSession::mergedGraph()
+{
+    ConflictGraph merged;
+    if (_epochs == 0) {
+        merged = _graph;
+    } else {
+        // Epoch order is arrival order, so node ids land in global
+        // first-occurrence order -- identical to a serial pass.
+        for (std::uint64_t e = 0; e < _epochs; ++e) {
+            std::optional<store::ProfileArtifact> epoch =
+                store::loadProfileArtifact(*_config.spill_cache,
+                                           spillKey(e));
+            if (!epoch)
+                bwsa_fatal("streaming session '", _config.spill_scope,
+                           "': spilled epoch ", e,
+                           " was evicted from the artifact cache; "
+                           "raise the cache cap or the resident "
+                           "bound");
+            if (e == 0)
+                merged = std::move(epoch->graph);
+            else
+                merged.mergeFrom(epoch->graph);
+        }
+        merged.mergeFrom(_graph);
+    }
+    // Cross-block stitch increments: every endpoint executed in some
+    // epoch, so both nodes exist in the fold.
+    for (const auto &[pair, n] : _pending) {
+        NodeId a = merged.findNode(pair.first);
+        NodeId b = merged.findNode(pair.second);
+        if (a == invalid_node || b == invalid_node)
+            bwsa_panic("streaming stitch delta names a pc absent "
+                       "from the merged graph");
+        merged.addInterleave(a, b, n);
+    }
+    return merged;
+}
+
+store::ProfileArtifact
+StreamingProfileSession::snapshot()
+{
+    BWSA_SPAN("stream.snapshot");
+    obs::MetricsRegistry::global().counter("stream.snapshots").inc();
+    store::ProfileArtifact artifact;
+    artifact.stats = _stats;
+    artifact.selection = selectByFrequency(_stats, 1.0, 0);
+    artifact.graph = mergedGraph();
+    return artifact;
+}
+
+AllocationResult
+StreamingProfileSession::allocate(std::uint64_t table_size)
+{
+    ConflictGraph merged = mergedGraph();
+    return allocateBranches(merged, table_size,
+                            _config.pipeline.allocation);
+}
+
+store::ProfileArtifact
+StreamingProfileSession::finish()
+{
+    if (_finished)
+        bwsa_panic("StreamingProfileSession: finish() called twice");
+    store::ProfileArtifact artifact = snapshot();
+    _finished = true;
+    if (_config.spill_cache)
+        for (std::uint64_t e = 0; e < _epochs; ++e)
+            _config.spill_cache->invalidate(spillKey(e));
+    _graph = ConflictGraph();
+    _boundary.clear();
+    _pending.clear();
+    return artifact;
+}
+
+} // namespace bwsa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -269,6 +270,64 @@ MetricsRegistry::timerBoundsNs()
     return {1'000,         10'000,        100'000,
             1'000'000,     10'000'000,    100'000'000,
             1'000'000'000, 10'000'000'000};
+}
+
+std::vector<std::uint64_t>
+MetricsRegistry::latencyBoundsNs()
+{
+    // Quarter-decade (~1.78x) steps over 1us .. 10s: 29 buckets, so
+    // a p999 lands within a factor of two of its true value.
+    std::vector<std::uint64_t> bounds;
+    double v = 1'000.0;
+    while (v < 10e9 * 0.999) {
+        bounds.push_back(static_cast<std::uint64_t>(v + 0.5));
+        v *= 1.7782794100389228; // 10^(1/4)
+    }
+    bounds.push_back(10'000'000'000ull);
+    return bounds;
+}
+
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target observation (1-based ceil), then the bucket
+    // holding it.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        std::uint64_t in_bucket = buckets[i].second;
+        if (seen + in_bucket < rank) {
+            seen += in_bucket;
+            continue;
+        }
+        // Overflow bucket: no finite upper bound to interpolate
+        // toward, so report the last finite bound (a floor).
+        if (i + 1 == buckets.size())
+            return i == 0 ? 0.0
+                          : static_cast<double>(buckets[i - 1].first);
+        double lo = i == 0 ? 0.0
+                           : static_cast<double>(buckets[i - 1].first);
+        double hi = static_cast<double>(buckets[i].first);
+        double frac =
+            in_bucket
+                ? (static_cast<double>(rank - seen)) /
+                      static_cast<double>(in_bucket)
+                : 1.0;
+        // Log-interpolate inside exponential buckets (linear near 0).
+        if (lo > 0.0)
+            return lo * std::pow(hi / lo, frac);
+        return hi * frac;
+    }
+    return static_cast<double>(buckets.back().first);
 }
 
 // --- Handles -------------------------------------------------------

@@ -126,6 +126,14 @@ struct HistogramData
                            static_cast<double>(count)
                      : 0.0;
     }
+
+    /**
+     * Approximate @p q quantile (0 <= q <= 1), log-interpolated
+     * inside the bucket holding the target rank -- adequate for tail
+     * latency reporting against exponential bounds.  Observations in
+     * the overflow bucket report the last finite bound; 0 when empty.
+     */
+    double quantile(double q) const;
 };
 
 /** One series, merged over all shards. */
@@ -197,6 +205,14 @@ class MetricsRegistry
 
     /** Default exponential timer bounds, in nanoseconds (1us..10s). */
     static std::vector<std::uint64_t> timerBoundsNs();
+
+    /**
+     * Fine-grained latency bounds, in nanoseconds: quarter-decade
+     * steps from 1us to 10s, resolving p50/p99/p999 of sub-
+     * millisecond request latencies far better than timerBoundsNs()'
+     * whole decades (used by the serve.* request histograms).
+     */
+    static std::vector<std::uint64_t> latencyBoundsNs();
 
   private:
     friend class Counter;

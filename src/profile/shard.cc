@@ -9,6 +9,7 @@
 #include "obs/metrics.hh"
 #include "obs/phase_tracer.hh"
 #include "obs/timeseries.hh"
+#include "profile/stitch.hh"
 #include "util/logging.hh"
 
 namespace bwsa
@@ -27,194 +28,6 @@ millisSince(Clock::time_point start)
         .count();
 }
 
-/**
- * The boundary stitch sink: a tracking window seeded with the serial
- * window state at a segment boundary.  Entries carried over from
- * before the boundary are marked *old*; the first re-execution of an
- * old branch is exactly an increment the cold shard tracker missed
- * (its anchor lies before the boundary), so the suffix walk for that
- * record -- and only that record -- is emitted here.  Everything else
- * merely evolves the window.  Once no old entries remain (re-executed
- * or evicted) nothing further can be missing, so the sink reports
- * done() and the replay stops.
- *
- * Increments accumulate into a sink-local pc-pair delta map rather
- * than the merged graph, so every boundary's stitch can run
- * concurrently with the others -- and with the graph merge itself;
- * applyTo() folds the deltas in afterwards.
- */
-class StitchSink : public TraceSink
-{
-  public:
-    /**
-     * @param seed       boundary window state, least recent first
-     * @param max_window same bound the shard trackers used (0 = none)
-     */
-    StitchSink(const std::vector<BranchPc> &seed,
-               std::size_t max_window)
-        : _max_window(max_window)
-    {
-        for (BranchPc pc : seed)
-            appendTail(oldSlotFor(pc));
-        _old_remaining = seed.size();
-    }
-
-    void
-    onBranch(const BranchRecord &record) override
-    {
-        ++_records;
-        std::uint32_t id = slotFor(record.pc);
-        Slot &slot = _slots[id];
-        if (slot.in_list) {
-            if (slot.old_entry) {
-                // Anchor before the boundary: the cold shard tracker
-                // recorded nothing for this record.  Every branch
-                // after this one in the window ran since its previous
-                // instance -- the serial tracker's exact increment
-                // set.
-                for (std::uint32_t cur = slot.next; cur != npos;
-                     cur = _slots[cur].next) {
-                    ++_deltas[packPair(id, cur)];
-                    ++_increments;
-                }
-                slot.old_entry = false;
-                --_old_remaining;
-            }
-            unlink(id);
-        }
-        appendTail(id);
-        if (_max_window != 0 && _size > _max_window)
-            evictHead();
-    }
-
-    /** Nothing missing once every old entry re-ran or was evicted. */
-    bool done() const override { return _old_remaining == 0; }
-
-    /** Fold the buffered increments into the merged graph. */
-    void
-    applyTo(ConflictGraph &graph) const
-    {
-        for (const auto &[key, count] : _deltas) {
-            // Every branch the stitch can see executed in some shard,
-            // so both are already nodes of the merged graph.
-            NodeId a = graph.findNode(
-                _slots[static_cast<std::uint32_t>(key >> 32)].pc);
-            NodeId b = graph.findNode(
-                _slots[static_cast<std::uint32_t>(key)].pc);
-            if (a == invalid_node || b == invalid_node)
-                bwsa_panic(
-                    "stitch pass met a pc absent from the merged "
-                    "graph");
-            graph.addInterleave(a, b, count);
-        }
-    }
-
-    std::uint64_t recordsScanned() const { return _records; }
-
-    std::uint64_t increments() const { return _increments; }
-
-  private:
-    static constexpr std::uint32_t npos = ~std::uint32_t(0);
-
-    struct Slot
-    {
-        std::uint32_t prev = npos;
-        std::uint32_t next = npos;
-        BranchPc pc = 0;
-        bool in_list = false;
-        bool old_entry = false;
-    };
-
-    static std::uint64_t
-    packPair(std::uint32_t a, std::uint32_t b)
-    {
-        if (a > b)
-            std::swap(a, b);
-        return (static_cast<std::uint64_t>(a) << 32) | b;
-    }
-
-    std::uint32_t
-    slotFor(BranchPc pc)
-    {
-        auto it = _pc_to_slot.find(pc);
-        if (it != _pc_to_slot.end())
-            return it->second;
-        std::uint32_t id = static_cast<std::uint32_t>(_slots.size());
-        Slot slot;
-        slot.pc = pc;
-        _slots.push_back(slot);
-        _pc_to_slot.emplace(pc, id);
-        return id;
-    }
-
-    std::uint32_t
-    oldSlotFor(BranchPc pc)
-    {
-        std::uint32_t id = slotFor(pc);
-        _slots[id].old_entry = true;
-        return id;
-    }
-
-    void
-    unlink(std::uint32_t id)
-    {
-        Slot &slot = _slots[id];
-        if (slot.prev != npos)
-            _slots[slot.prev].next = slot.next;
-        else
-            _head = slot.next;
-        if (slot.next != npos)
-            _slots[slot.next].prev = slot.prev;
-        else
-            _tail = slot.prev;
-        slot.prev = npos;
-        slot.next = npos;
-        slot.in_list = false;
-        --_size;
-    }
-
-    void
-    appendTail(std::uint32_t id)
-    {
-        Slot &slot = _slots[id];
-        slot.prev = _tail;
-        slot.next = npos;
-        slot.in_list = true;
-        if (_tail != npos)
-            _slots[_tail].next = id;
-        else
-            _head = id;
-        _tail = id;
-        ++_size;
-    }
-
-    void
-    evictHead()
-    {
-        if (_head == npos)
-            bwsa_panic("stitch evictHead on empty window");
-        std::uint32_t id = _head;
-        Slot &slot = _slots[id];
-        if (slot.old_entry) {
-            // Evicted before re-running: the serial tracker would
-            // treat its next execution as fresh too.
-            slot.old_entry = false;
-            --_old_remaining;
-        }
-        unlink(id);
-    }
-
-    std::size_t _max_window;
-    std::vector<Slot> _slots;
-    std::unordered_map<BranchPc, std::uint32_t> _pc_to_slot;
-    std::unordered_map<std::uint64_t, std::uint64_t> _deltas;
-    std::uint32_t _head = npos;
-    std::uint32_t _tail = npos;
-    std::size_t _size = 0;
-    std::size_t _old_remaining = 0;
-    std::uint64_t _records = 0;
-    std::uint64_t _increments = 0;
-};
 
 /** Replay @p segment into @p sink, through the optional filter. */
 void
@@ -267,30 +80,6 @@ struct ShardResult
     std::vector<BranchPc> window;
 };
 
-/**
- * Compose the boundary window state across one segment: branches that
- * re-ran inside the segment leave their old position, the segment's
- * own window (its most recently executed distinct branches) appends
- * at the recent end, and the bound keeps only the last max_window
- * entries -- exactly the serial tracker's window invariant.
- */
-std::vector<BranchPc>
-composeBoundary(const std::vector<BranchPc> &before,
-                const ShardResult &shard, std::size_t max_window)
-{
-    std::vector<BranchPc> out;
-    out.reserve(before.size() + shard.window.size());
-    for (BranchPc pc : before)
-        if (shard.graph.findNode(pc) == invalid_node)
-            out.push_back(pc);
-    out.insert(out.end(), shard.window.begin(), shard.window.end());
-    if (max_window != 0 && out.size() > max_window)
-        out.erase(out.begin(),
-                  out.begin() +
-                      static_cast<std::ptrdiff_t>(out.size() -
-                                                  max_window));
-    return out;
-}
 
 /** Plain serial profile, reported as a one-shard run. */
 ShardRunStats
@@ -413,7 +202,7 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
     for (std::size_t k = 0; k + 1 < count; ++k)
         boundaries[k] = composeBoundary(
             k == 0 ? std::vector<BranchPc>{} : boundaries[k - 1],
-            results[k], max_window);
+            results[k].graph, results[k].window, max_window);
 
     // --- Merge and stitch, concurrently.  The stitch sinks buffer
     // pc-pair deltas instead of touching the merged graph, so the

@@ -1,0 +1,221 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BWSA_SERVE_POSIX 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "trace/varint.hh"
+
+namespace bwsa::serve
+{
+
+FdChannel::FdChannel(int read_fd, int write_fd, bool owned)
+    : _read_fd(read_fd), _write_fd(write_fd), _owned(owned)
+{}
+
+FdChannel::~FdChannel()
+{
+#ifdef BWSA_SERVE_POSIX
+    if (_owned) {
+        ::close(_read_fd);
+        if (_write_fd != _read_fd)
+            ::close(_write_fd);
+    }
+#endif
+}
+
+std::unique_ptr<FdChannel>
+FdChannel::connect(const std::string &path, std::string &error)
+{
+#ifdef BWSA_SERVE_POSIX
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return nullptr;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        error = "socket path too long: " + path;
+        return nullptr;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<FdChannel>(fd, fd);
+#else
+    (void)path;
+    error = "unix sockets are unavailable on this platform";
+    return nullptr;
+#endif
+}
+
+bool
+FdChannel::roundTrip(const Frame &request, Frame &response,
+                     std::string &error)
+{
+#ifdef BWSA_SERVE_POSIX
+    std::string bytes = encodeFrame(request);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::write(_write_fd, bytes.data() + sent,
+                            bytes.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("write: ") + std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    char buffer[4096];
+    while (true) {
+        if (_reader.failed()) {
+            error = "protocol error: " + _reader.error();
+            return false;
+        }
+        if (_reader.next(response))
+            return true;
+        ssize_t n = ::read(_read_fd, buffer, sizeof(buffer));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = "connection closed by peer";
+            return false;
+        }
+        _reader.feed(buffer, static_cast<std::size_t>(n));
+    }
+#else
+    (void)request;
+    (void)response;
+    error = "unix sockets are unavailable on this platform";
+    return false;
+#endif
+}
+
+bool
+ServeClient::call(FrameType type, std::uint64_t session,
+                  std::string payload, Frame &response)
+{
+    Frame request;
+    request.type = type;
+    request.session = session;
+    request.payload = std::move(payload);
+
+    std::string transport_error;
+    if (!_channel.roundTrip(request, response, transport_error)) {
+        _last_status = FrameStatus::Internal;
+        _last_error = transport_error;
+        return false;
+    }
+    _last_status = response.status;
+    if (response.status != FrameStatus::Ok) {
+        _last_error = std::string(frameStatusName(response.status)) +
+                      ": " + response.payload;
+        return false;
+    }
+    _last_error.clear();
+    return true;
+}
+
+bool
+ServeClient::hello()
+{
+    std::string payload;
+    appendU32(payload, store::block_trace_version);
+    Frame response;
+    return call(FrameType::Hello, 0, std::move(payload), response);
+}
+
+bool
+ServeClient::begin(std::uint64_t id, std::uint64_t max_window)
+{
+    std::string payload;
+    if (max_window != 0)
+        appendU64(payload, max_window);
+    Frame response;
+    return call(FrameType::Begin, id, std::move(payload), response);
+}
+
+bool
+ServeClient::append(std::uint64_t id, const BranchRecord *records,
+                    std::size_t count)
+{
+    Frame response;
+    return call(FrameType::Append, id,
+                encodeAppendPayload(records, count), response);
+}
+
+std::optional<std::string>
+ServeClient::artifactCall(FrameType type, std::uint64_t session)
+{
+    Frame response;
+    if (!call(type, session, {}, response))
+        return std::nullopt;
+    return std::move(response.payload);
+}
+
+std::optional<std::string>
+ServeClient::snapshotBytes(std::uint64_t id)
+{
+    return artifactCall(FrameType::Snapshot, id);
+}
+
+std::optional<std::string>
+ServeClient::finishBytes(std::uint64_t id)
+{
+    return artifactCall(FrameType::Finish, id);
+}
+
+std::optional<store::ProfileArtifact>
+ServeClient::parseArtifact(std::optional<std::string> bytes)
+{
+    if (!bytes)
+        return std::nullopt;
+    store::ProfileArtifact artifact;
+    if (store::parseProfileArtifact(*bytes, artifact) !=
+        store::ArtifactParseStatus::Ok) {
+        _last_status = FrameStatus::Internal;
+        _last_error = "response artifact failed to parse";
+        return std::nullopt;
+    }
+    return artifact;
+}
+
+std::optional<store::ProfileArtifact>
+ServeClient::snapshot(std::uint64_t id)
+{
+    return parseArtifact(snapshotBytes(id));
+}
+
+std::optional<store::ProfileArtifact>
+ServeClient::finish(std::uint64_t id)
+{
+    return parseArtifact(finishBytes(id));
+}
+
+bool
+ServeClient::shutdown()
+{
+    Frame response;
+    return call(FrameType::Shutdown, 0, {}, response);
+}
+
+} // namespace bwsa::serve

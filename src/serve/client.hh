@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Client side of the profiling service: a synchronous request/reply
+ * channel plus the typed session verbs on top of it.
+ *
+ * A ServeClient drives any number of interleaved sessions over one
+ * channel, but keeps exactly one request in flight (the protocol has
+ * no request ids; ordering is the correlation).  Two channels ship:
+ *
+ *  - LoopbackChannel calls a ProfileService in-process -- zero
+ *    transport cost, used by bench_serve_load's default mode and the
+ *    exactness tests;
+ *  - FdChannel frames requests over a connected file descriptor
+ *    (unix socket), used by `bench_serve_load --connect` and the CI
+ *    daemon smoke test.
+ *
+ * Verbs return false/nullopt with the peer's error in lastError();
+ * they never fatal on server-reported errors, so tests can assert on
+ * the daemon's failure behaviour.
+ */
+
+#ifndef BWSA_SERVE_CLIENT_HH
+#define BWSA_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/service.hh"
+#include "store/profile_artifact.hh"
+
+namespace bwsa::serve
+{
+
+/** One synchronous request/reply transport. */
+class ServeChannel
+{
+  public:
+    virtual ~ServeChannel() = default;
+
+    /**
+     * Send @p request, block for its response.  False when the
+     * transport itself failed (connection lost), with the reason in
+     * @p error; server-side error *statuses* still return true.
+     */
+    virtual bool roundTrip(const Frame &request, Frame &response,
+                           std::string &error) = 0;
+};
+
+/** In-process channel: frames handed straight to a ProfileService. */
+class LoopbackChannel : public ServeChannel
+{
+  public:
+    LoopbackChannel(ProfileService &service, std::uint64_t tenant)
+        : _service(service), _tenant(tenant)
+    {}
+
+    bool
+    roundTrip(const Frame &request, Frame &response,
+              std::string &error) override
+    {
+        (void)error;
+        response = _service.handle(_tenant, request);
+        return true;
+    }
+
+  private:
+    ProfileService &_service;
+    std::uint64_t _tenant;
+};
+
+/** Channel over a connected stream fd (unix socket or pipe pair). */
+class FdChannel : public ServeChannel
+{
+  public:
+    /**
+     * Adopt @p read_fd / @p write_fd (may be the same fd for a
+     * socket); both are closed on destruction when @p owned.
+     */
+    FdChannel(int read_fd, int write_fd, bool owned = true);
+
+    ~FdChannel() override;
+
+    /** Connect to the unix socket at @p path; nullptr on failure. */
+    static std::unique_ptr<FdChannel>
+    connect(const std::string &path, std::string &error);
+
+    bool roundTrip(const Frame &request, Frame &response,
+                   std::string &error) override;
+
+  private:
+    int _read_fd;
+    int _write_fd;
+    bool _owned;
+    FrameReader _reader;
+};
+
+/**
+ * Typed verbs of the service protocol over one channel.
+ */
+class ServeClient
+{
+  public:
+    explicit ServeClient(ServeChannel &channel) : _channel(channel) {}
+
+    /** Version handshake; false on mismatch or transport failure. */
+    bool hello();
+
+    /** Open session @p id (@p max_window 0 = server default). */
+    bool begin(std::uint64_t id, std::uint64_t max_window = 0);
+
+    /** Stream one block of records into session @p id. */
+    bool append(std::uint64_t id, const BranchRecord *records,
+                std::size_t count);
+
+    bool
+    append(std::uint64_t id, const std::vector<BranchRecord> &records)
+    {
+        return append(id, records.data(), records.size());
+    }
+
+    /**
+     * Profile-so-far of session @p id as serialized ProfileArtifact
+     * bytes (the daemon's exact response payload, for byte-identity
+     * checks); nullopt on error.
+     */
+    std::optional<std::string> snapshotBytes(std::uint64_t id);
+
+    /** Final profile bytes; closes session @p id. */
+    std::optional<std::string> finishBytes(std::uint64_t id);
+
+    /** snapshotBytes() parsed into an artifact. */
+    std::optional<store::ProfileArtifact>
+    snapshot(std::uint64_t id);
+
+    /** finishBytes() parsed into an artifact. */
+    std::optional<store::ProfileArtifact> finish(std::uint64_t id);
+
+    /** Ask the daemon to stop accepting work. */
+    bool shutdown();
+
+    /** Status of the last response (Ok after a successful verb). */
+    FrameStatus lastStatus() const { return _last_status; }
+
+    /** Human-readable reason for the last failed verb. */
+    const std::string &lastError() const { return _last_error; }
+
+  private:
+    bool call(FrameType type, std::uint64_t session,
+              std::string payload, Frame &response);
+
+    std::optional<std::string> artifactCall(FrameType type,
+                                            std::uint64_t session);
+
+    std::optional<store::ProfileArtifact>
+    parseArtifact(std::optional<std::string> bytes);
+
+    ServeChannel &_channel;
+    FrameStatus _last_status = FrameStatus::Ok;
+    std::string _last_error;
+};
+
+} // namespace bwsa::serve
+
+#endif // BWSA_SERVE_CLIENT_HH

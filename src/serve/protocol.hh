@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Length-prefixed framing of the online profiling service.
+ *
+ * Every message on a service connection -- request or response, over
+ * a unix socket or stdio -- is one frame:
+ *
+ *   magic "BWSF" | u32 protocol version | u8 type | u8 status |
+ *   u16 reserved (0) | u64 session id | u32 payload length |
+ *   payload bytes | u32 crc32(payload)
+ *
+ * The 24-byte header is fixed little-endian (trace/varint.hh
+ * primitives); the magics and versions live in store/wire.hh so the
+ * service and the v2 block container can never drift apart.  Append
+ * payloads carry exactly the block coding a BlockTraceWriter puts on
+ * disk, prefixed with the record count.
+ *
+ * Error handling is two-level, mirroring the daemon's survival
+ * contract:
+ *  - *stream* errors (bad magic, unsupported protocol version,
+ *    oversized length prefix, truncation at close) poison the
+ *    connection: FrameReader latches failed() and the server drops
+ *    the client, aborting its sessions;
+ *  - *request* errors (payload CRC mismatch, unknown session, bad
+ *    payload) are answered with a response frame whose status names
+ *    the problem; the connection and the daemon live on.
+ */
+
+#ifndef BWSA_SERVE_PROTOCOL_HH
+#define BWSA_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/wire.hh"
+#include "trace/trace.hh"
+
+namespace bwsa::serve
+{
+
+/** Fixed frame header size (magic through payload length). */
+constexpr std::size_t frame_header_bytes = 24;
+
+/** Hard cap on one frame's payload (stream error beyond it). */
+constexpr std::uint32_t max_payload_bytes = 16u * 1024 * 1024;
+
+/** Request kinds; responses echo the request's type. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,    ///< version handshake, once per connection
+    Begin = 2,    ///< open the session named in the header
+    Append = 3,   ///< ingest one block of records
+    Snapshot = 4, ///< profile-so-far without ending the session
+    Finish = 5,   ///< final profile; closes the session
+    Shutdown = 6  ///< ask the daemon to stop accepting work
+};
+
+/** Response status; Ok on requests. */
+enum class FrameStatus : std::uint8_t
+{
+    Ok = 0,
+    BadCrc = 1,           ///< payload CRC mismatch
+    BadVersion = 2,       ///< Hello block-trace version mismatch
+    UnknownSession = 3,   ///< no such (tenant, session id)
+    DuplicateSession = 4, ///< Begin on a live session id
+    BadPayload = 5,       ///< undecodable or malformed payload
+    OutOfOrder = 6,       ///< timestamps not strictly ascending
+    Internal = 7          ///< unexpected server-side failure
+};
+
+/** Printable name of a frame type. */
+const char *frameTypeName(FrameType type);
+
+/** Printable name of a status code. */
+const char *frameStatusName(FrameStatus status);
+
+/** One decoded frame.  Error responses carry a message payload. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    FrameStatus status = FrameStatus::Ok;
+    std::uint64_t session = 0;
+    std::string payload;
+
+    /**
+     * False when the payload CRC did not match on decode.  The frame
+     * is still surfaced (header and payload as received) so the
+     * handler can answer BadCrc instead of dropping the connection.
+     */
+    bool crc_ok = true;
+};
+
+/** Serialize @p frame to its wire bytes. */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Incremental frame decoder.  feed() bytes as they arrive; next()
+ * pops completed frames in order.  A stream-level violation latches
+ * failed() -- no further frames are produced and the connection must
+ * be dropped.
+ */
+class FrameReader
+{
+  public:
+    /** Consume @p size bytes; false once the stream is poisoned. */
+    bool feed(const char *data, std::size_t size);
+
+    /** Pop the next completed frame into @p out. */
+    bool next(Frame &out);
+
+    /** True once a stream-level violation was seen. */
+    bool failed() const { return _failed; }
+
+    /** Reason for failed(). */
+    const std::string &error() const { return _error; }
+
+    /** Bytes buffered but not yet forming a complete frame. */
+    std::size_t pendingBytes() const { return _buffer.size(); }
+
+  private:
+    bool fail(const std::string &reason);
+
+    std::string _buffer;
+    std::vector<Frame> _ready;
+    std::size_t _next_ready = 0;
+    bool _failed = false;
+    std::string _error;
+};
+
+/**
+ * Encode an Append payload: u64 record count, then the records in
+ * the v2 block coding (delta bases reset at the payload start).
+ */
+std::string encodeAppendPayload(const BranchRecord *records,
+                                std::size_t count);
+
+/**
+ * Decode an Append payload (strict: exact count, no trailing bytes).
+ * False with a reason in @p error on malformed input.
+ */
+bool decodeAppendPayload(const std::string &payload,
+                         std::vector<BranchRecord> &out,
+                         std::string &error);
+
+} // namespace bwsa::serve
+
+#endif // BWSA_SERVE_PROTOCOL_HH

@@ -1,0 +1,189 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BWSA_SERVE_POSIX 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "exec/thread_pool.hh"
+#include "serve/protocol.hh"
+#include "util/logging.hh"
+
+namespace bwsa::serve
+{
+
+#ifdef BWSA_SERVE_POSIX
+
+namespace
+{
+
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n =
+            ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+serveConnection(ProfileService &service, std::uint64_t tenant,
+                int read_fd, int write_fd)
+{
+    FrameReader reader;
+    char buffer[64 * 1024];
+    bool clean = true;
+
+    while (true) {
+        ssize_t n = ::read(read_fd, buffer, sizeof(buffer));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: tenant ", tenant,
+                 " read error: ", std::strerror(errno));
+            clean = false;
+            break;
+        }
+        if (n == 0) {
+            if (reader.pendingBytes() != 0) {
+                warn("serve: tenant ", tenant,
+                     " closed mid-frame (", reader.pendingBytes(),
+                     " bytes of a truncated frame)");
+                clean = false;
+            }
+            break;
+        }
+        if (!reader.feed(buffer, static_cast<std::size_t>(n))) {
+            warn("serve: tenant ", tenant,
+                 " protocol error: ", reader.error());
+            clean = false;
+            break;
+        }
+
+        Frame request;
+        bool closing = false;
+        while (reader.next(request)) {
+            Frame response = service.handle(tenant, request);
+            if (!writeAll(write_fd, encodeFrame(response))) {
+                warn("serve: tenant ", tenant, " write failed");
+                clean = false;
+                closing = true;
+                break;
+            }
+            if (request.type == FrameType::Shutdown &&
+                response.status == FrameStatus::Ok)
+                closing = true;
+        }
+        if (closing)
+            break;
+    }
+
+    // Whatever ended the connection, its sessions die with it.
+    service.abortTenant(tenant);
+    return clean;
+}
+
+bool
+serveStdio(ProfileService &service)
+{
+    return serveConnection(service, 0, 0, 1);
+}
+
+void
+serveUnixSocket(ProfileService &service, const ServerConfig &config)
+{
+    int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        bwsa_fatal("serve: socket: ", std::strerror(errno));
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.socket_path.size() >= sizeof(addr.sun_path))
+        bwsa_fatal("serve: socket path too long: ",
+                   config.socket_path);
+    std::strncpy(addr.sun_path, config.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config.socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        bwsa_fatal("serve: bind ", config.socket_path, ": ",
+                   std::strerror(errno));
+    if (::listen(listen_fd, 64) != 0)
+        bwsa_fatal("serve: listen: ", std::strerror(errno));
+
+    inform("serve: listening on ", config.socket_path);
+
+    {
+        exec::ThreadPool pool(config.threads);
+        std::uint64_t next_tenant = 1;
+        while (!service.shutdownRequested()) {
+            pollfd pfd{listen_fd, POLLIN, 0};
+            int ready = ::poll(&pfd, 1, 200);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                warn("serve: poll: ", std::strerror(errno));
+                break;
+            }
+            if (ready == 0)
+                continue;
+            int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                warn("serve: accept: ", std::strerror(errno));
+                continue;
+            }
+            std::uint64_t tenant = next_tenant++;
+            pool.submit([&service, tenant, fd](unsigned) {
+                serveConnection(service, tenant, fd, fd);
+                ::close(fd);
+            });
+        }
+        pool.wait();
+    }
+
+    ::close(listen_fd);
+    ::unlink(config.socket_path.c_str());
+    inform("serve: shut down");
+}
+
+#else // !BWSA_SERVE_POSIX
+
+bool
+serveConnection(ProfileService &, std::uint64_t, int, int)
+{
+    bwsa_fatal("serve: stream transports need a POSIX platform");
+}
+
+bool
+serveStdio(ProfileService &)
+{
+    bwsa_fatal("serve: stream transports need a POSIX platform");
+}
+
+void
+serveUnixSocket(ProfileService &, const ServerConfig &)
+{
+    bwsa_fatal("serve: unix sockets need a POSIX platform");
+}
+
+#endif // BWSA_SERVE_POSIX
+
+} // namespace bwsa::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Transport loops of the profiling daemon.
+ *
+ * Two ways to put a ProfileService on the wire:
+ *
+ *  - serveUnixSocket(): listen on a unix-domain socket; each accepted
+ *    connection becomes one tenant, served by a worker of a shared
+ *    exec::ThreadPool (requests from different clients profile in
+ *    parallel; one client's requests stay ordered).  Returns once a
+ *    Shutdown frame is accepted and in-flight connections drain.
+ *  - serveStdio(): single-tenant loop over stdin/stdout, for
+ *    supervisors that prefer pipes to sockets.  Returns on Shutdown
+ *    or EOF.
+ *
+ * Stream-level protocol violations (bad magic, oversized prefix,
+ * unsupported version, truncation at close) drop that connection and
+ * abort its sessions -- the daemon itself keeps serving everyone
+ * else.  Request-level errors never reach this layer; the service
+ * answers them with status frames.
+ */
+
+#ifndef BWSA_SERVE_SERVER_HH
+#define BWSA_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/service.hh"
+
+namespace bwsa::serve
+{
+
+/** Options of the socket transport. */
+struct ServerConfig
+{
+    /** Filesystem path of the listening socket (unlinked on exit). */
+    std::string socket_path;
+
+    /** Connection-handler threads (0 = hardware threads). */
+    unsigned threads = 0;
+};
+
+/**
+ * Serve @p service on @p config.socket_path until shutdown.  Fatal
+ * when the socket cannot be created.  POSIX only.
+ */
+void serveUnixSocket(ProfileService &service,
+                     const ServerConfig &config);
+
+/**
+ * Serve @p service over fds 0/1 (one tenant) until Shutdown or EOF.
+ * Returns false when the stream ended with a protocol error.
+ */
+bool serveStdio(ProfileService &service);
+
+/**
+ * Serve one established connection: decode frames from @p read_fd,
+ * answer on @p write_fd, abort the tenant's sessions when the stream
+ * dies.  Returns false on a stream-level protocol error.  Exposed for
+ * the stdio loop and tests; serveUnixSocket() drives it internally.
+ */
+bool serveConnection(ProfileService &service, std::uint64_t tenant,
+                     int read_fd, int write_fd);
+
+} // namespace bwsa::serve
+
+#endif // BWSA_SERVE_SERVER_HH

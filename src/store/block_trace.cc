@@ -27,13 +27,6 @@ namespace bwsa::store
 namespace
 {
 
-constexpr std::array<char, 4> trace_magic = {'B', 'W', 'S', 'T'};
-constexpr std::array<char, 4> end_magic = {'B', 'W', 'S', 'E'};
-
-constexpr std::uint64_t header_bytes = 8;  ///< magic + version
-constexpr std::uint64_t entry_bytes = 56;  ///< one footer entry
-constexpr std::uint64_t trailer_bytes = 36;
-
 void
 putU32(std::ofstream &out, std::uint32_t v)
 {
@@ -41,18 +34,6 @@ putU32(std::ofstream &out, std::uint32_t v)
     for (int i = 0; i < 4; ++i)
         buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
     out.write(buf, 4);
-}
-
-/** 64-bit FNV-1a over a byte buffer, continuing from @p state. */
-std::uint64_t
-fnv1a(std::uint64_t state, const void *data, std::size_t size)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-        state ^= p[i];
-        state *= 1099511628211ull;
-    }
-    return state;
 }
 
 #if BWSA_HAVE_MMAP
@@ -103,47 +84,37 @@ BlockTraceWriter::onBranch(const BranchRecord &record)
 {
     if (!_open)
         bwsa_panic("BlockTraceWriter::onBranch after close");
-    if (_count != 0 && record.timestamp <= _last_timestamp)
+    if (_count != 0 && record.timestamp <= _prev_timestamp)
         bwsa_fatal("trace timestamps must strictly ascend (",
-                   record.timestamp, " after ", _last_timestamp, ")");
-    if (_block_count == 0) {
-        // New block: deltas restart from (pc 0, timestamp 0) so the
-        // block decodes with no context from its predecessors.
-        _last_pc = 0;
-        _last_timestamp = 0;
-        _block_first_ts = record.timestamp;
-    }
-    std::int64_t pc_delta = static_cast<std::int64_t>(record.pc) -
-                            static_cast<std::int64_t>(_last_pc);
-    std::uint64_t ts_delta = record.timestamp - _last_timestamp;
-    appendVarint(_payload, zigzagEncode(pc_delta));
-    appendVarint(_payload, (ts_delta << 1) | (record.taken ? 1u : 0u));
-    _last_pc = record.pc;
-    _last_timestamp = record.timestamp;
+                   record.timestamp, " after ", _prev_timestamp, ")");
+    _encoder.append(record);
+    _prev_timestamp = record.timestamp;
     ++_count;
-    if (++_block_count == _block_records)
+    if (_encoder.recordCount() == _block_records)
         flushBlock();
 }
 
 void
 BlockTraceWriter::flushBlock()
 {
-    if (_block_count == 0)
+    if (_encoder.recordCount() == 0)
         return;
+    const std::string &payload = _encoder.payload();
     TraceBlockInfo info;
     info.offset = _write_offset;
-    info.payload_bytes = _payload.size();
-    info.first_record = _count - _block_count;
-    info.record_count = _block_count;
-    info.first_timestamp = _block_first_ts;
-    info.last_timestamp = _last_timestamp;
-    info.crc = crc32Of(_payload);
-    _out.write(_payload.data(),
-               static_cast<std::streamsize>(_payload.size()));
-    _write_offset += _payload.size();
+    info.payload_bytes = payload.size();
+    info.first_record = _count - _encoder.recordCount();
+    info.record_count = _encoder.recordCount();
+    info.first_timestamp = _encoder.firstTimestamp();
+    info.last_timestamp = _encoder.lastTimestamp();
+    info.crc = crc32Of(payload);
+    _out.write(payload.data(),
+               static_cast<std::streamsize>(payload.size()));
+    _write_offset += payload.size();
     _index.push_back(info);
-    _payload.clear();
-    _block_count = 0;
+    // Next block's deltas restart from (pc 0, timestamp 0) so it
+    // decodes with no context from its predecessors.
+    _encoder.reset();
 }
 
 void
@@ -284,9 +255,9 @@ BlockTraceReader::BlockTraceReader(const std::string &path,
     // Content digest: FNV-1a over the footer (block CRCs + counts +
     // timestamp ranges), salted with the total so empty files differ
     // from the bare offset basis.
-    std::uint64_t digest = 14695981039346656037ull;
-    digest = fnv1a(digest, footer.data(), footer.size());
-    digest = fnv1a(digest, &_total, sizeof(_total));
+    std::uint64_t digest = fnv1a64_basis;
+    digest = fnv1a64(digest, footer.data(), footer.size());
+    digest = fnv1a64(digest, &_total, sizeof(_total));
     _digest = digest;
 
     // Payload access: map the validated file read-only, falling back

@@ -46,28 +46,18 @@
 #include <string>
 #include <vector>
 
+#include "store/wire.hh"
 #include "trace/trace.hh"
 
 namespace bwsa::store
 {
 
-/** On-disk format version written by BlockTraceWriter. */
-constexpr std::uint32_t block_trace_version = 2;
+// The framing constants (magics, block_trace_version, structural
+// sizes) and TraceBlockInfo live in store/wire.hh, shared with the
+// service protocol.
 
 /** Default records per block (~a few hundred KB of varint payload). */
 constexpr std::uint64_t default_block_records = 65536;
-
-/** Footer entry describing one block (in-memory form). */
-struct TraceBlockInfo
-{
-    std::uint64_t offset = 0;          ///< payload file offset
-    std::uint64_t payload_bytes = 0;   ///< encoded payload size
-    std::uint64_t first_record = 0;    ///< stream position of record 0
-    std::uint64_t record_count = 0;    ///< records in the block
-    std::uint64_t first_timestamp = 0; ///< retired-instruction range lo
-    std::uint64_t last_timestamp = 0;  ///< retired-instruction range hi
-    std::uint32_t crc = 0;             ///< CRC-32 of the payload
-};
 
 /**
  * Streaming v2 writer; a TraceSink that encodes to disk in blocks.
@@ -110,14 +100,11 @@ class BlockTraceWriter : public TraceSink
 
     std::ofstream _out;
     std::string _path;
-    std::string _payload;              ///< open block's encoded bytes
+    BlockPayloadEncoder _encoder;      ///< open block's encoded state
     std::vector<TraceBlockInfo> _index;
     std::uint64_t _block_records;
     std::uint64_t _count = 0;          ///< total records written
-    std::uint64_t _block_count = 0;    ///< records in the open block
-    std::uint64_t _last_pc = 0;
-    std::uint64_t _last_timestamp = 0;
-    std::uint64_t _block_first_ts = 0;
+    std::uint64_t _prev_timestamp = 0; ///< cross-block ascent check
     std::uint64_t _write_offset = 0;   ///< next payload file offset
     bool _open = false;
 };
