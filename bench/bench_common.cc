@@ -39,6 +39,12 @@ std::unique_ptr<store::ArtifactCache> artifact_cache;
 /** Serializes cache access from concurrent sweep cells. */
 std::mutex cache_mutex;
 
+/** Chrome trace phase-span events, flushed by finishBench(). */
+std::vector<obs::JsonValue> phase_trace_events;
+
+/** Serializes phase_trace_events across concurrent sweep cells. */
+std::mutex phase_trace_mutex;
+
 } // namespace
 
 const std::vector<BenchFlagSpec> &
@@ -65,6 +71,14 @@ commonBenchFlags()
         {"branch-telemetry",
          "per-branch telemetry section (implies --interference)"},
         {"top-branches", "rows per top-N branch table (default 8)"},
+        {"phases",
+         "detect execution phases and attribute results per phase"},
+        {"phase-threshold",
+         "similarity boundary threshold (default 0.4)"},
+        {"phase-hysteresis",
+         "re-arm margin above the threshold (default 0.2)"},
+        {"phase-min-windows",
+         "minimum phase length in windows (default 4)"},
         {"store-dir", "profile artifact cache directory"},
         {"cache", "cache profile outputs (default with --store-dir)"},
         {"no-cache", "force the artifact cache off"},
@@ -172,6 +186,22 @@ parseBenchOptions(int &argc, char **argv,
     if (options.top_branches == 0)
         bwsa_fatal("--top-branches must be >= 1");
 
+    options.phases = cli.isBare("phases") ||
+                     cli.getString("phases", "") == "true";
+    options.phase_threshold = cli.getDouble("phase-threshold", 0.4);
+    options.phase_hysteresis = cli.getDouble("phase-hysteresis", 0.2);
+    options.phase_min_windows = cli.getUint("phase-min-windows", 4);
+    if (options.phase_threshold < 0.0 || options.phase_threshold > 1.0)
+        bwsa_fatal("--phase-threshold must be in [0, 1]");
+    if (options.phase_hysteresis < 0.0)
+        bwsa_fatal("--phase-hysteresis must be >= 0");
+    if (options.phase_min_windows == 0)
+        bwsa_fatal("--phase-min-windows must be >= 1");
+    // Per-phase attribution (boundary-crossing probe snapshots) lives
+    // in the batched engine only; fanout cells have nowhere to bin.
+    if (options.phases && !options.batched)
+        bwsa_fatal("--phases requires --replay=batched");
+
     // --store-dir implies --cache; --no-cache wins over both.
     options.store_dir = cli.getRequiredString("store-dir", "");
     bool want_cache =
@@ -223,6 +253,16 @@ parseBenchOptions(int &argc, char **argv,
     return options;
 }
 
+obs::PhaseDetectorConfig
+phaseDetectorConfig(const BenchOptions &options)
+{
+    obs::PhaseDetectorConfig config;
+    config.threshold = options.phase_threshold;
+    config.hysteresis = options.phase_hysteresis;
+    config.min_windows = options.phase_min_windows;
+    return config;
+}
+
 int
 finishBench(const BenchOptions &options)
 {
@@ -237,10 +277,16 @@ finishBench(const BenchOptions &options)
                   << " entries)\n";
         artifact_cache.reset();
     }
-    if (!options.trace_path.empty())
+    if (!options.trace_path.empty()) {
+        obs::JsonValue extra =
+            obs::TimeSeriesRegistry::global().chromeCounterEvents();
+        std::lock_guard<std::mutex> lock(phase_trace_mutex);
+        for (obs::JsonValue &event : phase_trace_events)
+            extra.push(std::move(event));
+        phase_trace_events.clear();
         obs::PhaseTracer::global().writeChromeTrace(
-            options.trace_path,
-            obs::TimeSeriesRegistry::global().chromeCounterEvents());
+            options.trace_path, extra);
+    }
     if (!options.json_path.empty()) {
         obs::RunReport::global().write(options.json_path);
         std::cout << "(json report written to " << options.json_path
@@ -387,12 +433,13 @@ profileSource(AllocationPipeline &pipeline, const TraceSource &source,
               const BenchOptions &options, const std::string &label,
               const std::string &identity)
 {
-    // Time-series sampling and per-branch telemetry happen during the
-    // profiling passes; a cache hit would silently suppress them, so
-    // such runs always profile for real.
+    // Time-series sampling, per-branch telemetry and phase detection
+    // happen during the profiling passes; a cache hit would silently
+    // suppress them, so such runs always profile for real.
     const bool cacheable = artifact_cache && !identity.empty() &&
                            !options.timeseries &&
-                           !options.branch_telemetry;
+                           !options.branch_telemetry &&
+                           !options.phases;
     if (artifact_cache && !identity.empty() && !cacheable) {
         // The user asked for both the cache and a cache-defeating
         // mode; say so once per profile instead of silently
@@ -401,8 +448,9 @@ profileSource(AllocationPipeline &pipeline, const TraceSource &source,
             .counter("store.cache.bypassed")
             .inc();
         inform("profile cache bypassed for ", label, ": ",
-               options.timeseries ? "--timeseries"
-                                  : "--branch-telemetry",
+               options.timeseries      ? "--timeseries"
+               : options.branch_telemetry ? "--branch-telemetry"
+                                          : "--phases",
                " samples during profiling, so this run profiles "
                "for real");
     }
@@ -536,6 +584,30 @@ struct CellTelemetry
     std::vector<std::vector<std::string>> hard;
     std::vector<std::vector<std::string>> victims;
 };
+
+/** Per-cell phase rows + Chrome trace spans of one --phases cell. */
+struct CellPhases
+{
+    bool valid = false;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<obs::JsonValue> trace_events;
+};
+
+using PcSet = std::unordered_set<std::uint64_t>;
+
+/** Jaccard over two phase populations (1.0 for two empty sets). */
+double
+pcSetJaccard(const PcSet &a, const PcSet &b)
+{
+    const PcSet &needle = a.size() <= b.size() ? a : b;
+    const PcSet &hay = a.size() <= b.size() ? b : a;
+    std::uint64_t inter = 0;
+    for (std::uint64_t pc : needle)
+        inter += hay.count(pc) ? 1 : 0;
+    std::uint64_t uni = a.size() + b.size() - inter;
+    return uni ? static_cast<double>(inter) / static_cast<double>(uni)
+               : 1.0;
+}
 
 std::string
 pcHex(std::uint64_t pc)
@@ -750,6 +822,218 @@ collectCellTelemetry(const std::string &scope,
     }
 }
 
+/**
+ * Assemble one cell's phase attribution: the run report
+ * "execution_phases" scope entry (per-phase per-lane totals,
+ * born/died working-set overlap, the Jaccard similarity matrix and
+ * its row-stochastic normalization), the whole-trace vs per-phase
+ * table rows, and Chrome trace phase spans + working-set counters.
+ * The timeline folds bit-identically across shard counts and the
+ * replay is serial within a cell, so all of it is deterministic for
+ * any thread/shard count.
+ */
+void
+collectCellPhases(const std::string &scope,
+                  const obs::PhaseTimeline &timeline,
+                  const BatchedReplayer &replayer,
+                  const std::vector<PredictionStats> &results,
+                  CellPhases &out)
+{
+    const std::vector<obs::Phase> &phases = timeline.phases;
+    const std::vector<PcSet> &pcs = replayer.phasePcs();
+    const std::size_t n = phases.size();
+
+    obs::MetricsRegistry::global().counter("bench.phases").inc(n);
+
+    // The replayer sizes its bins lazily on the first record, so an
+    // empty trace leaves them empty; read through these accessors.
+    static const PcSet no_pcs;
+    auto phasePcsOf = [&](std::size_t i) -> const PcSet & {
+        return i < pcs.size() ? pcs[i] : no_pcs;
+    };
+    auto binOf = [&](std::size_t lane, std::size_t i) {
+        const std::vector<LanePhaseBin> &bins =
+            replayer.phaseBins(lane);
+        return i < bins.size() ? bins[i] : LanePhaseBin{};
+    };
+
+    // Working-set overlap: born = PCs unseen in any earlier phase,
+    // died = PCs absent from every later phase.
+    std::vector<std::uint64_t> born(n, 0), died(n, 0);
+    {
+        PcSet seen;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::uint64_t pc : phasePcsOf(i))
+                born[i] += seen.insert(pc).second ? 1 : 0;
+        PcSet later;
+        for (std::size_t i = n; i-- > 0;) {
+            for (std::uint64_t pc : phasePcsOf(i))
+                died[i] += later.count(pc) ? 0 : 1;
+            later.insert(phasePcsOf(i).begin(), phasePcsOf(i).end());
+        }
+    }
+    PcSet whole;
+    for (std::size_t i = 0; i < n; ++i)
+        whole.insert(phasePcsOf(i).begin(), phasePcsOf(i).end());
+
+    std::uint64_t total_windows = 0;
+    for (const obs::Phase &phase : phases)
+        total_windows += phase.window_count;
+
+    obs::JsonValue entry;
+    entry["scope"] = scope;
+    entry["interval"] = timeline.interval;
+    obs::JsonValue &config = entry["config"];
+    config["threshold"] = timeline.config.threshold;
+    config["hysteresis"] = timeline.config.hysteresis;
+    config["min_windows"] = timeline.config.min_windows;
+
+    obs::JsonValue &totals = entry["totals"];
+    totals["executed"] = results[0].mispredicts.total();
+    totals["phases"] = static_cast<std::uint64_t>(n);
+    totals["windows"] = total_windows;
+    totals["distinct_pcs"] =
+        static_cast<std::uint64_t>(whole.size());
+    obs::JsonValue &total_miss = totals["mispredicts"];
+    for (const PredictionStats &r : results)
+        total_miss[r.predictor_name] = r.mispredicts.events();
+    obs::JsonValue &total_dest = totals["destructive"];
+    total_dest = obs::JsonValue::object();
+    for (std::size_t l = 0; l < replayer.laneCount(); ++l)
+        if (const BhtInterferenceProbe *p = replayer.probe(l))
+            total_dest[replayer.laneName(l)] =
+                p->counters().destructive;
+
+    obs::JsonValue &plist = entry["phases"];
+    plist = obs::JsonValue::array();
+    for (std::size_t i = 0; i < n; ++i) {
+        const obs::Phase &phase = phases[i];
+        obs::JsonValue p;
+        p["index"] = static_cast<std::uint64_t>(i);
+        p["start_ts"] = phase.start_ts;
+        p["end_ts"] = phase.end_ts;
+        p["first_window"] = phase.first_window;
+        p["window_count"] = phase.window_count;
+        p["boundary_similarity"] = phase.boundary_similarity;
+        p["working_set"] =
+            static_cast<std::uint64_t>(phasePcsOf(i).size());
+        p["born"] = born[i];
+        p["died"] = died[i];
+        p["executed"] = binOf(0, i).executed;
+        obs::JsonValue &lanes = p["lanes"];
+        for (std::size_t l = 0; l < replayer.laneCount(); ++l) {
+            LanePhaseBin bin = binOf(l, i);
+            obs::JsonValue &slot = lanes[replayer.laneName(l)];
+            slot["executed"] = bin.executed;
+            slot["mispredicted"] = bin.mispredicted;
+            if (replayer.probe(l))
+                slot["destructive"] = bin.destructive;
+        }
+        plist.push(std::move(p));
+    }
+
+    // Jaccard similarity between phase working sets (diagonal 1.0),
+    // plus its row-normalized form: a row-stochastic "how much does
+    // the working set carry over" transition matrix.
+    obs::JsonValue sim_matrix = obs::JsonValue::array();
+    obs::JsonValue trans_matrix = obs::JsonValue::array();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(n);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            row[j] = i == j ? 1.0
+                            : pcSetJaccard(phasePcsOf(i),
+                                           phasePcsOf(j));
+            sum += row[j];
+        }
+        obs::JsonValue sim_row = obs::JsonValue::array();
+        obs::JsonValue trans_row = obs::JsonValue::array();
+        for (std::size_t j = 0; j < n; ++j) {
+            sim_row.push(row[j]);
+            trans_row.push(sum > 0.0 ? row[j] / sum : 0.0);
+        }
+        sim_matrix.push(std::move(sim_row));
+        trans_matrix.push(std::move(trans_row));
+    }
+    entry["similarity_matrix"] = std::move(sim_matrix);
+    entry["transition_matrix"] = std::move(trans_matrix);
+
+    auto &report = obs::RunReport::global();
+    if (report.active())
+        report.addPhaseScope(std::move(entry));
+
+    // Table rows: the whole-trace aggregate first, then each phase,
+    // so a phase-local aliasing storm is readable against the flat
+    // average the paper's whole-trace numbers would show.
+    out.valid = true;
+    const bool has_alloc = replayer.laneCount() > 3;
+    const BhtInterferenceProbe *base_probe = replayer.probe(0);
+    const BhtInterferenceProbe *alloc_probe =
+        has_alloc ? replayer.probe(3) : nullptr;
+    auto missPercent = [](const LanePhaseBin &bin) {
+        return bin.executed
+                   ? 100.0 * static_cast<double>(bin.mispredicted) /
+                         static_cast<double>(bin.executed)
+                   : 0.0;
+    };
+    out.rows.push_back(
+        {scope, "whole", "0", withCommas(total_windows),
+         withCommas(whole.size()),
+         fixedString(results[0].mispredictPercent(), 3),
+         has_alloc ? fixedString(results[3].mispredictPercent(), 3)
+                   : "-",
+         base_probe ? withCommas(base_probe->counters().destructive)
+                    : "-",
+         alloc_probe ? withCommas(alloc_probe->counters().destructive)
+                     : "-"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const obs::Phase &phase = phases[i];
+        LanePhaseBin base_bin = binOf(0, i);
+        LanePhaseBin alloc_bin =
+            has_alloc ? binOf(3, i) : LanePhaseBin{};
+        out.rows.push_back(
+            {scope, "P" + std::to_string(i),
+             withCommas(phase.start_ts),
+             withCommas(phase.window_count),
+             withCommas(phasePcsOf(i).size()),
+             fixedString(missPercent(base_bin), 3),
+             has_alloc ? fixedString(missPercent(alloc_bin), 3) : "-",
+             base_probe ? withCommas(base_bin.destructive) : "-",
+             alloc_probe ? withCommas(alloc_bin.destructive) : "-"});
+
+        // Chrome trace: one complete-event span per phase plus a
+        // working-set counter track, on their own track group (the
+        // timestamps are retired instructions as microseconds, same
+        // convention as the time-series counter tracks).
+        obs::JsonValue span = obs::JsonValue::object();
+        span["name"] = scope + " phase " + std::to_string(i);
+        span["cat"] = "bwsa.phases";
+        span["ph"] = "X";
+        span["ts"] = static_cast<double>(phase.start_ts);
+        span["dur"] =
+            static_cast<double>(phase.end_ts - phase.start_ts);
+        span["pid"] = 3u;
+        obs::JsonValue args = obs::JsonValue::object();
+        args["working_set"] =
+            static_cast<std::uint64_t>(phasePcsOf(i).size());
+        args["boundary_similarity"] = phase.boundary_similarity;
+        span["args"] = std::move(args);
+        out.trace_events.push_back(std::move(span));
+
+        obs::JsonValue counter = obs::JsonValue::object();
+        counter["name"] = scope + "/phase_working_set";
+        counter["cat"] = "bwsa.phases";
+        counter["ph"] = "C";
+        counter["ts"] = static_cast<double>(phase.start_ts);
+        counter["pid"] = 3u;
+        obs::JsonValue cargs = obs::JsonValue::object();
+        cargs["size"] =
+            static_cast<std::uint64_t>(phasePcsOf(i).size());
+        counter["args"] = std::move(cargs);
+        out.trace_events.push_back(std::move(counter));
+    }
+}
+
 } // namespace
 
 AllocationTables
@@ -769,6 +1053,10 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                    "alloc-1024 %", "ideal %", "entropy bits"}),
         TextTable({"branch", "base victim", "base aggressor",
                    "alloc victim", "base miss %", "alloc-1024 %"}),
+        false,
+        TextTable({"benchmark", "phase", "start", "windows",
+                   "ws size", "base miss %", "alloc-1024 %",
+                   "base destr", "alloc destr"}),
         false};
 
     std::vector<BenchmarkRun> runs = defaultRuns(options);
@@ -783,6 +1071,7 @@ buildAllocationTables(const BenchOptions &options, bool classification)
     std::vector<std::vector<double>> row_values(runs.size());
     std::vector<CellAliasing> aliasing(runs.size());
     std::vector<CellTelemetry> telemetry_rows(runs.size());
+    std::vector<CellPhases> phase_cells(runs.size());
     runBenchSweep(
         options, classification ? "fig4" : "fig3", labels,
         [&](const exec::SweepCell &cell) {
@@ -802,9 +1091,22 @@ buildAllocationTables(const BenchOptions &options, bool classification)
             obs::BranchTelemetryMap cell_map;
             if (options.branch_telemetry)
                 config.interleave.telemetry = &cell_map;
+            // Cell-local phase accumulator, fed by the interleave
+            // pass (sharded profiling folds per-segment accumulators
+            // into it bit-identically).
+            obs::PhaseAccumulator phase_accum(options.interval);
+            if (options.phases)
+                config.interleave.phase = &phase_accum;
             AllocationPipeline pipeline(config);
             profileSource(pipeline, source, options, run.display,
                           run.preset + ":" + run.input_label);
+
+            obs::PhaseTimeline timeline;
+            if (options.phases) {
+                phase_accum.finish();
+                timeline = obs::detectPhases(
+                    phase_accum, phaseDetectorConfig(options));
+            }
 
             const std::vector<PredictorSpec> specs{
                 paperBaselineSpec(), pipeline.predictorSpec(16),
@@ -831,6 +1133,8 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                         options.interference && (i == 0 || i == 3);
                     replayer.addLane(specs[i], lane_options);
                 }
+                if (options.phases)
+                    replayer.setPhaseTimeline(&timeline);
                 replayer.replay(source);
                 results = replayer.allStats();
                 base_pag = {replayer.probe(0), replayer.laneName(0)};
@@ -884,6 +1188,10 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                                      options.top_branches,
                                      telemetry_rows[cell.index]);
 
+            if (options.phases)
+                collectCellPhases(run.display, timeline, replayer,
+                                  results, phase_cells[cell.index]);
+
             double base_rate = results[0].mispredictPercent();
             double alloc1024_rate = results[3].mispredictPercent();
             double gain =
@@ -921,6 +1229,17 @@ buildAllocationTables(const BenchOptions &options, bool classification)
                 out.hard_branches.addRow(row);
             for (const std::vector<std::string> &row : tel.victims)
                 out.victim_branches.addRow(row);
+        }
+
+        CellPhases &ph = phase_cells[r];
+        if (ph.valid) {
+            out.has_phases = true;
+            for (const std::vector<std::string> &row : ph.rows)
+                out.phase_table.addRow(row);
+            std::lock_guard<std::mutex> lock(phase_trace_mutex);
+            for (obs::JsonValue &event : ph.trace_events)
+                phase_trace_events.push_back(std::move(event));
+            ph.trace_events.clear();
         }
 
         const CellAliasing &cell = aliasing[r];
@@ -978,6 +1297,9 @@ runAllocationFigure(const BenchOptions &options, bool classification,
         emitTable("branch telemetry: victim branches",
                   tables.victim_branches, options);
     }
+    if (tables.has_phases)
+        emitTable(title + " -- execution phases", tables.phase_table,
+                  options);
 }
 
 } // namespace bwsa::bench

@@ -51,6 +51,18 @@
  *                     section, and print the top-N hot / hard /
  *                     victim branch tables; implies --interference
  *   --top-branches=<n> rows per top-N branch table (default 8)
+ *   --phases          detect execution phases online (churn threshold
+ *                     with hysteresis over the per-window working-set
+ *                     signal) and attribute results per phase: the
+ *                     report's "execution_phases" section, the
+ *                     whole-trace vs per-phase table, and phase spans
+ *                     in the Chrome trace.  Needs --replay=batched
+ *   --phase-threshold=<x>   similarity below this opens a phase
+ *                     boundary (default 0.4)
+ *   --phase-hysteresis=<x>  re-arm margin above the threshold before
+ *                     another boundary may fire (default 0.2)
+ *   --phase-min-windows=<n> minimum phase length in windows
+ *                     (default 4)
  *   --store-dir=<dir> persistence directory for the profile artifact
  *                     cache (implies --cache)
  *   --cache           cache profile outputs (stats, selection,
@@ -81,6 +93,7 @@
 #include "core/pipeline.hh"
 #include "exec/sweep.hh"
 #include "obs/metrics.hh"
+#include "obs/phase_detect.hh"
 #include "obs/phase_tracer.hh"
 #include "report/table.hh"
 #include "util/cli.hh"
@@ -126,9 +139,16 @@ struct BenchOptions
     bool batched = true;       ///< --replay=batched (vs fanout)
     bool branch_telemetry = false; ///< --branch-telemetry: per-branch
     std::size_t top_branches = 8;  ///< --top-branches: table rows
+    bool phases = false;       ///< --phases: per-phase attribution
+    double phase_threshold = 0.4;  ///< --phase-threshold
+    double phase_hysteresis = 0.2; ///< --phase-hysteresis
+    std::uint64_t phase_min_windows = 4; ///< --phase-min-windows
     std::string store_dir;     ///< --store-dir: persistence directory
     bool cache = false;        ///< profile artifact cache enabled
 };
+
+/** The detector knobs of --phase-threshold/-hysteresis/-min-windows. */
+obs::PhaseDetectorConfig phaseDetectorConfig(const BenchOptions &options);
 
 /**
  * Parse the common options out of argc/argv, set up the observability
@@ -309,6 +329,8 @@ struct AllocationTables
     TextTable hard_branches;   ///< highest-misprediction branches
     TextTable victim_branches; ///< worst destructive-aliasing victims
     bool has_telemetry = false; ///< telemetry rows were collected
+    TextTable phase_table;     ///< whole-trace vs per-phase rows
+    bool has_phases = false;   ///< phase rows were collected
 };
 
 AllocationTables buildAllocationTables(const BenchOptions &options,

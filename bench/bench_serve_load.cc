@@ -23,6 +23,13 @@
  *                        artifact count -- emitted last so --csv
  *                        carries the gate row
  *
+ * With --phases every session opts into online phase detection
+ * (phase interval = --interval) and the gate extends to the live
+ * PhaseEvent stream: the events each session receives must match --
+ * boundary for boundary, bit for bit -- the serial detector over the
+ * same records, for any block partitioning.  Against a --connect
+ * daemon the daemon's --phase-* flags must match this bench's.
+ *
  * Extra flags on top of the common set:
  *   --sessions=N        total streaming sessions (default 64)
  *   --clients=N         concurrent client workers (default 8)
@@ -42,7 +49,10 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "exec/thread_pool.hh"
+#include "obs/phase_detect.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
@@ -62,7 +72,30 @@ struct SessionInput
     std::string label;
     const std::vector<BranchRecord> *records = nullptr;
     const std::string *expected = nullptr;
+    /** Serial-detector boundary events (the PhaseEvent oracle). */
+    const std::vector<serve::PhaseEventInfo> *expected_events =
+        nullptr;
 };
+
+/** The serial detector's boundary events over @p records. */
+std::vector<serve::PhaseEventInfo>
+serialPhaseEvents(const std::vector<BranchRecord> &records,
+                  std::uint64_t interval,
+                  const obs::PhaseDetectorConfig &config)
+{
+    obs::PhaseAccumulator accumulator(interval);
+    for (const BranchRecord &record : records)
+        accumulator.sample(record.pc, record.timestamp);
+    accumulator.finish();
+    obs::PhaseTimeline timeline =
+        obs::detectPhases(accumulator, config);
+    std::vector<serve::PhaseEventInfo> events;
+    for (std::size_t i = 1; i < timeline.phases.size(); ++i)
+        events.push_back({i, timeline.phases[i].start_ts,
+                          timeline.phases[i - 1].start_ts,
+                          timeline.phases[i].boundary_similarity});
+    return events;
+}
 
 /** Batch ProfileSession over @p records, serialized. */
 std::string
@@ -128,6 +161,13 @@ class TimingChannel : public serve::ServeChannel
         return ok;
     }
 
+    /** Pushed frames buffer in the wrapped channel, not here. */
+    std::vector<serve::Frame>
+    drainEvents() override
+    {
+        return _inner->drainEvents();
+    }
+
   private:
     std::unique_ptr<serve::ServeChannel> _inner;
     obs::HistogramMetric _ingest;
@@ -186,6 +226,7 @@ main(int argc, char **argv)
         bwsa_fatal("no benchmarks selected");
     std::vector<std::unique_ptr<MemoryTrace>> traces;
     std::vector<std::string> expected;
+    std::vector<std::vector<serve::PhaseEventInfo>> expected_events;
     std::vector<std::string> labels;
     for (const BenchmarkRun &run : runs) {
         RowScope row_scope;
@@ -194,6 +235,11 @@ main(int argc, char **argv)
         auto trace = std::make_unique<MemoryTrace>();
         w.source().replay(*trace);
         expected.push_back(batchArtifactBytes(trace->records()));
+        expected_events.push_back(
+            options.phases
+                ? serialPhaseEvents(trace->records(), options.interval,
+                                    phaseDetectorConfig(options))
+                : std::vector<serve::PhaseEventInfo>());
         traces.push_back(std::move(trace));
         labels.push_back(run.display);
     }
@@ -202,19 +248,25 @@ main(int argc, char **argv)
     std::vector<SessionInput> inputs(sessions);
     for (std::uint64_t i = 0; i < sessions; ++i) {
         std::size_t w = static_cast<std::size_t>(i % runs.size());
-        inputs[i] = {labels[w], &traces[w]->records(), &expected[w]};
+        inputs[i] = {labels[w], &traces[w]->records(), &expected[w],
+                     &expected_events[w]};
     }
 
     // --- The service under test: in-process unless --connect.
     std::unique_ptr<serve::ProfileService> local_service;
-    if (connect_path.empty())
+    if (connect_path.empty()) {
+        serve::ServiceConfig service_config;
+        service_config.phase_config = phaseDetectorConfig(options);
         local_service = std::make_unique<serve::ProfileService>(
-            serve::ServiceConfig{});
+            std::move(service_config));
+    }
 
     std::atomic<std::uint64_t> mismatches{0};
     std::atomic<std::uint64_t> failures{0};
     std::atomic<std::uint64_t> blocks_sent{0};
     std::atomic<std::uint64_t> records_sent{0};
+    std::atomic<std::uint64_t> phase_events_seen{0};
+    std::atomic<std::uint64_t> phase_mismatches{0};
 
     {
         BWSA_SPAN("serve.load");
@@ -248,9 +300,25 @@ main(int argc, char **argv)
                 std::vector<std::size_t> offset(mine.size(), 0);
                 std::vector<std::uint64_t> blocks(mine.size(), 0);
                 for (std::uint64_t id : mine)
-                    if (!client.begin(id))
+                    if (!client.begin(id, 0,
+                                      options.phases ? options.interval
+                                                     : 0))
                         bwsa_fatal("begin failed: ",
                                    client.lastError());
+
+                // Live PhaseEvent frames, bucketed per session as
+                // they arrive (this worker owns all its sessions, so
+                // no cross-thread ordering is in play).
+                std::map<std::uint64_t,
+                         std::vector<serve::PhaseEventInfo>>
+                    live_events;
+                auto drainLiveEvents = [&] {
+                    for (auto &[sid, info] :
+                         client.takePhaseEvents()) {
+                        live_events[sid].push_back(info);
+                        phase_events_seen.fetch_add(1);
+                    }
+                };
 
                 bool progress = true;
                 while (progress) {
@@ -273,6 +341,7 @@ main(int argc, char **argv)
                         blocks_sent.fetch_add(1);
                         records_sent.fetch_add(n);
                         progress = true;
+                        drainLiveEvents();
                         if (snapshot_every != 0 &&
                             blocks[k] % snapshot_every == 0 &&
                             !client.snapshotBytes(mine[k]))
@@ -284,6 +353,9 @@ main(int argc, char **argv)
                 for (std::size_t k = 0; k < mine.size(); ++k) {
                     std::optional<std::string> bytes =
                         client.finishBytes(mine[k]);
+                    // Finish flushes the tail window, so its response
+                    // may carry the trace's final boundary.
+                    drainLiveEvents();
                     if (!bytes) {
                         failures.fetch_add(1);
                         warn("finish failed for session ", mine[k],
@@ -296,6 +368,16 @@ main(int argc, char **argv)
                              inputs[mine[k]].label,
                              "): streamed artifact differs from "
                              "batch");
+                    }
+                    if (options.phases &&
+                        live_events[mine[k]] !=
+                            *inputs[mine[k]].expected_events) {
+                        phase_mismatches.fetch_add(1);
+                        warn("session ", mine[k], " (",
+                             inputs[mine[k]].label, "): received ",
+                             live_events[mine[k]].size(),
+                             " phase events, serial detector says ",
+                             inputs[mine[k]].expected_events->size());
                     }
                 }
             });
@@ -336,19 +418,37 @@ main(int argc, char **argv)
     emitTable("service latency", latency, options);
 
     TextTable exactness({"sessions", "clients", "blocks", "records",
-                         "mismatches", "failures"});
+                         "mismatches", "failures", "phase events",
+                         "phase mismatches"});
     exactness.addRow({withCommas(sessions),
                       withCommas(std::uint64_t(clients)),
                       withCommas(blocks_sent.load()),
                       withCommas(records_sent.load()),
                       withCommas(mismatches.load()),
-                      withCommas(failures.load())});
+                      withCommas(failures.load()),
+                      withCommas(phase_events_seen.load()),
+                      withCommas(phase_mismatches.load())});
     emitTable("service exactness", exactness, options);
+
+    // With --phases the multi-phase workloads must actually raise
+    // live events; a silent zero means the push path is broken even
+    // if the per-session comparisons were vacuously equal.
+    std::uint64_t events_expected = 0;
+    for (std::uint64_t i = 0; i < sessions; ++i)
+        events_expected += inputs[i].expected_events->size();
 
     int rc = finishBench(options);
     if (mismatches.load() != 0 || failures.load() != 0)
         bwsa_fatal("service exactness violated: ",
                    mismatches.load(), " mismatching artifacts, ",
                    failures.load(), " failed sessions");
+    if (phase_mismatches.load() != 0)
+        bwsa_fatal("phase-event exactness violated: ",
+                   phase_mismatches.load(),
+                   " sessions diverged from the serial detector");
+    if (options.phases && events_expected > 0 &&
+        phase_events_seen.load() == 0)
+        bwsa_fatal("no live phase events observed (expected ",
+                   events_expected, ")");
     return rc;
 }

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "core/allocation.hh"
+#include "obs/phase_detect.hh"
 #include "predict/factory.hh"
 #include "profile/interleave.hh"
 #include "profile/shard.hh"
@@ -257,6 +258,35 @@ struct StreamingSessionConfig
      * "tenant3/session17"); required when spilling is enabled.
      */
     std::string spill_scope;
+
+    /**
+     * Working-set window width of the online phase detector, in
+     * timestamp units; 0 disables phase detection.  The session owns
+     * its accumulator/detector pair (the interleave config must not
+     * carry an external one) and feeds it continuously, so the
+     * timeline over any block partitioning is the serial timeline.
+     */
+    std::uint64_t phase_interval = 0;
+
+    /** Detector knobs (threshold, hysteresis, min length). */
+    obs::PhaseDetectorConfig phase_config;
+};
+
+/**
+ * One live phase boundary observed by a streaming session: phase
+ * @p index opened at @p start_ts because window similarity dropped to
+ * @p similarity.  The serve daemon pushes these to clients as
+ * PhaseEvent frames the moment the block that crossed the boundary is
+ * ingested.
+ */
+struct StreamingPhaseEvent
+{
+    std::uint64_t index = 0;         ///< newly opened phase index
+    std::uint64_t start_ts = 0;      ///< its first window start
+    std::uint64_t prev_start_ts = 0; ///< previous phase start
+    double similarity = 0.0;         ///< boundary window similarity
+
+    bool operator==(const StreamingPhaseEvent &) const = default;
 };
 
 /**
@@ -344,9 +374,27 @@ class StreamingProfileSession
 
     const StreamingSessionConfig &config() const { return _config; }
 
+    /** True when the config enabled online phase detection. */
+    bool phasesEnabled() const { return _phase_accum != nullptr; }
+
+    /**
+     * Drain the phase boundaries crossed since the last drain (or
+     * session start).  Only meaningful with phasesEnabled(); finish()
+     * flushes the tail window first, so a boundary in the final
+     * partial window is delivered by a drain after finish().
+     */
+    std::vector<StreamingPhaseEvent> takePhaseEvents();
+
+    /**
+     * Current phase segmentation (the last phase is still growing
+     * before finish()).  Fatal unless phasesEnabled().
+     */
+    obs::PhaseTimeline phaseTimeline() const;
+
   private:
     ConflictGraph mergedGraph();
     void spillEpoch();
+    void drainPhaseWindows();
     std::string spillKey(std::uint64_t epoch) const;
 
     StreamingSessionConfig _config;
@@ -360,6 +408,12 @@ class StreamingProfileSession
     std::uint64_t _last_timestamp = 0;
     std::uint64_t _epochs = 0;
     bool _finished = false;
+
+    /** Online phase detection (null unless phase_interval > 0). */
+    std::unique_ptr<obs::PhaseAccumulator> _phase_accum;
+    std::unique_ptr<obs::PhaseDetector> _phase_detector;
+    std::size_t _phase_windows_seen = 0;
+    std::vector<StreamingPhaseEvent> _phase_events;
 };
 
 } // namespace bwsa

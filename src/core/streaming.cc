@@ -25,6 +25,16 @@ StreamingProfileSession::StreamingProfileSession(
         !pipeline.interleave.series_scope.empty())
         bwsa_fatal("streaming sessions do not support per-branch "
                    "telemetry or time-series scopes");
+    if (pipeline.interleave.phase)
+        bwsa_fatal("streaming sessions own their phase accumulator; "
+                   "set phase_interval instead of an external "
+                   "InterleaveConfig::phase");
+    if (_config.phase_interval != 0) {
+        _phase_accum = std::make_unique<obs::PhaseAccumulator>(
+            _config.phase_interval);
+        _phase_detector = std::make_unique<obs::PhaseDetector>(
+            _config.phase_interval, _config.phase_config);
+    }
     if (_config.max_resident_bytes != 0) {
         if (!_config.spill_cache)
             bwsa_fatal("bounded streaming sessions need a spill "
@@ -92,8 +102,11 @@ StreamingProfileSession::appendBlock(const BranchRecord *records,
         tracker.onBranch(record);
         if (stitch && !stitch->done())
             stitch->onBranch(record);
+        if (_phase_accum)
+            _phase_accum->sample(record.pc, record.timestamp);
     }
     tracker.onEnd();
+    drainPhaseWindows();
     _last_timestamp = last_ts;
     _records += count;
     ++_blocks;
@@ -213,11 +226,63 @@ StreamingProfileSession::allocate(std::uint64_t table_size)
                             _config.pipeline.allocation);
 }
 
+void
+StreamingProfileSession::drainPhaseWindows()
+{
+    if (!_phase_accum)
+        return;
+    // Closed windows are immutable (prefix-stable), so the detector
+    // consumes exactly the windows new since the last drain; the
+    // timeline over any block partitioning is the serial timeline.
+    const std::vector<obs::PhaseWindowStat> &windows =
+        _phase_accum->windows();
+    for (; _phase_windows_seen < windows.size();
+         ++_phase_windows_seen) {
+        const obs::PhaseWindowStat &stat =
+            windows[_phase_windows_seen];
+        if (_phase_detector->observe(stat)) {
+            const std::vector<obs::Phase> &phases =
+                _phase_detector->phases();
+            StreamingPhaseEvent event;
+            event.index = phases.size() - 1;
+            event.start_ts = phases.back().start_ts;
+            event.prev_start_ts =
+                phases[phases.size() - 2].start_ts;
+            event.similarity = phases.back().boundary_similarity;
+            _phase_events.push_back(event);
+        }
+    }
+}
+
+std::vector<StreamingPhaseEvent>
+StreamingProfileSession::takePhaseEvents()
+{
+    std::vector<StreamingPhaseEvent> out;
+    out.swap(_phase_events);
+    return out;
+}
+
+obs::PhaseTimeline
+StreamingProfileSession::phaseTimeline() const
+{
+    if (!_phase_detector)
+        bwsa_fatal("phaseTimeline() on a session configured without "
+                   "phase detection");
+    return _phase_detector->timeline();
+}
+
 store::ProfileArtifact
 StreamingProfileSession::finish()
 {
     if (_finished)
         bwsa_panic("StreamingProfileSession: finish() called twice");
+    if (_phase_accum) {
+        // Flush the tail partial window so the trace's final phase is
+        // visible in the timeline and its boundary (if any) is
+        // delivered as a last event.
+        _phase_accum->finish();
+        drainPhaseWindows();
+    }
     store::ProfileArtifact artifact = snapshot();
     _finished = true;
     if (_config.spill_cache)

@@ -29,6 +29,7 @@ RunReport::begin(const std::string &bench_name)
     _tables.clear();
     _interference.clear();
     _branches.clear();
+    _phase_scopes.clear();
 }
 
 bool
@@ -90,6 +91,13 @@ RunReport::addBranchTelemetry(JsonValue entry)
     _branches.push_back(std::move(entry));
 }
 
+void
+RunReport::addPhaseScope(JsonValue entry)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _phase_scopes.push_back(std::move(entry));
+}
+
 JsonValue
 RunReport::build(const MetricsSnapshot &metrics,
                  const std::vector<PhaseStat> &phases,
@@ -98,7 +106,7 @@ RunReport::build(const MetricsSnapshot &metrics,
     std::lock_guard<std::mutex> lock(_mutex);
 
     JsonValue doc = JsonValue::object();
-    doc["schema"] = "bwsa.run_report.v3";
+    doc["schema"] = "bwsa.run_report.v4";
     doc["bench"] = _bench_name;
     doc["started_unix_ms"] = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -148,6 +156,11 @@ RunReport::build(const MetricsSnapshot &metrics,
     for (const JsonValue &entry : _branches)
         branches.push(entry);
     doc["branches"] = std::move(branches);
+    // v4 section: one entry per scope that ran phase detection.
+    JsonValue phase_scopes = JsonValue::array();
+    for (const JsonValue &entry : _phase_scopes)
+        phase_scopes.push(entry);
+    doc["execution_phases"] = std::move(phase_scopes);
 
     JsonValue tables = JsonValue::array();
     for (const Table &table : _tables) {

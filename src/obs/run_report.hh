@@ -7,16 +7,16 @@
  * tables it printed -- and serializes a single JSON document that
  * also embeds the per-phase span summary from the PhaseTracer, a
  * full MetricsRegistry snapshot, every TimeSeries the global
- * TimeSeriesRegistry collected, any interference-probe results and
- * any per-branch telemetry.  The document follows a stable schema
- * (`bwsa.run_report.v3`, see DESIGN.md §Observability) so reports
- * from different runs and revisions can be diffed and tracked over
- * time.
+ * TimeSeriesRegistry collected, any interference-probe results, any
+ * per-branch telemetry and any execution-phase attributions.  The
+ * document follows a stable schema (`bwsa.run_report.v4`, see
+ * DESIGN.md §Observability) so reports from different runs and
+ * revisions can be diffed and tracked over time.
  *
  * Document layout:
  *
  *   {
- *     "schema": "bwsa.run_report.v3",
+ *     "schema": "bwsa.run_report.v4",
  *     "bench": "<binary name>",
  *     "started_unix_ms": <system clock at begin()>,
  *     "wall_seconds": <begin() .. build() wall time>,
@@ -29,16 +29,21 @@
  *     "timeseries": [ <TimeSeries::toJson() entries>, ... ],
  *     "interference": [ <BhtInterferenceProbe::reportJson()>, ... ],
  *     "branches": [ <one per-branch telemetry scope entry>, ... ],
+ *     "execution_phases": [ <one phase-attribution scope entry>, ...],
  *     "tables": [ { "title", "columns": [...],
  *                   "rows": [[cell, ...], ...] }, ... ]
  *   }
  *
  * v2 added the (possibly empty) "timeseries" and "interference"
- * arrays; v3 adds the (possibly empty) "branches" array -- one entry
+ * arrays; v3 added the (possibly empty) "branches" array -- one entry
  * per benchmark scope, carrying per-static-branch telemetry plus the
  * aggregate totals it must reconcile with (see bench_common's
- * --branch-telemetry and tools/check_report_schema.py).  Everything a
- * v1/v2 consumer read is unchanged.
+ * --branch-telemetry and tools/check_report_schema.py); v4 adds the
+ * (possibly empty) "execution_phases" array -- one entry per scope,
+ * carrying the detected phase timeline, per-phase totals and the
+ * phase-transition (working-set similarity) matrix ("phases" was
+ * already taken by the span-timing summary).  Everything a v1/v2/v3
+ * consumer read is unchanged.
  */
 
 #ifndef BWSA_OBS_RUN_REPORT_HH
@@ -105,6 +110,15 @@ class RunReport
     void addBranchTelemetry(JsonValue entry);
 
     /**
+     * Record one execution-phase attribution scope entry (built by
+     * the bench harness from a PhaseTimeline plus per-phase replay
+     * attributions).  Thread-safe: parallel sweep cells append
+     * concurrently; entries serialize in arrival order (consumers key
+     * by the entry's "scope").
+     */
+    void addPhaseScope(JsonValue entry);
+
+    /**
      * Build the document from the given snapshot and phase summary.
      */
     JsonValue build(const MetricsSnapshot &metrics,
@@ -135,6 +149,7 @@ class RunReport
     std::vector<Table> _tables;
     std::vector<JsonValue> _interference;
     std::vector<JsonValue> _branches;
+    std::vector<JsonValue> _phase_scopes;
 };
 
 } // namespace bwsa::obs

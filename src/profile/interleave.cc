@@ -2,6 +2,7 @@
 
 #include "obs/branch_telemetry.hh"
 #include "obs/metrics.hh"
+#include "obs/phase_detect.hh"
 #include "obs/phase_tracer.hh"
 #include "util/logging.hh"
 
@@ -85,6 +86,8 @@ InterleaveTracker::onBranch(const BranchRecord &record)
     if (_config.telemetry)
         _config.telemetry->record(record.pc, record.taken,
                                   record.timestamp);
+    if (_config.phase)
+        _config.phase->sample(record.pc, record.timestamp);
 
     ListNode &node = _list[id];
     if (node.in_list) {

@@ -41,6 +41,7 @@ namespace bwsa
 namespace obs
 {
 class BranchTelemetryMap;
+class PhaseAccumulator;
 } // namespace obs
 
 /** Tuning knobs of the interleave analysis. */
@@ -71,6 +72,16 @@ struct InterleaveConfig
      * map (see obs/branch_telemetry.hh).
      */
     obs::BranchTelemetryMap *telemetry = nullptr;
+
+    /**
+     * Lossless phase-signal accumulator fed one (pc, timestamp) pair
+     * per dynamic branch (see obs/phase_detect.hh).  Not owned; null
+     * disables collection.  Like the telemetry map, the sharded
+     * engine substitutes a cold accumulator per segment and folds
+     * them in segment order; the owner calls finish() after the fold,
+     * so the tracker's onEnd() must not.
+     */
+    obs::PhaseAccumulator *phase = nullptr;
 };
 
 /**

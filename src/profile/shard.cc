@@ -7,6 +7,7 @@
 #include "exec/thread_pool.hh"
 #include "obs/branch_telemetry.hh"
 #include "obs/metrics.hh"
+#include "obs/phase_detect.hh"
 #include "obs/phase_tracer.hh"
 #include "obs/timeseries.hh"
 #include "profile/stitch.hh"
@@ -147,6 +148,12 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
     obs::BranchTelemetryMap *telemetry = config.interleave.telemetry;
     std::vector<std::unique_ptr<obs::BranchTelemetryMap>> shard_maps(
         telemetry ? count : 0);
+    // The phase accumulator folds exactly like the telemetry map: a
+    // cold accumulator per segment, appended in segment order (each
+    // fold repairs the one window a segment boundary may have split).
+    obs::PhaseAccumulator *phase = config.interleave.phase;
+    std::vector<std::unique_ptr<obs::PhaseAccumulator>> shard_phases(
+        phase ? count : 0);
     std::vector<ShardResult> results(count);
     stats.timings.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -172,6 +179,12 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
                         telemetry->order());
                 shard_config.telemetry = shard_maps[i].get();
             }
+            if (phase) {
+                shard_phases[i] =
+                    std::make_unique<obs::PhaseAccumulator>(
+                        phase->interval());
+                shard_config.phase = shard_phases[i].get();
+            }
             InterleaveTracker tracker(results[i].graph, shard_config);
             ShardProgressSink sink(tracker, progress);
             replayFiltered(segments[i], config.selection, sink);
@@ -192,6 +205,9 @@ profileTraceSharded(const TraceSource &source, ConflictGraph &graph,
     if (telemetry)
         for (std::size_t i = 0; i < count; ++i)
             telemetry->mergeAppend(*shard_maps[i]);
+    if (phase)
+        for (std::size_t i = 0; i < count; ++i)
+            phase->mergeAppend(*shard_phases[i]);
 
     // --- Boundary window states, composed from per-shard summaries
     // (no serial scan of the trace is needed).  boundaries[k] is the

@@ -87,8 +87,14 @@ FdChannel::roundTrip(const Frame &request, Frame &response,
             error = "protocol error: " + _reader.error();
             return false;
         }
-        if (_reader.next(response))
-            return true;
+        // Server-pushed notifications arrive before the response of
+        // the request that raised them; divert them so the caller's
+        // request/response correlation holds.
+        while (_reader.next(response)) {
+            if (response.type != FrameType::PhaseEvent)
+                return true;
+            _events.push_back(std::move(response));
+        }
         ssize_t n = ::read(_read_fd, buffer, sizeof(buffer));
         if (n < 0) {
             if (errno == EINTR)
@@ -125,6 +131,7 @@ ServeClient::call(FrameType type, std::uint64_t session,
         _last_error = transport_error;
         return false;
     }
+    collectEvents();
     _last_status = response.status;
     if (response.status != FrameStatus::Ok) {
         _last_error = std::string(frameStatusName(response.status)) +
@@ -145,13 +152,37 @@ ServeClient::hello()
 }
 
 bool
-ServeClient::begin(std::uint64_t id, std::uint64_t max_window)
+ServeClient::begin(std::uint64_t id, std::uint64_t max_window,
+                   std::uint64_t phase_interval)
 {
     std::string payload;
-    if (max_window != 0)
+    if (max_window != 0 || phase_interval != 0)
         appendU64(payload, max_window);
+    if (phase_interval != 0)
+        appendU64(payload, phase_interval);
     Frame response;
     return call(FrameType::Begin, id, std::move(payload), response);
+}
+
+void
+ServeClient::collectEvents()
+{
+    for (Frame &frame : _channel.drainEvents()) {
+        if (frame.type != FrameType::PhaseEvent || !frame.crc_ok)
+            continue;
+        PhaseEventInfo info;
+        std::string error;
+        if (decodePhaseEventPayload(frame.payload, info, error))
+            _phase_events.emplace_back(frame.session, info);
+    }
+}
+
+std::vector<std::pair<std::uint64_t, PhaseEventInfo>>
+ServeClient::takePhaseEvents()
+{
+    std::vector<std::pair<std::uint64_t, PhaseEventInfo>> out;
+    out.swap(_phase_events);
+    return out;
 }
 
 bool

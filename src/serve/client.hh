@@ -48,6 +48,23 @@ class ServeChannel
      */
     virtual bool roundTrip(const Frame &request, Frame &response,
                            std::string &error) = 0;
+
+    /**
+     * Server-pushed notification frames (PhaseEvent) collected while
+     * waiting for responses, in arrival order; drains the buffer.
+     * Virtual so decorating channels (latency shims) forward to the
+     * channel that actually buffered them.
+     */
+    virtual std::vector<Frame>
+    drainEvents()
+    {
+        std::vector<Frame> out;
+        out.swap(_events);
+        return out;
+    }
+
+  protected:
+    std::vector<Frame> _events;
 };
 
 /** In-process channel: frames handed straight to a ProfileService. */
@@ -63,7 +80,7 @@ class LoopbackChannel : public ServeChannel
               std::string &error) override
     {
         (void)error;
-        response = _service.handle(_tenant, request);
+        response = _service.handle(_tenant, request, &_events);
         return true;
     }
 
@@ -109,8 +126,15 @@ class ServeClient
     /** Version handshake; false on mismatch or transport failure. */
     bool hello();
 
-    /** Open session @p id (@p max_window 0 = server default). */
-    bool begin(std::uint64_t id, std::uint64_t max_window = 0);
+    /**
+     * Open session @p id (@p max_window 0 = server default).
+     * @p phase_interval > 0 turns on the server's online phase
+     * detector with that window width; the daemon then pushes a
+     * PhaseEvent frame for every boundary crossed (collected through
+     * takePhaseEvents()).
+     */
+    bool begin(std::uint64_t id, std::uint64_t max_window = 0,
+               std::uint64_t phase_interval = 0);
 
     /** Stream one block of records into session @p id. */
     bool append(std::uint64_t id, const BranchRecord *records,
@@ -148,6 +172,21 @@ class ServeClient
     /** Human-readable reason for the last failed verb. */
     const std::string &lastError() const { return _last_error; }
 
+    /**
+     * Drain the phase boundaries the daemon has pushed since the
+     * last drain, in arrival order (across all of this client's
+     * sessions; the session id travels in the frame header and is
+     * surfaced per event).
+     */
+    std::vector<std::pair<std::uint64_t, PhaseEventInfo>>
+    takePhaseEvents();
+
+    /** Phase events collected and not yet drained. */
+    std::size_t pendingPhaseEvents() const
+    {
+        return _phase_events.size();
+    }
+
   private:
     bool call(FrameType type, std::uint64_t session,
               std::string payload, Frame &response);
@@ -158,9 +197,13 @@ class ServeClient
     std::optional<store::ProfileArtifact>
     parseArtifact(std::optional<std::string> bytes);
 
+    void collectEvents();
+
     ServeChannel &_channel;
     FrameStatus _last_status = FrameStatus::Ok;
     std::string _last_error;
+    std::vector<std::pair<std::uint64_t, PhaseEventInfo>>
+        _phase_events;
 };
 
 } // namespace bwsa::serve

@@ -1,6 +1,7 @@
 #include "serve/protocol.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "store/crc32.hh"
 #include "trace/varint.hh"
@@ -24,6 +25,8 @@ frameTypeName(FrameType type)
         return "finish";
     case FrameType::Shutdown:
         return "shutdown";
+    case FrameType::PhaseEvent:
+        return "phase-event";
     }
     return "unknown";
 }
@@ -113,7 +116,7 @@ FrameReader::feed(const char *data, std::size_t size)
             return fail("oversized payload length " +
                         std::to_string(payload_len));
         if (type < static_cast<unsigned char>(FrameType::Hello) ||
-            type > static_cast<unsigned char>(FrameType::Shutdown))
+            type > static_cast<unsigned char>(FrameType::PhaseEvent))
             return fail("unknown frame type " + std::to_string(type));
 
         const std::size_t total =
@@ -184,6 +187,37 @@ decodeAppendPayload(const std::string &payload,
     return store::decodeBlockPayload(payload.data() + 8,
                                      payload.size() - 8, count, out,
                                      error);
+}
+
+std::string
+encodePhaseEventPayload(const PhaseEventInfo &event)
+{
+    std::string out;
+    out.reserve(32);
+    appendU64(out, event.index);
+    appendU64(out, event.start_ts);
+    appendU64(out, event.prev_start_ts);
+    appendU64(out, std::bit_cast<std::uint64_t>(event.similarity));
+    return out;
+}
+
+bool
+decodePhaseEventPayload(const std::string &payload,
+                        PhaseEventInfo &out, std::string &error)
+{
+    if (payload.size() != 32) {
+        error = "phase-event payload must be 32 bytes, got " +
+                std::to_string(payload.size());
+        return false;
+    }
+    ByteCursor cur(payload);
+    std::uint64_t bits = 0;
+    cur.getU64(out.index);
+    cur.getU64(out.start_ts);
+    cur.getU64(out.prev_start_ts);
+    cur.getU64(bits);
+    out.similarity = std::bit_cast<double>(bits);
+    return true;
 }
 
 } // namespace bwsa::serve

@@ -53,7 +53,15 @@ enum class FrameType : std::uint8_t
     Append = 3,   ///< ingest one block of records
     Snapshot = 4, ///< profile-so-far without ending the session
     Finish = 5,   ///< final profile; closes the session
-    Shutdown = 6  ///< ask the daemon to stop accepting work
+    Shutdown = 6, ///< ask the daemon to stop accepting work
+    /**
+     * Server-pushed notification: the session crossed a phase
+     * boundary while ingesting the preceding Append (or flushing the
+     * tail window on Finish).  Never a request; sent *before* the
+     * response frame of the request that crossed the boundary, so
+     * clients draining frames in order see the event first.
+     */
+    PhaseEvent = 7
 };
 
 /** Response status; Ok on requests. */
@@ -142,6 +150,28 @@ std::string encodeAppendPayload(const BranchRecord *records,
 bool decodeAppendPayload(const std::string &payload,
                          std::vector<BranchRecord> &out,
                          std::string &error);
+
+/** One decoded PhaseEvent notification. */
+struct PhaseEventInfo
+{
+    std::uint64_t index = 0;         ///< newly opened phase index
+    std::uint64_t start_ts = 0;      ///< its first window start
+    std::uint64_t prev_start_ts = 0; ///< previous phase start
+    double similarity = 0.0;         ///< boundary window similarity
+
+    bool operator==(const PhaseEventInfo &) const = default;
+};
+
+/**
+ * Encode a PhaseEvent payload: u64 index, u64 start, u64 previous
+ * start, u64 similarity (IEEE-754 bit pattern, so the value survives
+ * the wire bit-exactly).
+ */
+std::string encodePhaseEventPayload(const PhaseEventInfo &event);
+
+/** Decode a PhaseEvent payload (strict length). */
+bool decodePhaseEventPayload(const std::string &payload,
+                             PhaseEventInfo &out, std::string &error);
 
 } // namespace bwsa::serve
 

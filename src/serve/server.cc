@@ -79,8 +79,15 @@ serveConnection(ProfileService &service, std::uint64_t tenant,
         Frame request;
         bool closing = false;
         while (reader.next(request)) {
-            Frame response = service.handle(tenant, request);
-            if (!writeAll(write_fd, encodeFrame(response))) {
+            std::vector<Frame> events;
+            Frame response = service.handle(tenant, request, &events);
+            // Pushed notifications go out before the response, so a
+            // client draining in order sees the boundary first.
+            std::string bytes;
+            for (const Frame &event : events)
+                bytes += encodeFrame(event);
+            bytes += encodeFrame(response);
+            if (!writeAll(write_fd, bytes)) {
                 warn("serve: tenant ", tenant, " write failed");
                 clean = false;
                 closing = true;

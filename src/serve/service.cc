@@ -48,6 +48,33 @@ okFrame(const Frame &request, std::string payload = {})
     return response;
 }
 
+/**
+ * Encode the boundaries a session crossed while serving the current
+ * request as PhaseEvent frames.  Caller holds the session lock.
+ */
+void
+drainPhaseEvents(StreamingProfileSession &session,
+                 std::uint64_t session_id, std::vector<Frame> *events)
+{
+    if (!session.phasesEnabled())
+        return;
+    for (const StreamingPhaseEvent &event :
+         session.takePhaseEvents()) {
+        if (!events)
+            continue;
+        PhaseEventInfo info;
+        info.index = event.index;
+        info.start_ts = event.start_ts;
+        info.prev_start_ts = event.prev_start_ts;
+        info.similarity = event.similarity;
+        Frame frame;
+        frame.type = FrameType::PhaseEvent;
+        frame.session = session_id;
+        frame.payload = encodePhaseEventPayload(info);
+        events->push_back(std::move(frame));
+    }
+}
+
 } // namespace
 
 ProfileService::ProfileService(ServiceConfig config)
@@ -83,7 +110,8 @@ ProfileService::findSession(std::uint64_t tenant, std::uint64_t id)
 }
 
 Frame
-ProfileService::handle(std::uint64_t tenant, const Frame &request)
+ProfileService::handle(std::uint64_t tenant, const Frame &request,
+                       std::vector<Frame> *events)
 {
     _requests.inc();
     Frame response;
@@ -100,17 +128,25 @@ ProfileService::handle(std::uint64_t tenant, const Frame &request)
                 response = handleBegin(tenant, request);
                 break;
             case FrameType::Append:
-                response = handleAppend(tenant, request);
+                response = handleAppend(tenant, request, events);
                 break;
             case FrameType::Snapshot:
-                response = handleSnapshot(tenant, request, false);
+                response =
+                    handleSnapshot(tenant, request, false, events);
                 break;
             case FrameType::Finish:
-                response = handleSnapshot(tenant, request, true);
+                response =
+                    handleSnapshot(tenant, request, true, events);
                 break;
             case FrameType::Shutdown:
                 _shutdown.store(true, std::memory_order_release);
                 response = okFrame(request);
+                break;
+            case FrameType::PhaseEvent:
+                response = errorFrame(request,
+                                      FrameStatus::BadPayload,
+                                      "phase-event frames are "
+                                      "server-pushed, not requests");
                 break;
             }
         }
@@ -146,12 +182,17 @@ Frame
 ProfileService::handleBegin(std::uint64_t tenant, const Frame &request)
 {
     std::uint64_t max_window = 0;
+    std::uint64_t phase_interval = 0;
     if (!request.payload.empty()) {
         ByteCursor cur(request.payload);
-        if (!cur.getU64(max_window) || !cur.atEnd())
+        bool ok = cur.getU64(max_window);
+        if (ok && !cur.atEnd())
+            ok = cur.getU64(phase_interval);
+        if (!ok || !cur.atEnd())
             return errorFrame(request, FrameStatus::BadPayload,
-                              "begin payload must be empty or one "
-                              "u64 window override");
+                              "begin payload must be empty, one u64 "
+                              "window override, or u64 window + u64 "
+                              "phase interval");
     }
 
     StreamingSessionConfig session_config;
@@ -160,9 +201,14 @@ ProfileService::handleBegin(std::uint64_t tenant, const Frame &request)
     session_config.pipeline.max_static = 0;
     session_config.pipeline.interleave.telemetry = nullptr;
     session_config.pipeline.interleave.series_scope.clear();
+    session_config.pipeline.interleave.phase = nullptr;
     if (max_window != 0)
         session_config.pipeline.interleave.max_window =
             static_cast<std::size_t>(max_window);
+    if (phase_interval != 0) {
+        session_config.phase_interval = phase_interval;
+        session_config.phase_config = _config.phase_config;
+    }
     if (_config.max_session_bytes != 0) {
         session_config.max_resident_bytes = _config.max_session_bytes;
         session_config.spill_cache = _config.spill_cache;
@@ -190,7 +236,8 @@ ProfileService::handleBegin(std::uint64_t tenant, const Frame &request)
 
 Frame
 ProfileService::handleAppend(std::uint64_t tenant,
-                             const Frame &request)
+                             const Frame &request,
+                             std::vector<Frame> *events)
 {
     Clock::time_point start = Clock::now();
     std::shared_ptr<SessionState> state =
@@ -228,13 +275,15 @@ ProfileService::handleAppend(std::uint64_t tenant,
     } else {
         session.appendBlock(records);
     }
+    drainPhaseEvents(session, request.session, events);
     _ingest_ns.observe(nanosSince(start));
     return okFrame(request);
 }
 
 Frame
 ProfileService::handleSnapshot(std::uint64_t tenant,
-                               const Frame &request, bool finish)
+                               const Frame &request, bool finish,
+                               std::vector<Frame> *events)
 {
     Clock::time_point start = Clock::now();
     std::shared_ptr<SessionState> state =
@@ -255,6 +304,10 @@ ProfileService::handleSnapshot(std::uint64_t tenant,
         } else {
             artifact = finish ? session.finish() : session.snapshot();
         }
+        if (finish)
+            // finish() flushed the tail window; a boundary there is
+            // the session's last chance to raise an event.
+            drainPhaseEvents(session, request.session, events);
         payload = store::serializeProfileArtifact(artifact);
     }
     if (finish) {

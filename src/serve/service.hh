@@ -65,6 +65,13 @@ struct ServiceConfig
 
     /** Spill target (not owned); required when bounding memory. */
     store::ArtifactCache *spill_cache = nullptr;
+
+    /**
+     * Phase-detector knobs applied to sessions that request online
+     * phase detection in their Begin frame (the window interval is
+     * per-session, carried in the Begin payload).
+     */
+    obs::PhaseDetectorConfig phase_config;
 };
 
 /**
@@ -81,8 +88,16 @@ class ProfileService
     /**
      * Serve one request for @p tenant; always returns a response
      * frame (echoing the request type and session id).  Thread-safe.
+     *
+     * When @p events is non-null, server-pushed notification frames
+     * raised by the request (PhaseEvent boundaries crossed by an
+     * Append or the tail flush of a Finish) are appended to it; the
+     * transport must deliver them *before* the response frame.  A
+     * null @p events drops the notifications (a session opened
+     * without phase detection raises none).
      */
-    Frame handle(std::uint64_t tenant, const Frame &request);
+    Frame handle(std::uint64_t tenant, const Frame &request,
+                 std::vector<Frame> *events = nullptr);
 
     /**
      * Drop every live session of @p tenant (connection torn down);
@@ -126,9 +141,10 @@ class ProfileService
 
     Frame handleHello(const Frame &request);
     Frame handleBegin(std::uint64_t tenant, const Frame &request);
-    Frame handleAppend(std::uint64_t tenant, const Frame &request);
+    Frame handleAppend(std::uint64_t tenant, const Frame &request,
+                       std::vector<Frame> *events);
     Frame handleSnapshot(std::uint64_t tenant, const Frame &request,
-                         bool finish);
+                         bool finish, std::vector<Frame> *events);
 
     std::shared_ptr<SessionState> findSession(std::uint64_t tenant,
                                               std::uint64_t id);

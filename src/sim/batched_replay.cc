@@ -141,6 +141,11 @@ struct BatchedReplayer::Lane
     /** Totals already flushed to the metrics registry. */
     std::uint64_t flushed_branches = 0;
     std::uint64_t flushed_mispredicts = 0;
+
+    // Phase attribution (setPhaseTimeline()).
+    std::vector<LanePhaseBin> phase_bins;
+    /** Probe destructive total already binned to earlier phases. */
+    std::uint64_t phase_destructive_base = 0;
 };
 
 BatchedReplayer::BatchedReplayer(bool per_branch)
@@ -401,6 +406,20 @@ void
 BatchedReplayer::onBranch(const BranchRecord &record)
 {
     _sealed = true;
+    const bool attribute = _timeline && !_timeline->phases.empty();
+    if (attribute) {
+        if (_phase_pcs.empty()) {
+            // First record: lanes are final now, size the bins.
+            _phase_pcs.resize(_timeline->phases.size());
+            for (const std::unique_ptr<Lane> &lane : _lanes)
+                lane->phase_bins.resize(_timeline->phases.size());
+        }
+        const std::vector<obs::Phase> &phases = _timeline->phases;
+        while (_phase_index + 1 < phases.size() &&
+               record.timestamp >= phases[_phase_index + 1].start_ts)
+            advancePhase();
+        _phase_pcs[_phase_index].insert(record.pc);
+    }
     for (const std::unique_ptr<Lane> &lane_ptr : _lanes) {
         Lane &lane = *lane_ptr;
         bool predicted = step(lane, record.pc, record.taken);
@@ -411,7 +430,31 @@ BatchedReplayer::onBranch(const BranchRecord &record)
         if (lane.miss_series)
             lane.miss_series->record(record.timestamp,
                                      miss ? 1.0 : 0.0);
+        if (attribute) {
+            LanePhaseBin &bin = lane.phase_bins[_phase_index];
+            ++bin.executed;
+            if (miss)
+                ++bin.mispredicted;
+        }
     }
+}
+
+void
+BatchedReplayer::advancePhase()
+{
+    // Closing a phase: bin the probe destructive events it produced
+    // (delta against what earlier phases already claimed).
+    for (std::size_t i = 0; i < _lanes.size(); ++i) {
+        const BhtInterferenceProbe *lane_probe = probe(i);
+        if (!lane_probe)
+            continue;
+        Lane &lane = *_lanes[i];
+        const std::uint64_t total = lane_probe->counters().destructive;
+        lane.phase_bins[_phase_index].destructive =
+            total - lane.phase_destructive_base;
+        lane.phase_destructive_base = total;
+    }
+    ++_phase_index;
 }
 
 void
@@ -427,6 +470,20 @@ BatchedReplayer::onEnd()
                                  lane.flushed_mispredicts);
         lane.flushed_branches = lane.stats.mispredicts.total();
         lane.flushed_mispredicts = lane.stats.mispredicts.events();
+    }
+    // The last phase never crosses a boundary; settle its destructive
+    // bin here.  Idempotent: the base is not advanced, so a repeated
+    // onEnd() recomputes the same delta.
+    if (_timeline && !_phase_pcs.empty()) {
+        for (std::size_t i = 0; i < _lanes.size(); ++i) {
+            const BhtInterferenceProbe *lane_probe = probe(i);
+            if (!lane_probe)
+                continue;
+            Lane &lane = *_lanes[i];
+            lane.phase_bins[_phase_index].destructive =
+                lane_probe->counters().destructive -
+                lane.phase_destructive_base;
+        }
     }
 }
 
@@ -477,6 +534,26 @@ const std::string &
 BatchedReplayer::laneName(std::size_t lane) const
 {
     return stats(lane).predictor_name;
+}
+
+void
+BatchedReplayer::setPhaseTimeline(const obs::PhaseTimeline *timeline)
+{
+    if (_sealed)
+        bwsa_panic(
+            "BatchedReplayer::setPhaseTimeline after replay started");
+    _timeline = timeline;
+    _phase_index = 0;
+    _phase_pcs.clear();
+}
+
+const std::vector<LanePhaseBin> &
+BatchedReplayer::phaseBins(std::size_t lane) const
+{
+    if (lane >= _lanes.size())
+        bwsa_panic("BatchedReplayer::phaseBins: lane ", lane,
+                   " out of range (", _lanes.size(), " lanes)");
+    return _lanes[lane]->phase_bins;
 }
 
 bool

@@ -35,8 +35,10 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "obs/phase_detect.hh"
 #include "obs/timeseries.hh"
 #include "predict/factory.hh"
 #include "predict/interference.hh"
@@ -45,6 +47,21 @@
 
 namespace bwsa
 {
+
+/**
+ * Per-phase attribution of one predictor lane (one entry per phase
+ * of the timeline handed to BatchedReplayer::setPhaseTimeline()).
+ */
+struct LanePhaseBin
+{
+    std::uint64_t executed = 0;     ///< dynamic branches in the phase
+    std::uint64_t mispredicted = 0; ///< lane misses in the phase
+    /**
+     * Destructive-aliasing events the lane's interference probe
+     * attributed to the phase (0 for lanes without a probe).
+     */
+    std::uint64_t destructive = 0;
+};
 
 /** Per-lane options of BatchedReplayer::addLane(). */
 struct BatchedLaneOptions
@@ -123,15 +140,48 @@ class BatchedReplayer : public TraceSink
      */
     bool laneIsFlat(std::size_t lane) const;
 
+    /**
+     * Attribute the replay to the phases of @p timeline (not owned;
+     * must stay alive through the replay).  Each record lands in the
+     * phase whose [start_ts, next start_ts) range holds its
+     * timestamp; per-lane executed/miss counts bin per phase, probe
+     * destructive counters are snapshotted at each boundary crossing,
+     * and the distinct-PC population of every phase is collected.
+     * Must be called before the first record.
+     */
+    void setPhaseTimeline(const obs::PhaseTimeline *timeline);
+
+    /**
+     * Per-phase bins of one lane, aligned with the timeline's phases;
+     * empty when no timeline was set.  Valid after onEnd().
+     */
+    const std::vector<LanePhaseBin> &phaseBins(std::size_t lane) const;
+
+    /**
+     * Distinct static branches executed in each phase
+     * (lane-independent; the per-phase working set of the trace).
+     */
+    const std::vector<std::unordered_set<BranchPc>> &phasePcs() const
+    {
+        return _phase_pcs;
+    }
+
   private:
     struct Lane;
 
     /** Advance one lane by one record; returns the prediction. */
     static bool step(Lane &lane, BranchPc pc, bool taken);
 
+    void advancePhase();
+
     bool _per_branch;
     bool _sealed = false; ///< records seen; no more addLane()
     std::vector<std::unique_ptr<Lane>> _lanes;
+
+    /** Phase attribution (null timeline = disabled). */
+    const obs::PhaseTimeline *_timeline = nullptr;
+    std::size_t _phase_index = 0;
+    std::vector<std::unordered_set<BranchPc>> _phase_pcs;
 };
 
 /**

@@ -451,7 +451,7 @@ TEST(RunReport, DocumentStructureAndFileRoundTrip)
     phases[0].work = 42;
 
     JsonValue doc = report.build(registry.snapshot(), phases, 1);
-    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v3");
+    EXPECT_EQ(doc.find("schema")->asString(), "bwsa.run_report.v4");
     EXPECT_EQ(doc.find("bench")->asString(), "test_bench");
     EXPECT_GT(doc.find("started_unix_ms")->asUint(), 0u);
     EXPECT_GE(doc.find("wall_seconds")->asDouble(), 0.0);

@@ -32,6 +32,7 @@
 
 #include "core/pipeline.hh"
 #include "exec/thread_pool.hh"
+#include "obs/phase_detect.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
@@ -651,6 +652,152 @@ TEST(ServeConnection, StreamGarbageDropsOnlyThatClient)
 }
 
 #endif // BWSA_TEST_POSIX
+
+// ---------------------------------------------------------------
+// Phase events
+
+namespace
+{
+
+/**
+ * A trace with @p phase_count regions of @p windows_each windows,
+ * each region on its own disjoint PC set (full turnover at every
+ * region change, none inside).  One record per timestamp unit.
+ */
+std::vector<BranchRecord>
+makePhasedRecords(std::size_t phase_count, std::size_t windows_each,
+                  std::uint64_t interval, std::uint32_t pool = 16)
+{
+    Pcg32 rng(97);
+    std::vector<BranchRecord> records;
+    records.reserve(phase_count * windows_each * interval);
+    std::uint64_t ts = 0;
+    for (std::size_t p = 0; p < phase_count; ++p)
+        for (std::size_t w = 0; w < windows_each; ++w)
+            for (std::uint64_t i = 0; i < interval; ++i) {
+                BranchRecord r;
+                r.pc = 0x10000ull * (p + 1) +
+                       8ull * rng.nextBounded(pool);
+                r.timestamp = ts++;
+                r.taken = rng.nextBool(0.5);
+                records.push_back(r);
+            }
+    return records;
+}
+
+/** The serial phase detector's event stream over @p records. */
+std::vector<serve::PhaseEventInfo>
+serialPhaseEvents(const std::vector<BranchRecord> &records,
+                  std::uint64_t interval,
+                  const obs::PhaseDetectorConfig &config)
+{
+    obs::PhaseAccumulator accumulator(interval);
+    for (const BranchRecord &record : records)
+        accumulator.sample(record.pc, record.timestamp);
+    accumulator.finish();
+    obs::PhaseTimeline timeline =
+        obs::detectPhases(accumulator, config);
+    std::vector<serve::PhaseEventInfo> events;
+    for (std::size_t i = 1; i < timeline.phases.size(); ++i)
+        events.push_back({i, timeline.phases[i].start_ts,
+                          timeline.phases[i - 1].start_ts,
+                          timeline.phases[i].boundary_similarity});
+    return events;
+}
+
+} // namespace
+
+TEST(ServeProtocol, PhaseEventPayloadRoundTrip)
+{
+    serve::PhaseEventInfo event;
+    event.index = 3;
+    event.start_ts = 4096;
+    event.prev_start_ts = 1024;
+    event.similarity = 0.12345678901234567; // must survive bit-exact
+
+    std::string payload = serve::encodePhaseEventPayload(event);
+    serve::PhaseEventInfo out;
+    std::string error;
+    ASSERT_TRUE(serve::decodePhaseEventPayload(payload, out, error))
+        << error;
+    EXPECT_EQ(out, event);
+
+    // Strict length: truncated and padded payloads are rejected.
+    EXPECT_FALSE(serve::decodePhaseEventPayload(
+        payload.substr(0, payload.size() - 1), out, error));
+    EXPECT_FALSE(serve::decodePhaseEventPayload(payload + "x", out,
+                                                error));
+}
+
+TEST(ProfileService, ClientSentPhaseEventIsRejected)
+{
+    // PhaseEvent is a server-push notification, never a request.
+    serve::ProfileService service(serve::ServiceConfig{});
+    EXPECT_EQ(
+        service
+            .handle(1, makeRequest(serve::FrameType::PhaseEvent, 0))
+            .status,
+        serve::FrameStatus::BadPayload);
+}
+
+TEST(ProfileService, LivePhaseEventsMatchSerialDetector)
+{
+    const std::uint64_t interval = 128;
+    serve::ServiceConfig service_config;
+    service_config.pipeline = streamingConfig();
+    obs::PhaseDetectorConfig phase_config =
+        service_config.phase_config;
+
+    std::vector<BranchRecord> records =
+        makePhasedRecords(4, 6, interval);
+    std::vector<serve::PhaseEventInfo> expected =
+        serialPhaseEvents(records, interval, phase_config);
+    ASSERT_GE(expected.size(), 3u); // the trace really is phased
+
+    // The event stream is identical for any block partitioning,
+    // including blocks that split windows and phases.
+    for (std::size_t block : {std::size_t(77), std::size_t(512),
+                              std::size_t(1000), records.size()}) {
+        serve::ServiceConfig config_copy = service_config;
+        serve::ProfileService service(std::move(config_copy));
+        serve::LoopbackChannel channel(service, 1);
+        serve::ServeClient client(channel);
+        ASSERT_TRUE(client.begin(5, 0, interval));
+
+        std::vector<serve::PhaseEventInfo> live;
+        auto drain = [&] {
+            for (auto &[session, event] : client.takePhaseEvents()) {
+                EXPECT_EQ(session, 5u);
+                live.push_back(event);
+            }
+        };
+        for (std::size_t off = 0; off < records.size();
+             off += block) {
+            std::size_t n =
+                std::min(block, records.size() - off);
+            ASSERT_TRUE(client.append(5, records.data() + off, n));
+            drain();
+        }
+        // Finish flushes the tail window; a boundary landing there
+        // is pushed before the Finish response.
+        ASSERT_TRUE(client.finishBytes(5).has_value());
+        drain();
+        EXPECT_EQ(live, expected) << "block size " << block;
+    }
+}
+
+TEST(ProfileService, SessionsWithoutPhaseIntervalPushNoEvents)
+{
+    serve::ProfileService service(serve::ServiceConfig{});
+    serve::LoopbackChannel channel(service, 1);
+    serve::ServeClient client(channel);
+    std::vector<BranchRecord> records = makePhasedRecords(3, 5, 64);
+    ASSERT_TRUE(client.begin(1)); // phase_interval defaults to 0
+    ASSERT_TRUE(client.append(1, records));
+    ASSERT_TRUE(client.finishBytes(1).has_value());
+    EXPECT_TRUE(client.takePhaseEvents().empty());
+    EXPECT_EQ(client.pendingPhaseEvents(), 0u);
+}
 
 // ---------------------------------------------------------------
 // Latency plumbing

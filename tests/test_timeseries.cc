@@ -267,3 +267,32 @@ TEST(WindowedSetSampler, FinishIsIdempotentAndSkipsEmptyStreams)
     EXPECT_EQ(sampler.windowsClosed(), 1u);
     EXPECT_EQ(size.totalWeight(), 1u);
 }
+
+TEST(WindowedSetSampler, FinishFlushesFinalPartialWindow)
+{
+    TimeSeries size("size", 100, 64);
+    TimeSeries churn("jaccard", 100, 64);
+    WindowedSetSampler sampler(&size, &churn, 100);
+
+    // Window 0 closes naturally: {A, B}.  The tail window [100, 200)
+    // only ever sees samples up to ts=130 -- a partial window that
+    // nothing but finish() can close.
+    sampler.sample(0xA, 0);
+    sampler.sample(0xB, 99);
+    sampler.sample(0xA, 100);
+    sampler.sample(0xC, 130);
+
+    // Before the flush only the naturally closed window published.
+    EXPECT_EQ(sampler.windowsClosed(), 1u);
+    ASSERT_EQ(size.points().size(), 1u);
+    EXPECT_TRUE(churn.points().empty());
+
+    sampler.finish();
+    EXPECT_EQ(sampler.windowsClosed(), 2u);
+    ASSERT_EQ(size.points().size(), 2u);
+    EXPECT_EQ(size.points()[1].start, 100u);
+    EXPECT_DOUBLE_EQ(size.points()[1].mean(), 2.0); // {A, C}
+    // The partial window still gets its churn point: {A,C} vs {A,B}.
+    ASSERT_EQ(churn.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(churn.points()[0].mean(), 1.0 / 3.0);
+}

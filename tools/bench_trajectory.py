@@ -19,7 +19,11 @@ The headline record carries:
     branch counts and the per-branch allocation headline -- how many
     destructive-aliasing victim branches the baseline had, and how
     many of them allocation eliminated outright (victims that went
-    to zero under the allocated predictor).
+    to zero under the allocated predictor);
+  * per execution-phase scope (schema v4 "execution_phases"): the
+    phases-detected headline -- phase count, window count, mean
+    phase-working-set size and the worst (most destructive, baseline
+    lane) phase's share of the whole trace's destructive events.
 
 Scheduling tables ("sweep cells:", "profile shards:") are skipped.
 Only the standard library is used.
@@ -77,6 +81,38 @@ def branches_headline(entry):
     }
 
 
+def phases_headline(entry):
+    """The phases-detected headline of one execution-phase scope.
+
+    The interesting number for the paper's argument is concentration:
+    how much of the trace's destructive aliasing the single worst
+    phase accounts for (under the baseline, i.e. first probed lane).
+    A whole-trace aggregate hides exactly this.
+    """
+    totals = entry.get("totals", {})
+    phases = entry.get("phases", [])
+    destructive = totals.get("destructive", {})
+    base = next(iter(destructive), None)
+
+    worst_share = 0.0
+    whole = destructive.get(base, 0)
+    if base is not None and whole:
+        worst = max(phase.get("lanes", {}).get(base, {})
+                    .get("destructive", 0) for phase in phases)
+        worst_share = worst / whole
+
+    working_sets = [phase.get("working_set", 0) for phase in phases]
+    return {
+        "scope": entry.get("scope"),
+        "phases_detected": len(phases),
+        "windows": totals.get("windows"),
+        "mean_phase_working_set":
+            (sum(working_sets) / len(working_sets))
+            if working_sets else 0.0,
+        "worst_phase_destructive_share": worst_share,
+    }
+
+
 def build_record(report, label):
     record = {
         "label": label,
@@ -112,6 +148,11 @@ def build_record(report, label):
     if branches:
         record["branches"] = [branches_headline(entry)
                               for entry in branches]
+
+    execution_phases = report.get("execution_phases", [])
+    if execution_phases:
+        record["execution_phases"] = [phases_headline(entry)
+                                      for entry in execution_phases]
 
     timeseries = report.get("timeseries", [])
     if timeseries:

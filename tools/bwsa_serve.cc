@@ -8,13 +8,18 @@
  *   bwsa_serve --socket=/tmp/bwsa.sock [--threads=N]
  *              [--max-session-bytes=N --store-dir=DIR]
  *              [--max-window=N] [--quiet|--verbose]
+ *              [--phase-threshold=X --phase-hysteresis=X
+ *               --phase-min-windows=N]
  *   bwsa_serve --stdio [...]
  *
  * Each connection is one tenant; its sessions are isolated from every
  * other client's and reclaimed when the connection drops.  With
  * --max-session-bytes, sessions that outgrow the bound spill graph
  * epochs into the artifact cache at --store-dir (--store-cap-mb caps
- * its LRU footprint).  The daemon stops when a client sends a
+ * its LRU footprint).  Sessions that opt into phase detection (a
+ * nonzero phase interval in their Begin frame) get live PhaseEvent
+ * frames pushed at every detected boundary; the --phase-* flags tune
+ * the daemon-wide detector.  The daemon stops when a client sends a
  * Shutdown frame (or, under --stdio, at EOF).
  */
 
@@ -42,6 +47,8 @@ usage()
            "                  [--threads=N] [--max-window=N]\n"
            "                  [--max-session-bytes=N --store-dir=DIR"
            " [--store-cap-mb=N]]\n"
+           "                  [--phase-threshold=X"
+           " --phase-hysteresis=X --phase-min-windows=N]\n"
            "                  [--quiet | --verbose]\n";
     std::exit(1);
 }
@@ -54,8 +61,9 @@ main(int argc, char **argv)
     CliOptions options = CliOptions::parse(
         argc, argv,
         {"socket", "stdio", "threads", "max-window",
-         "max-session-bytes", "store-dir", "store-cap-mb", "quiet",
-         "verbose", "help"});
+         "max-session-bytes", "store-dir", "store-cap-mb",
+         "phase-threshold", "phase-hysteresis", "phase-min-windows",
+         "quiet", "verbose", "help"});
     if (options.has("help"))
         usage();
     std::vector<std::string> unknown =
@@ -78,6 +86,12 @@ main(int argc, char **argv)
     if (max_window != 0)
         service_config.pipeline.interleave.max_window =
             static_cast<std::size_t>(max_window);
+    service_config.phase_config.threshold =
+        options.getDouble("phase-threshold", 0.4);
+    service_config.phase_config.hysteresis =
+        options.getDouble("phase-hysteresis", 0.2);
+    service_config.phase_config.min_windows =
+        options.getUint("phase-min-windows", 4);
 
     std::unique_ptr<store::ArtifactCache> cache;
     if (service_config.max_session_bytes != 0) {

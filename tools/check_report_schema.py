@@ -14,8 +14,14 @@ section; its scope entries are checked structurally AND arithmetically
 (per-branch execution/misprediction/victim counts must sum exactly to
 the scope totals, and the totals must agree with the matching
 "interference" entries), so CI catches any drift between the
-per-branch producers and the aggregate counters.  Exits non-zero with
-a message on the first violation, so CI can gate on it.
+per-branch producers and the aggregate counters.  v4 reports add the
+"execution_phases" section (online phase detection); its per-phase
+attribution is reconciled the same way: per-phase executions,
+mispredictions, destructive events, births and deaths must sum
+exactly to the scope totals, and the similarity/transition matrices
+must be square, symmetric-with-unit-diagonal and row-stochastic
+respectively.  Exits non-zero with a message on the first violation,
+so CI can gate on it.
 
 Only the standard library is used.
 """
@@ -24,7 +30,7 @@ import json
 import sys
 
 ACCEPTED_SCHEMAS = ("bwsa.run_report.v1", "bwsa.run_report.v2",
-                    "bwsa.run_report.v3")
+                    "bwsa.run_report.v3", "bwsa.run_report.v4")
 
 
 def fail(path, message):
@@ -285,6 +291,169 @@ def check_branches_scope(path, entry, interference):
                "interference section")
 
 
+def check_phase_entry(path, label, index, phase, interval, predictors,
+                      probed):
+    for key in ("index", "start_ts", "end_ts", "first_window",
+                "window_count", "boundary_similarity", "working_set",
+                "born", "died", "executed", "lanes"):
+        expect(path, key in phase,
+               f"execution_phases {label}: phase missing '{key}'")
+    expect(path, phase["index"] == index,
+           f"execution_phases {label}: phase index {phase['index']} "
+           f"at position {index}")
+    expect(path, phase["start_ts"] % interval == 0,
+           f"execution_phases {label}: phase {index} start_ts not "
+           f"aligned to interval {interval}")
+    expect(path, phase["end_ts"] > phase["start_ts"],
+           f"execution_phases {label}: phase {index} end_ts <= "
+           "start_ts")
+    expect(path, phase["window_count"] >= 1,
+           f"execution_phases {label}: phase {index} has no windows")
+    expect(path, 0.0 <= phase["boundary_similarity"] <= 1.0,
+           f"execution_phases {label}: phase {index} "
+           "boundary_similarity out of [0,1]")
+    expect(path, phase["born"] <= phase["working_set"],
+           f"execution_phases {label}: phase {index} born exceeds "
+           "working set")
+    expect(path, phase["died"] <= phase["working_set"],
+           f"execution_phases {label}: phase {index} died exceeds "
+           "working set")
+    expect(path, set(phase["lanes"]) == predictors,
+           f"execution_phases {label}: phase {index} lane set "
+           f"{sorted(phase['lanes'])} != totals "
+           f"{sorted(predictors)}")
+    for name, lane in phase["lanes"].items():
+        expect(path, lane["executed"] == phase["executed"],
+               f"execution_phases {label}: phase {index} lane {name} "
+               f"executed {lane['executed']} != phase executions "
+               f"{phase['executed']} (every lane replays every "
+               "branch)")
+        expect(path, lane["mispredicted"] <= lane["executed"],
+               f"execution_phases {label}: phase {index} lane {name} "
+               "mispredicted > executed")
+        expect(path, ("destructive" in lane) == (name in probed),
+               f"execution_phases {label}: phase {index} lane {name} "
+               "destructive presence disagrees with "
+               "totals.destructive")
+
+
+def check_matrix(path, label, name, matrix, n, row_stochastic):
+    expect(path, len(matrix) == n,
+           f"execution_phases {label}: {name} is not {n}x{n}")
+    for i, row in enumerate(matrix):
+        expect(path, len(row) == n,
+               f"execution_phases {label}: {name} row {i} width "
+               f"{len(row)} != {n}")
+        for j, value in enumerate(row):
+            expect(path, 0.0 <= value <= 1.0 + 1e-9,
+                   f"execution_phases {label}: {name}[{i}][{j}] out "
+                   "of [0,1]")
+        if row_stochastic:
+            expect(path, abs(sum(row) - 1.0) < 1e-6,
+                   f"execution_phases {label}: {name} row {i} sums "
+                   f"to {sum(row)}, not 1")
+        else:
+            expect(path, abs(matrix[i][i] - 1.0) < 1e-12,
+                   f"execution_phases {label}: {name} diagonal "
+                   f"[{i}][{i}] is {matrix[i][i]}, not 1")
+            for j in range(n):
+                expect(path, abs(row[j] - matrix[j][i]) < 1e-9,
+                       f"execution_phases {label}: {name} not "
+                       f"symmetric at [{i}][{j}]")
+
+
+def check_execution_phases(path, entry):
+    expect(path, isinstance(entry, dict),
+           "execution_phases entry is not an object")
+    for key in ("scope", "interval", "config", "totals", "phases",
+                "similarity_matrix", "transition_matrix"):
+        expect(path, key in entry,
+               f"execution_phases entry missing '{key}'")
+    label = entry["scope"]
+    expect(path, entry["interval"] >= 1,
+           f"execution_phases {label}: interval must be >= 1")
+    for key in ("threshold", "hysteresis", "min_windows"):
+        expect(path, key in entry["config"],
+               f"execution_phases {label}: config missing '{key}'")
+
+    totals = entry["totals"]
+    for key in ("executed", "phases", "windows", "distinct_pcs",
+                "mispredicts", "destructive"):
+        expect(path, key in totals,
+               f"execution_phases {label}: totals missing '{key}'")
+    predictors = set(totals["mispredicts"])
+    probed = set(totals["destructive"])
+    expect(path, probed <= predictors,
+           f"execution_phases {label}: probed lanes not a subset of "
+           "predictor lanes")
+
+    phases = entry["phases"]
+    expect(path, len(phases) == totals["phases"],
+           f"execution_phases {label}: {len(phases)} phase entries, "
+           f"totals say {totals['phases']}")
+    expect(path, len(phases) >= 1,
+           f"execution_phases {label}: no phases")
+
+    next_window = 0
+    prev_end = 0
+    sums = {"executed": 0, "born": 0, "died": 0, "windows": 0}
+    sum_miss = {name: 0 for name in predictors}
+    sum_destructive = {name: 0 for name in probed}
+    for index, phase in enumerate(phases):
+        check_phase_entry(path, label, index, phase,
+                          entry["interval"], predictors, probed)
+        expect(path, phase["first_window"] == next_window,
+               f"execution_phases {label}: phase {index} "
+               f"first_window {phase['first_window']}, expected "
+               f"{next_window} (phases must tile the windows)")
+        next_window += phase["window_count"]
+        expect(path, phase["start_ts"] >= prev_end,
+               f"execution_phases {label}: phase {index} overlaps "
+               "its predecessor")
+        prev_end = phase["end_ts"]
+        sums["executed"] += phase["executed"]
+        sums["born"] += phase["born"]
+        sums["died"] += phase["died"]
+        sums["windows"] += phase["window_count"]
+        for name, lane in phase["lanes"].items():
+            sum_miss[name] += lane["mispredicted"]
+            if name in probed:
+                sum_destructive[name] += lane["destructive"]
+
+    # Reconciliation: phase attribution must partition the run --
+    # every execution, misprediction, destructive event, birth and
+    # death lands in exactly one phase.
+    expect(path, sums["executed"] == totals["executed"],
+           f"execution_phases {label}: per-phase executions sum to "
+           f"{sums['executed']}, totals say {totals['executed']}")
+    expect(path, sums["windows"] == totals["windows"],
+           f"execution_phases {label}: per-phase windows sum to "
+           f"{sums['windows']}, totals say {totals['windows']}")
+    for key in ("born", "died"):
+        expect(path, sums[key] == totals["distinct_pcs"],
+               f"execution_phases {label}: per-phase {key} sum to "
+               f"{sums[key]}, distinct_pcs is "
+               f"{totals['distinct_pcs']} (every pc is {key[:-1]}"
+               "exactly once)")
+    for name in predictors:
+        expect(path, sum_miss[name] == totals["mispredicts"][name],
+               f"execution_phases {label}: {name} per-phase "
+               f"mispredictions sum to {sum_miss[name]}, totals say "
+               f"{totals['mispredicts'][name]}")
+    for name in probed:
+        expect(path,
+               sum_destructive[name] == totals["destructive"][name],
+               f"execution_phases {label}: {name} per-phase "
+               f"destructive events sum to {sum_destructive[name]}, "
+               f"totals say {totals['destructive'][name]}")
+
+    n = len(phases)
+    check_matrix(path, label, "similarity_matrix",
+                 entry["similarity_matrix"], n, row_stochastic=False)
+    check_matrix(path, label, "transition_matrix",
+                 entry["transition_matrix"], n, row_stochastic=True)
+
+
 def check_report(path):
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
@@ -332,8 +501,9 @@ def check_report(path):
     for table in tables:
         check_table(path, table)
 
+    version = int(schema.rsplit(".v", 1)[1])
     extras = ""
-    if schema in ("bwsa.run_report.v2", "bwsa.run_report.v3"):
+    if version >= 2:
         timeseries = doc.get("timeseries")
         expect(path, isinstance(timeseries, list),
                f"{schema} report missing timeseries list")
@@ -346,16 +516,27 @@ def check_report(path):
             check_interference(path, entry)
         extras = (f", {len(timeseries)} timeseries, "
                   f"{len(interference)} interference entries")
-    if schema == "bwsa.run_report.v3":
+    if version >= 3:
         branches = doc.get("branches")
         expect(path, isinstance(branches, list),
-               "v3 report missing branches list")
+               f"{schema} report missing branches list")
         for entry in branches:
             check_branches_scope(path, entry, doc["interference"])
         scopes = {entry["scope"] for entry in branches}
         expect(path, len(scopes) == len(branches),
                "duplicate telemetry scopes in branches list")
         extras += f", {len(branches)} telemetry scopes"
+    if version >= 4:
+        execution_phases = doc.get("execution_phases")
+        expect(path, isinstance(execution_phases, list),
+               f"{schema} report missing execution_phases list")
+        for entry in execution_phases:
+            check_execution_phases(path, entry)
+        scopes = {entry["scope"] for entry in execution_phases}
+        expect(path, len(scopes) == len(execution_phases),
+               "duplicate scopes in execution_phases list")
+        extras += (f", {len(execution_phases)} execution-phase "
+                   "scopes")
 
     print(f"{path}: OK ({len(names)} phases, {len(series)} series, "
           f"{len(tables)} tables{extras})")

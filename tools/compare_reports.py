@@ -24,7 +24,14 @@ What is compared:
     or shard count -- while derived *rates* (taken_rate,
     transition_rate, entropy_bits, residency) go through the normal
     tolerance machinery under the name
-    "branches/<scope>/<pc>/<field>".
+    "branches/<scope>/<pc>/<field>";
+  * every golden execution-phase scope (schema v4 "execution_phases",
+    keyed by scope then phase index) must exist in the candidate with
+    the same phase count.  Window/event counts and per-lane
+    attribution match exactly (the phase timeline is deterministic by
+    the accumulator merge algebra); boundary similarities and the
+    similarity/transition matrices go through the tolerance machinery
+    under "execution_phases/<scope>/..." names.
 
 What is deliberately skipped (nondeterministic between runs):
   * wall-clock anything: wall_seconds, started_unix_ms, phase
@@ -60,6 +67,11 @@ BRANCH_COUNT_FIELDS = ("sim_executed", "executed", "taken",
 # Per-branch derived rates: compared through the tolerance machinery.
 BRANCH_RATE_FIELDS = ("taken_rate", "transition_rate", "entropy_bits",
                       "residency")
+
+# Per-phase counts: deterministic, compared exactly.
+PHASE_COUNT_FIELDS = ("start_ts", "end_ts", "first_window",
+                      "window_count", "working_set", "born", "died",
+                      "executed")
 
 
 def parse_number(text):
@@ -202,6 +214,77 @@ class Comparator:
                 self.compare_branch(f"{name}/{pc:#x}", branch,
                                     candidate_pcs[pc])
 
+    def compare_matrix(self, name, golden, candidate):
+        if len(golden) != len(candidate):
+            self.fail(f"{name}: size changed {len(golden)} -> "
+                      f"{len(candidate)}")
+            return
+        for i, (golden_row, candidate_row) in enumerate(
+                zip(golden, candidate)):
+            if len(golden_row) != len(candidate_row):
+                self.fail(f"{name}: row {i} width changed")
+                continue
+            for j, (golden_cell, candidate_cell) in enumerate(
+                    zip(golden_row, candidate_row)):
+                self.compare_value(f"{name}[{i}][{j}]", golden_cell,
+                                   candidate_cell)
+
+    def compare_execution_phases(self, golden, candidate):
+        candidate_by_scope = {
+            e["scope"]: e
+            for e in candidate.get("execution_phases", [])}
+        for entry in golden.get("execution_phases", []):
+            scope = entry["scope"]
+            other = candidate_by_scope.get(scope)
+            if other is None:
+                self.fail(f"execution_phases {scope}: missing from "
+                          "candidate")
+                continue
+            name = f"execution_phases/{scope}"
+            self.compare_exact(f"{name}/interval",
+                               entry.get("interval"),
+                               other.get("interval"))
+            self.compare_exact(f"{name}/config", entry.get("config"),
+                               other.get("config"))
+            self.compare_exact(f"{name}/totals", entry.get("totals"),
+                               other.get("totals"))
+
+            golden_phases = entry.get("phases", [])
+            candidate_phases = other.get("phases", [])
+            if len(golden_phases) != len(candidate_phases):
+                self.fail(f"{name}: phase count changed "
+                          f"{len(golden_phases)} -> "
+                          f"{len(candidate_phases)}")
+                continue
+            for phase, other_phase in zip(golden_phases,
+                                          candidate_phases):
+                pname = f"{name}/phase{phase['index']}"
+                for field in PHASE_COUNT_FIELDS:
+                    self.compare_exact(
+                        f"{pname}/{field}", phase.get(field),
+                        other_phase.get(field, "absent"))
+                self.compare_value(
+                    f"{pname}/boundary_similarity",
+                    phase.get("boundary_similarity"),
+                    other_phase.get("boundary_similarity", "absent"))
+                golden_lanes = phase.get("lanes", {})
+                candidate_lanes = other_phase.get("lanes", {})
+                if set(golden_lanes) != set(candidate_lanes):
+                    self.fail(f"{pname}: lane set changed "
+                              f"{sorted(golden_lanes)} -> "
+                              f"{sorted(candidate_lanes)}")
+                    continue
+                for lane, counts in golden_lanes.items():
+                    self.compare_exact(f"{pname}/{lane}", counts,
+                                       candidate_lanes[lane])
+
+            self.compare_matrix(f"{name}/similarity_matrix",
+                                entry.get("similarity_matrix", []),
+                                other.get("similarity_matrix", []))
+            self.compare_matrix(f"{name}/transition_matrix",
+                                entry.get("transition_matrix", []),
+                                other.get("transition_matrix", []))
+
 
 def main(argv):
     default_tolerance = 0.0
@@ -237,6 +320,7 @@ def main(argv):
     comparator.compare_tables(golden, candidate)
     comparator.compare_interference(golden, candidate)
     comparator.compare_branches(golden, candidate)
+    comparator.compare_execution_phases(golden, candidate)
 
     if comparator.failures:
         print(f"{candidate_path}: {len(comparator.failures)} "

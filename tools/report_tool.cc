@@ -16,7 +16,10 @@
  *       Per-branch misprediction delta between two telemetry-carrying
  *       reports of the same experiment: matches branches by
  *       (scope, pc) and prints the N largest baseline-misprediction
- *       movers, plus branches present on only one side.
+ *       movers, plus branches present on only one side.  Reports with
+ *       different schema versions (e.g. a v3 baseline against a v4
+ *       run) diff fine over the sections both carry; the mismatch is
+ *       a stderr warning, not an error.
  */
 
 #include <algorithm>
@@ -241,6 +244,21 @@ runDiff(const CliOptions &options, const std::string &path_a,
 {
     obs::JsonValue doc_a = loadReport(path_a);
     obs::JsonValue doc_b = loadReport(path_b);
+
+    // Reports from different tool generations still share the
+    // sections this diff reads; warn instead of refusing, so a v3
+    // baseline stays comparable against a v4 run.
+    const obs::JsonValue *schema_a = doc_a.find("schema");
+    const obs::JsonValue *schema_b = doc_b.find("schema");
+    const std::string name_a =
+        schema_a ? schema_a->asString() : "(no schema field)";
+    const std::string name_b =
+        schema_b ? schema_b->asString() : "(no schema field)";
+    if (name_a != name_b)
+        std::cerr << "warning: schema mismatch: " << path_a << " is "
+                  << name_a << ", " << path_b << " is " << name_b
+                  << "; diffing the sections both share\n";
+
     std::size_t top = options.getUint("top", 16);
     std::string only = options.getRequiredString("scope", "");
     std::vector<Scope> scopes_a = decodeScopes(doc_a, only);
