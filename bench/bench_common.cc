@@ -82,6 +82,8 @@ commonBenchFlags()
         {"store-dir", "profile artifact cache directory"},
         {"cache", "cache profile outputs (default with --store-dir)"},
         {"no-cache", "force the artifact cache off"},
+        {"list-presets",
+         "print the registered workload presets and exit"},
         {"quiet", "suppress diagnostics and the heartbeat"},
         {"verbose", "verbose diagnostics"},
         {"help", "print the flag table and exit"},
@@ -110,6 +112,36 @@ parseBenchOptions(int &argc, char **argv,
         for (const BenchFlagSpec &flag : flags)
             std::printf("  --%-18s %s\n", flag.name.c_str(),
                         flag.doc.c_str());
+        std::exit(0);
+    }
+
+    if (cli.has("list-presets")) {
+        // Everything --benchmarks accepts: the synthetic preset names
+        // (with their input sets) and the graph-workload spec
+        // grammar with its registered families.
+        std::cout << "synthetic presets (--benchmarks accepts any "
+                     "subset):\n";
+        for (const std::string &name : presetNames()) {
+            std::cout << "  " << name;
+            std::vector<NamedInput> inputs = presetInputs(name);
+            if (inputs.size() > 1) {
+                std::cout << " (inputs:";
+                for (const NamedInput &input : inputs)
+                    std::cout << " " << input.label;
+                std::cout << ")";
+            }
+            std::cout << "\n";
+        }
+        std::cout << "graph workload families:\n";
+        for (const std::string &spec : graph::graphPresetSpecs())
+            std::cout << "  " << spec << "\n";
+        std::cout
+            << "graph spec grammar: "
+               "graph:<kernel>:<topology>[:<key>=<value>,...]\n"
+               "  kernels: bfs dfs cc pagerank; topologies: "
+               "uniform powerlaw grid\n"
+               "  keys: nodes degree skew wentropy shuffle "
+               "replicate sources seed\n";
         std::exit(0);
     }
 
@@ -323,6 +355,27 @@ wanted(const BenchOptions &options, const std::string &preset,
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Graph-spec entries of --benchmarks, in the order given.  Graph
+ * workloads are opt-in rows: the spec grammar is unbounded, so they
+ * only run when named explicitly (unlike presets, which all run by
+ * default).
+ */
+std::vector<BenchmarkRun>
+graphRuns(const BenchOptions &options)
+{
+    std::vector<BenchmarkRun> runs;
+    for (const std::string &name : options.benchmarks)
+        if (graph::isGraphSpec(name))
+            runs.push_back({name, name, ""});
+    return runs;
+}
+
+} // namespace
+
 std::vector<BenchmarkRun>
 defaultRuns(const BenchOptions &options,
             const std::vector<std::string> &exclude)
@@ -333,6 +386,8 @@ defaultRuns(const BenchOptions &options,
             continue;
         runs.push_back({name, name, presetInputs(name)[0].label});
     }
+    for (BenchmarkRun &run : graphRuns(options))
+        runs.push_back(std::move(run));
     return runs;
 }
 
@@ -352,6 +407,8 @@ perInputRuns(const BenchOptions &options,
             runs.push_back({display, name, input.label});
         }
     }
+    for (BenchmarkRun &run : graphRuns(options))
+        runs.push_back(std::move(run));
     return runs;
 }
 
@@ -532,9 +589,10 @@ buildWorkingSetTable(const BenchOptions &options)
         [&](const exec::SweepCell &cell) {
             const BenchmarkRun &run = runs[cell.index];
             RowScope row_scope(0, cell.worker);
-            Workload w = makeWorkload(run.preset, run.input_label,
-                                      options.scale);
-            WorkloadTraceSource source = w.source();
+            ResolvedWorkload w = resolveWorkload(
+                run.preset, run.input_label, options.scale);
+            std::unique_ptr<TraceSource> source_ptr = w.source();
+            const TraceSource &source = *source_ptr;
 
             ShardConfig config;
             config.shards = options.shards;
@@ -653,7 +711,9 @@ collectCellTelemetry(const std::string &scope,
                      const std::vector<PredictionStats> &results,
                      const ProbedPredictor &base_pag,
                      const ProbedPredictor &alloc_pag,
-                     std::size_t top_n, CellTelemetry &out)
+                     std::size_t top_n, CellTelemetry &out,
+                     std::size_t alloc_lane = 3,
+                     std::size_t ideal_lane = 4)
 {
     // Universe: every branch the simulator saw plus every profiled
     // branch.  Profiling replays the same trace, so the profiled set
@@ -801,8 +861,10 @@ collectCellTelemetry(const std::string &scope,
             {scope + " " + pcHex(pc),
              withCommas(branchExecuted(results[0], pc)),
              fixedString(branchMissPercent(results[0], pc), 3),
-             fixedString(branchMissPercent(results[3], pc), 3),
-             fixedString(branchMissPercent(results[4], pc), 3),
+             fixedString(branchMissPercent(results[alloc_lane], pc),
+                         3),
+             fixedString(branchMissPercent(results[ideal_lane], pc),
+                         3),
              t ? fixedString(t->entropyBits(), 3) : "-"});
     }
 
@@ -817,7 +879,9 @@ collectCellTelemetry(const std::string &scope,
                 {scope + " " + pcHex(pc), withCommas(a.victim),
                  withCommas(a.aggressor), withCommas(alloc.victim),
                  fixedString(branchMissPercent(results[0], pc), 3),
-                 fixedString(branchMissPercent(results[3], pc), 3)});
+                 fixedString(branchMissPercent(results[alloc_lane],
+                                               pc),
+                             3)});
         }
     }
 }
@@ -1077,9 +1141,10 @@ buildAllocationTables(const BenchOptions &options, bool classification)
         [&](const exec::SweepCell &cell) {
             const BenchmarkRun &run = runs[cell.index];
             RowScope row_scope(0, cell.worker);
-            Workload w = makeWorkload(run.preset, run.input_label,
-                                      options.scale);
-            WorkloadTraceSource source = w.source();
+            ResolvedWorkload w = resolveWorkload(
+                run.preset, run.input_label, options.scale);
+            std::unique_ptr<TraceSource> source_ptr = w.source();
+            const TraceSource &source = *source_ptr;
 
             PipelineConfig config;
             config.allocation.edge_threshold = options.threshold;
@@ -1300,6 +1365,249 @@ runAllocationFigure(const BenchOptions &options, bool classification,
     if (tables.has_phases)
         emitTable(title + " -- execution phases", tables.phase_table,
                   options);
+}
+
+namespace
+{
+
+/** One cell's numeric output of the graph allocation study. */
+struct CellGraphAlloc
+{
+    std::vector<GraphAllocBinRow> rows; ///< bins then the "all" row
+    double ideal_percent = 0.0;         ///< interference-free lane
+    CellTelemetry telemetry;            ///< --branch-telemetry tables
+};
+
+} // namespace
+
+GraphAllocTables
+buildGraphAllocTables(const BenchOptions &options,
+                      std::uint64_t bht_entries)
+{
+    if (bht_entries == 0)
+        bwsa_fatal("graph allocation bench needs --bht >= 1");
+
+    GraphAllocTables out{
+        TextTable({"benchmark", "static branches", "dyn branches",
+                   "base miss %", "alloc miss %", "ideal miss %",
+                   "payoff %", "destr eliminated %"}),
+        TextTable({"benchmark", "bin", "branches", "executed",
+                   "base miss", "base miss %", "alloc miss",
+                   "alloc miss %", "payoff %", "base victims",
+                   "alloc victims", "eliminated %"}),
+        {},
+        TextTable({"branch", "executed", "taken %", "transition %",
+                   "entropy bits", "base miss %"}),
+        TextTable({"branch", "executed", "base miss %", "alloc %",
+                   "ideal %", "entropy bits"}),
+        TextTable({"branch", "base victim", "base aggressor",
+                   "alloc victim", "base miss %", "alloc %"}),
+        false};
+
+    // Graph specs are the default row set (the study is about
+    // data-driven branches), but any preset name works: the
+    // predictability bins only need per-branch telemetry, which every
+    // workload family produces.
+    std::vector<BenchmarkRun> runs;
+    if (options.benchmarks.empty()) {
+        for (const std::string &spec : graph::graphPresetSpecs())
+            runs.push_back({spec, spec, ""});
+    } else {
+        for (const std::string &name : options.benchmarks)
+            runs.push_back({name, name, ""});
+    }
+    std::vector<std::string> labels;
+    for (const BenchmarkRun &run : runs)
+        labels.push_back(run.display);
+
+    std::vector<CellGraphAlloc> cells(runs.size());
+    runBenchSweep(
+        options, "graph_alloc", labels,
+        [&](const exec::SweepCell &cell) {
+            const BenchmarkRun &run = runs[cell.index];
+            RowScope row_scope(0, cell.worker);
+            ResolvedWorkload w = resolveWorkload(
+                run.preset, run.input_label, options.scale);
+            std::unique_ptr<TraceSource> source_ptr = w.source();
+            const TraceSource &source = *source_ptr;
+
+            PipelineConfig config;
+            config.allocation.edge_threshold = options.threshold;
+            // Full coverage: telemetry records post-frequency-filter,
+            // and the bins must partition exactly the simulated
+            // branch set for the "all" row to reconcile against the
+            // lane totals.
+            config.coverage = 1.0;
+            if (options.timeseries)
+                config.interleave.series_scope = run.display;
+            // The bins are keyed on per-branch history entropy, so
+            // this bench always profiles with the telemetry map wired
+            // in.  Pass an empty cache identity: a cache hit would
+            // skip the interleave pass and leave the map empty.
+            obs::BranchTelemetryMap cell_map;
+            config.interleave.telemetry = &cell_map;
+            AllocationPipeline pipeline(config);
+            profileSource(pipeline, source, options, run.display, "");
+
+            // Baseline modulo PAg, like-sized allocated PAg, and the
+            // interference-free reference, probes on the first two:
+            // the payoff columns compare lanes 0 and 1 per bin.
+            const std::vector<PredictorSpec> specs{
+                parsePredictorSpec("pag:bht=" +
+                                   std::to_string(bht_entries)),
+                pipeline.predictorSpec(bht_entries),
+                interferenceFreeSpec()};
+            const std::string series_scope =
+                options.timeseries ? run.display : std::string();
+
+            std::vector<PredictionStats> results;
+            ProbedPredictor base_pag, alloc_pag;
+            std::vector<PredictorPtr> fanout_predictors;
+            BatchedReplayer replayer(true);
+
+            if (options.batched) {
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    BatchedLaneOptions lane_options;
+                    lane_options.series_scope = series_scope;
+                    lane_options.probe = i < 2;
+                    replayer.addLane(specs[i], lane_options);
+                }
+                replayer.replay(source);
+                results = replayer.allStats();
+                base_pag = {replayer.probe(0), replayer.laneName(0)};
+                alloc_pag = {replayer.probe(1), replayer.laneName(1)};
+            } else {
+                std::vector<Predictor *> contenders;
+                for (const PredictorSpec &spec : specs) {
+                    fanout_predictors.push_back(makePredictor(spec));
+                    contenders.push_back(
+                        fanout_predictors.back().get());
+                }
+                for (std::size_t i : {std::size_t(0), std::size_t(1)})
+                    if (auto *pag = dynamic_cast<PAgPredictor *>(
+                            contenders[i]))
+                        pag->enableInterferenceProbe();
+                results = comparePredictors(source, contenders,
+                                            series_scope, true);
+                auto probed = [&](std::size_t i) {
+                    ProbedPredictor p;
+                    p.name = contenders[i]->name();
+                    if (auto *pag = dynamic_cast<PAgPredictor *>(
+                            contenders[i]))
+                        p.probe = pag->interferenceProbe();
+                    return p;
+                };
+                base_pag = probed(0);
+                alloc_pag = probed(1);
+            }
+
+            if (base_pag.probe && alloc_pag.probe) {
+                auto &report = obs::RunReport::global();
+                if (report.active()) {
+                    report.addInterference(base_pag.probe->reportJson(
+                        run.display, base_pag.name));
+                    report.addInterference(alloc_pag.probe->reportJson(
+                        run.display, alloc_pag.name));
+                }
+            }
+
+            // Fold every profiled branch into its predictability bin;
+            // the trailing "all" row is the merge of every bin, which
+            // the schema checker reconciles against the bin sums.
+            obs::PredictabilityBinner binner;
+            std::vector<obs::PredictabilityBinStats> bins(
+                binner.binCount());
+            auto victimsOf = [](const ProbedPredictor &pag,
+                                std::uint64_t pc) -> std::uint64_t {
+                if (!pag.probe)
+                    return 0;
+                const auto &map = pag.probe->branchAliasing();
+                auto it = map.find(pc);
+                return it == map.end() ? 0 : it->second.victim;
+            };
+            for (std::uint64_t pc : cell_map.pcs()) {
+                const obs::BranchTelemetry *t = cell_map.find(pc);
+                obs::PredictabilityBinStats &bin =
+                    bins[binner.binOf(t->entropyBits())];
+                bin.branches += 1;
+                auto base_it = results[0].per_branch.find(pc);
+                if (base_it != results[0].per_branch.end()) {
+                    bin.executed += base_it->second.total();
+                    bin.base_miss += base_it->second.events();
+                }
+                auto alloc_it = results[1].per_branch.find(pc);
+                if (alloc_it != results[1].per_branch.end())
+                    bin.alloc_miss += alloc_it->second.events();
+                bin.base_victims += victimsOf(base_pag, pc);
+                bin.alloc_victims += victimsOf(alloc_pag, pc);
+            }
+
+            CellGraphAlloc &slot = cells[cell.index];
+            slot.ideal_percent = results[2].mispredictPercent();
+            obs::PredictabilityBinStats all;
+            for (std::size_t i = 0; i < bins.size(); ++i) {
+                slot.rows.push_back(
+                    {run.display, i, binner.label(i), bins[i]});
+                all.merge(bins[i]);
+            }
+            slot.rows.push_back(
+                {run.display, bins.size(), "all", all});
+
+            if (options.branch_telemetry)
+                collectCellTelemetry(run.display, cell_map, results,
+                                     base_pag, alloc_pag,
+                                     options.top_branches,
+                                     slot.telemetry, 1, 2);
+
+            std::cout << "." << std::flush; // progress
+        });
+    std::cout << "\n";
+
+    // Deterministic merge in input order.
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        CellGraphAlloc &cell = cells[r];
+        const obs::PredictabilityBinStats &all =
+            cell.rows.back().stats;
+        // Whole-workload summary row; miss rates here are per-branch
+        // aggregates, which equal the lane totals because every
+        // simulated branch is profiled.
+        double payoff = all.payoffPercent();
+        out.summary.addRow(
+            {labels[r], withCommas(all.branches),
+             withCommas(all.executed),
+             fixedString(all.baseMissPercent(), 3),
+             fixedString(all.allocMissPercent(), 3),
+             fixedString(cell.ideal_percent, 3),
+             fixedString(payoff, 2),
+             fixedString(all.victimsEliminatedPercent(), 1)});
+        for (const GraphAllocBinRow &row : cell.rows) {
+            const obs::PredictabilityBinStats &b = row.stats;
+            out.payoff.addRow(
+                {row.benchmark, row.label, withCommas(b.branches),
+                 withCommas(b.executed), withCommas(b.base_miss),
+                 fixedString(b.baseMissPercent(), 3),
+                 withCommas(b.alloc_miss),
+                 fixedString(b.allocMissPercent(), 3),
+                 fixedString(b.payoffPercent(), 2),
+                 withCommas(b.base_victims),
+                 withCommas(b.alloc_victims),
+                 fixedString(b.victimsEliminatedPercent(), 1)});
+            out.bins.push_back(row);
+        }
+        if (cell.telemetry.valid) {
+            out.has_telemetry = true;
+            for (const std::vector<std::string> &row :
+                 cell.telemetry.hot)
+                out.hot_branches.addRow(row);
+            for (const std::vector<std::string> &row :
+                 cell.telemetry.hard)
+                out.hard_branches.addRow(row);
+            for (const std::vector<std::string> &row :
+                 cell.telemetry.victims)
+                out.victim_branches.addRow(row);
+        }
+    }
+    return out;
 }
 
 } // namespace bwsa::bench

@@ -95,6 +95,7 @@
 #include "obs/metrics.hh"
 #include "obs/phase_detect.hh"
 #include "obs/phase_tracer.hh"
+#include "obs/predictability.hh"
 #include "report/table.hh"
 #include "util/cli.hh"
 #include "workload/presets.hh"
@@ -344,6 +345,54 @@ TextTable buildAllocationTable(const BenchOptions &options,
 void runAllocationFigure(const BenchOptions &options,
                          bool classification,
                          const std::string &title);
+
+/**
+ * One numeric row of the graph allocation-payoff study: the
+ * aggregated counters of one (benchmark, predictability bin) pair.
+ * The trailing row of each benchmark carries bin == binCount() and
+ * label "all": the merge of every bin.
+ */
+struct GraphAllocBinRow
+{
+    std::string benchmark;              ///< workload spec / preset
+    std::size_t bin = 0;                ///< bin index (easy to hard)
+    std::string label;                  ///< bin label or "all"
+    obs::PredictabilityBinStats stats;  ///< aggregated counters
+};
+
+/**
+ * Output of the "does allocation pay off on hard branches?" study:
+ * per-workload summary, the predictability-binned payoff table, and
+ * the raw numeric rows for tests to assert on (bin population,
+ * easy-vs-hard payoff ordering) without parsing rendered text.
+ */
+struct GraphAllocTables
+{
+    TextTable summary; ///< one row per workload, lane miss rates
+    TextTable payoff;  ///< the binned payoff table
+    std::vector<GraphAllocBinRow> bins; ///< numeric rows, table order
+    TextTable hot_branches;    ///< --branch-telemetry: hottest
+    TextTable hard_branches;   ///< --branch-telemetry: hardest
+    TextTable victim_branches; ///< --branch-telemetry: worst victims
+    bool has_telemetry = false; ///< telemetry rows were collected
+};
+
+/**
+ * Build the graph allocation-payoff study: for every workload row
+ * (default: the registered graph spec families; --benchmarks
+ * overrides with any mix of graph specs and preset names), profile
+ * with per-branch telemetry, simulate the baseline modulo PAg, the
+ * like-sized branch-allocated PAg and the interference-free
+ * reference over one replay, then aggregate per-branch mispredictions
+ * and destructive-aliasing victim counts into history-entropy
+ * predictability bins.  The payoff column is the relative baseline
+ * miss reduction under allocation; comparing it across bins answers
+ * whether BHT allocation pays off on inherently hard branches.
+ *
+ * @param bht_entries BHT size of the baseline and allocated lanes
+ */
+GraphAllocTables buildGraphAllocTables(const BenchOptions &options,
+                                       std::uint64_t bht_entries);
 
 } // namespace bwsa::bench
 

@@ -119,9 +119,10 @@ main(int argc, char **argv)
         [&](const exec::SweepCell &cell) {
             const BenchmarkRun &run = runs[cell.index];
             RowScope row_scope(0, cell.worker);
-            Workload w = makeWorkload(run.preset, run.input_label,
-                                      options.scale);
-            WorkloadTraceSource source = w.source();
+            ResolvedWorkload w = resolveWorkload(
+                run.preset, run.input_label, options.scale);
+            std::unique_ptr<TraceSource> source_ptr = w.source();
+            const TraceSource &source = *source_ptr;
 
             TraceStatsCollector stats;
             obs::BranchTelemetryMap telemetry;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Predictability classes over per-branch telemetry.
+ *
+ * The paper's allocation argument assumes mispredictions come from
+ * *aliasing*; the graph workloads exist to ask what happens when they
+ * come from *inherent* unpredictability instead.  To answer that, the
+ * per-branch order-k history entropy (BranchTelemetryMap) is binned
+ * into predictability classes, and the allocation bench aggregates
+ * per-class misprediction and destructive-aliasing deltas -- the
+ * "allocation payoff vs. measured predictability" table.
+ *
+ * Entropy is the right axis: a branch with near-zero conditional
+ * history entropy is predictable by any history predictor unless
+ * aliasing destroys its state (allocation recovers it), while a
+ * near-1-bit branch stays hard no matter whose BHT entry it owns.
+ */
+
+#ifndef BWSA_OBS_PREDICTABILITY_HH
+#define BWSA_OBS_PREDICTABILITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwsa::obs
+{
+
+/** The default entropy-bits bin edges: 4 classes, easy to hard. */
+std::vector<double> defaultEntropyBinEdges();
+
+/**
+ * Classifies branches into predictability bins by history entropy.
+ * Bin i covers [edges[i-1], edges[i]); the last bin is open-ended.
+ */
+class PredictabilityBinner
+{
+  public:
+    /** @param edges strictly ascending, non-negative bin boundaries */
+    explicit PredictabilityBinner(
+        std::vector<double> edges = defaultEntropyBinEdges());
+
+    /** Number of bins (edges + 1). */
+    std::size_t binCount() const { return _edges.size() + 1; }
+
+    /** Bin index of an entropy value. */
+    std::size_t binOf(double entropy_bits) const;
+
+    /** Human-readable bin label, e.g. "[0.30, 0.60)" or ">= 0.90". */
+    std::string label(std::size_t bin) const;
+
+    const std::vector<double> &edges() const { return _edges; }
+
+  private:
+    std::vector<double> _edges;
+};
+
+/**
+ * Per-bin aggregate of the allocation-payoff table: executed /
+ * missed / destructive-victim event counts under the baseline and
+ * the allocated predictor.  Pure counters so callers in any layer
+ * (bench, tests, tools) can fill and reconcile them.
+ */
+struct PredictabilityBinStats
+{
+    std::uint64_t branches = 0;      ///< static branches in the bin
+    std::uint64_t executed = 0;      ///< dynamic executions (baseline)
+    std::uint64_t base_miss = 0;     ///< baseline mispredictions
+    std::uint64_t alloc_miss = 0;    ///< allocated mispredictions
+    std::uint64_t base_victims = 0;  ///< baseline destructive victims
+    std::uint64_t alloc_victims = 0; ///< allocated destructive victims
+
+    void
+    merge(const PredictabilityBinStats &other)
+    {
+        branches += other.branches;
+        executed += other.executed;
+        base_miss += other.base_miss;
+        alloc_miss += other.alloc_miss;
+        base_victims += other.base_victims;
+        alloc_victims += other.alloc_victims;
+    }
+
+    /** Baseline misprediction rate in percent. */
+    double baseMissPercent() const;
+
+    /** Allocated misprediction rate in percent. */
+    double allocMissPercent() const;
+
+    /** Relative miss-rate reduction under allocation, in percent. */
+    double payoffPercent() const;
+
+    /** Share of baseline destructive victims eliminated, percent. */
+    double victimsEliminatedPercent() const;
+};
+
+} // namespace bwsa::obs
+
+#endif // BWSA_OBS_PREDICTABILITY_HH

@@ -1,0 +1,177 @@
+#include "workload/graph/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace bwsa::graph
+{
+
+namespace
+{
+
+/** Edge list accumulated before the CSR conversion. */
+struct EdgeList
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+    void
+    addUndirected(std::uint32_t a, std::uint32_t b)
+    {
+        edges.push_back({a, b});
+        edges.push_back({b, a});
+    }
+};
+
+void
+buildUniform(const GraphParams &params, Pcg32 &rng, EdgeList &out)
+{
+    // Each node proposes mean_degree/2 undirected edges to uniform
+    // targets; self-loops re-roll once and then give up (a miss just
+    // lowers the degree fractionally).
+    const std::uint32_t n = params.nodes;
+    const auto per_node = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(params.mean_degree / 2.0)));
+    for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t e = 0; e < per_node; ++e) {
+            std::uint32_t v = rng.nextBounded(n);
+            if (v == u)
+                v = rng.nextBounded(n);
+            if (v == u)
+                continue;
+            out.addUndirected(u, v);
+        }
+    }
+}
+
+void
+buildPowerLaw(const GraphParams &params, Pcg32 &rng, EdgeList &out)
+{
+    // Preferential attachment over a repeated-endpoint list: every
+    // edge endpoint appended to `endpoints` weights its node by
+    // current degree, so sampling the list IS degree-proportional
+    // attachment.  degree_skew blends that against a uniform target.
+    const std::uint32_t n = params.nodes;
+    const auto per_node = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(params.mean_degree / 2.0)));
+    std::vector<std::uint32_t> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(n) * per_node * 2);
+
+    // Seed clique keeps the endpoint list non-empty from the start.
+    const std::uint32_t seed_nodes = std::min<std::uint32_t>(
+        n, std::max<std::uint32_t>(2, per_node + 1));
+    for (std::uint32_t u = 1; u < seed_nodes; ++u) {
+        out.addUndirected(u, u - 1);
+        endpoints.push_back(u);
+        endpoints.push_back(u - 1);
+    }
+    for (std::uint32_t u = seed_nodes; u < n; ++u) {
+        for (std::uint32_t e = 0; e < per_node; ++e) {
+            std::uint32_t v;
+            if (rng.nextBool(params.degree_skew)) {
+                v = endpoints[rng.nextBounded(
+                    static_cast<std::uint32_t>(endpoints.size()))];
+            } else {
+                v = rng.nextBounded(u);
+            }
+            if (v == u)
+                continue;
+            out.addUndirected(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+}
+
+void
+buildGrid(const GraphParams &params, EdgeList &out)
+{
+    // Square 2-D grid covering at least params.nodes cells; constant
+    // degree (2..4) and perfectly regular neighbor loops.
+    const auto side = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(params.nodes))));
+    for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+            std::uint32_t u = y * side + x;
+            if (x + 1 < side)
+                out.addUndirected(u, u + 1);
+            if (y + 1 < side)
+                out.addUndirected(u, u + side);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+graphTopologyName(GraphTopology topology)
+{
+    switch (topology) {
+      case GraphTopology::Uniform:
+        return "uniform";
+      case GraphTopology::PowerLaw:
+        return "powerlaw";
+      case GraphTopology::Grid:
+        return "grid";
+    }
+    return "unknown";
+}
+
+Graph
+generateGraph(const GraphParams &params)
+{
+    if (params.nodes < 2)
+        bwsa_fatal("graph nodes must be >= 2, got ", params.nodes);
+    if (params.mean_degree < 1.0)
+        bwsa_fatal("graph mean degree must be >= 1, got ",
+                   params.mean_degree);
+    if (params.degree_skew < 0.0 || params.degree_skew > 1.0)
+        bwsa_fatal("graph degree skew must be in [0, 1], got ",
+                   params.degree_skew);
+
+    Pcg32 rng(params.structure_seed, 0x9e3779b97f4a7c15ULL);
+    EdgeList list;
+    std::uint32_t nodes = params.nodes;
+    switch (params.topology) {
+      case GraphTopology::Uniform:
+        buildUniform(params, rng, list);
+        break;
+      case GraphTopology::PowerLaw:
+        buildPowerLaw(params, rng, list);
+        break;
+      case GraphTopology::Grid: {
+        buildGrid(params, list);
+        const auto side = static_cast<std::uint32_t>(std::ceil(
+            std::sqrt(static_cast<double>(params.nodes))));
+        nodes = side * side;
+        break;
+      }
+    }
+
+    // Counting sort into CSR: deterministic order (by source, then
+    // insertion order within a source) regardless of the edge list's
+    // construction pattern.
+    Graph g;
+    g.row.assign(nodes + 1, 0);
+    for (const auto &[u, v] : list.edges) {
+        (void)v;
+        ++g.row[u + 1];
+    }
+    for (std::uint32_t u = 0; u < nodes; ++u)
+        g.row[u + 1] += g.row[u];
+    g.adj.resize(list.edges.size());
+    std::vector<std::uint32_t> cursor(g.row.begin(), g.row.end() - 1);
+    for (const auto &[u, v] : list.edges)
+        g.adj[cursor[u]++] = v;
+
+    // Per-edge weights drawn after the structure is fixed, so the
+    // weight stream depends only on the seed and the edge count.
+    g.weights.resize(g.adj.size());
+    for (std::uint8_t &w : g.weights)
+        w = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return g;
+}
+
+} // namespace bwsa::graph

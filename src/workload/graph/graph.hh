@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic synthetic graph generation for the data-driven
+ * traversal workloads.
+ *
+ * The stochastic behaviour models in src/workload (Biased / Periodic /
+ * Markov / DataHash) describe each branch by a per-branch
+ * distribution; graph traversal breaks that assumption because the
+ * branch stream is driven by a shared data structure -- degree
+ * distributions, visited state, union-find forests.  This module
+ * builds the data structure: a CSR adjacency with per-edge weights,
+ * generated bit-reproducibly from a structure seed so traces, tables
+ * and goldens never depend on platform or run order.
+ *
+ * Three topologies span the predictability range the kernels expose:
+ * a uniform random graph (narrow degree distribution, regular loop
+ * trips), a preferential-attachment power law (heavy-tailed degrees:
+ * a few hubs with huge neighbor loops, many leaves with tiny ones)
+ * and a 2-D grid (constant degree 4, the "loopy and easy" end).
+ */
+
+#ifndef BWSA_WORKLOAD_GRAPH_GRAPH_HH
+#define BWSA_WORKLOAD_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwsa::graph
+{
+
+/** Topology families the generator can build. */
+enum class GraphTopology
+{
+    Uniform,  ///< Erdos-Renyi-style uniform random edges
+    PowerLaw, ///< Barabasi-Albert preferential attachment
+    Grid,     ///< 2-D four-neighbor grid
+};
+
+/** Name of a topology for specs and reports ("uniform", ...). */
+std::string graphTopologyName(GraphTopology topology);
+
+/** Shape parameters of one generated graph. */
+struct GraphParams
+{
+    GraphTopology topology = GraphTopology::PowerLaw;
+
+    /** Node count (>= 2; Grid rounds up to a full square). */
+    std::uint32_t nodes = 2048;
+
+    /** Mean out-degree (ignored by Grid, which is always 4). */
+    double mean_degree = 8.0;
+
+    /**
+     * Degree skew in [0, 1] (PowerLaw only): the probability that a
+     * new edge attaches preferentially (by current degree) instead of
+     * uniformly.  0 degenerates to uniform attachment; 1 is the
+     * classic heavy-tailed Barabasi-Albert limit.
+     */
+    double degree_skew = 0.8;
+
+    /** Seed of every structural random choice. */
+    std::uint64_t structure_seed = 1;
+};
+
+/**
+ * Immutable CSR adjacency with per-edge byte weights.
+ *
+ * Directed edge lists (an undirected edge appears once per endpoint);
+ * weights are uniform bytes drawn at generation time, giving the
+ * kernels a deterministic per-edge value to branch on.
+ */
+struct Graph
+{
+    std::vector<std::uint32_t> row;    ///< CSR offsets, size nodes+1
+    std::vector<std::uint32_t> adj;    ///< neighbor node ids
+    std::vector<std::uint8_t> weights; ///< per-edge weight, one per adj
+
+    std::uint32_t
+    nodeCount() const
+    {
+        return row.empty() ? 0
+                           : static_cast<std::uint32_t>(row.size() - 1);
+    }
+
+    std::uint64_t edgeCount() const { return adj.size(); }
+
+    std::uint32_t
+    degree(std::uint32_t node) const
+    {
+        return row[node + 1] - row[node];
+    }
+};
+
+/**
+ * Generate a graph; fatal() on out-of-range parameters.  The result
+ * is a pure function of @p params (Pcg32 all the way down), so equal
+ * parameters yield bit-identical CSR arrays on every platform.
+ */
+Graph generateGraph(const GraphParams &params);
+
+} // namespace bwsa::graph
+
+#endif // BWSA_WORKLOAD_GRAPH_GRAPH_HH

@@ -1,0 +1,204 @@
+#include "workload/graph/graph_spec.hh"
+
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace bwsa::graph
+{
+
+namespace
+{
+
+constexpr const char *kernel_names = "bfs dfs cc pagerank";
+constexpr const char *topology_names = "uniform powerlaw grid";
+constexpr const char *key_names =
+    "nodes degree skew wentropy shuffle replicate sources seed";
+
+/** Instruction budget of a scale-1.0 run (cf. the synthetic presets'
+ *  few-million-instruction defaults). */
+constexpr double base_instructions = 3e6;
+
+GraphKernel
+parseKernel(const std::string &full, const std::string &token)
+{
+    if (token == "bfs")
+        return GraphKernel::Bfs;
+    if (token == "dfs")
+        return GraphKernel::Dfs;
+    if (token == "cc")
+        return GraphKernel::Components;
+    if (token == "pagerank")
+        return GraphKernel::PageRank;
+    bwsa_fatal("graph spec '", full, "': unknown kernel '", token,
+               "' (supported: ", kernel_names, ")");
+}
+
+GraphTopology
+parseTopology(const std::string &full, const std::string &token)
+{
+    if (token == "uniform")
+        return GraphTopology::Uniform;
+    if (token == "powerlaw")
+        return GraphTopology::PowerLaw;
+    if (token == "grid")
+        return GraphTopology::Grid;
+    bwsa_fatal("graph spec '", full, "': unknown topology '", token,
+               "' (supported: ", topology_names, ")");
+}
+
+std::uint64_t
+parseUintValue(const std::string &full, const std::string &key,
+               const std::string &value, std::uint64_t min_value)
+{
+    std::uint64_t parsed = 0;
+    if (!parseUint64(value, parsed) || parsed < min_value)
+        bwsa_fatal("graph spec '", full, "': key '", key,
+                   "' needs an integer >= ", min_value, ", got '",
+                   value, "'");
+    return parsed;
+}
+
+double
+parseUnitValue(const std::string &full, const std::string &key,
+               const std::string &value)
+{
+    double parsed = 0.0;
+    if (!parseDouble(value, parsed) || parsed < 0.0 || parsed > 1.0)
+        bwsa_fatal("graph spec '", full, "': key '", key,
+                   "' needs a number in [0, 1], got '", value, "'");
+    return parsed;
+}
+
+void
+applyKnob(GraphSpec &spec, const std::string &full,
+          const std::string &key, const std::string &value)
+{
+    if (key == "nodes") {
+        spec.graph.nodes = static_cast<std::uint32_t>(
+            parseUintValue(full, key, value, 2));
+    } else if (key == "degree") {
+        double parsed = 0.0;
+        if (!parseDouble(value, parsed) || parsed < 1.0)
+            bwsa_fatal("graph spec '", full, "': key 'degree' needs "
+                       "a number >= 1, got '", value, "'");
+        spec.graph.mean_degree = parsed;
+    } else if (key == "skew") {
+        spec.graph.degree_skew = parseUnitValue(full, key, value);
+    } else if (key == "wentropy") {
+        spec.kernel.weight_entropy = parseUnitValue(full, key, value);
+    } else if (key == "shuffle") {
+        spec.kernel.frontier_shuffle =
+            parseUnitValue(full, key, value);
+    } else if (key == "replicate") {
+        spec.kernel.replicate = static_cast<std::uint32_t>(
+            parseUintValue(full, key, value, 1));
+    } else if (key == "sources") {
+        spec.kernel.sources = static_cast<std::uint32_t>(
+            parseUintValue(full, key, value, 1));
+    } else if (key == "seed") {
+        spec.graph.structure_seed =
+            parseUintValue(full, key, value, 1);
+    } else {
+        bwsa_fatal("graph spec '", full, "': unknown key '", key,
+                   "' (supported: ", key_names, ")");
+    }
+}
+
+} // namespace
+
+bool
+isGraphSpec(const std::string &name)
+{
+    return startsWith(toLower(trim(name)), "graph:");
+}
+
+GraphSpec
+parseGraphSpec(const std::string &text)
+{
+    GraphSpec spec;
+    spec.text = trim(text);
+    const std::string lowered = toLower(spec.text);
+    std::vector<std::string> segments = split(lowered, ':');
+    if (segments.empty() || segments[0] != "graph")
+        bwsa_fatal("graph spec '", spec.text,
+                   "': must start with 'graph:'");
+    if (segments.size() < 2 || segments[1].empty())
+        bwsa_fatal("graph spec '", spec.text,
+                   "': missing kernel (supported: ", kernel_names,
+                   ")");
+    spec.kernel.kernel = parseKernel(spec.text, segments[1]);
+    if (segments.size() < 3 || segments[2].empty())
+        bwsa_fatal("graph spec '", spec.text,
+                   "': missing topology (supported: ",
+                   topology_names, ")");
+    spec.graph.topology = parseTopology(spec.text, segments[2]);
+    if (segments.size() > 4)
+        bwsa_fatal("graph spec '", spec.text,
+                   "': unexpected segment '", segments[4],
+                   "' (expected "
+                   "graph:<kernel>:<topology>[:key=value,...])");
+
+    if (segments.size() == 4) {
+        for (const std::string &knob : split(segments[3], ',')) {
+            const std::string entry = trim(knob);
+            if (entry.empty())
+                continue;
+            const std::size_t eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0)
+                bwsa_fatal("graph spec '", spec.text,
+                           "': expected key=value, got '", entry,
+                           "' (supported keys: ", key_names, ")");
+            applyKnob(spec, spec.text, entry.substr(0, eq),
+                      entry.substr(eq + 1));
+        }
+    }
+    // The input seed rides the structure seed unless an input label
+    // overrides it in makeGraphWorkload().
+    spec.kernel.input_seed = spec.graph.structure_seed + 1;
+    return spec;
+}
+
+std::vector<std::string>
+graphPresetSpecs()
+{
+    // The registered families: one per kernel on its characteristic
+    // topology, plus the BFS topology ladder (grid = the loopy/easy
+    // end, powerlaw = heavy-tailed, uniform = regular random).
+    return {
+        "graph:bfs:powerlaw", "graph:bfs:grid", "graph:bfs:uniform",
+        "graph:dfs:powerlaw", "graph:cc:powerlaw",
+        "graph:pagerank:powerlaw",
+    };
+}
+
+GraphWorkload
+makeGraphWorkload(const std::string &spec_text,
+                  const std::string &input_label, double scale)
+{
+    BWSA_SPAN("workload.build");
+    obs::MetricsRegistry::global().counter("workload.builds").inc();
+    if (scale <= 0.0)
+        bwsa_fatal("workload scale must be positive, got ", scale);
+
+    GraphSpec spec = parseGraphSpec(spec_text);
+    if (!input_label.empty()) {
+        std::uint64_t seed = 0;
+        if (!parseUint64(input_label, seed) || seed == 0)
+            bwsa_fatal("graph workload '", spec.text,
+                       "' has no input set '", input_label,
+                       "' (graph input sets are decimal seeds)");
+        spec.kernel.input_seed = seed;
+    }
+
+    GraphWorkload w;
+    w.spec = spec.text;
+    w.graph = generateGraph(spec.graph);
+    w.config = spec.kernel;
+    w.config.max_instructions =
+        static_cast<std::uint64_t>(scale * base_instructions);
+    return w;
+}
+
+} // namespace bwsa::graph

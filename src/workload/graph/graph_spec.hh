@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The `graph:` workload spec grammar and preset registry.
+ *
+ * Mirrors parsePredictorSpec: a colon-separated head naming the
+ * kernel and topology, then optional comma-separated key=value knobs.
+ * Malformed input -- unknown kernel, topology or key, values that do
+ * not parse or are out of range -- is fatal with a message naming the
+ * offending token and listing the valid alternatives, so typos fail
+ * fast instead of silently running a default workload.
+ *
+ * Grammar (case-insensitive, no whitespace significance):
+ *
+ *     spec     := graph:<kernel>:<topology>[:<key>=<value>{,...}]
+ *     kernel   := bfs | dfs | cc | pagerank
+ *     topology := uniform | powerlaw | grid
+ *     key      := nodes     (node count, >= 2)
+ *              | degree    (mean degree, >= 1)
+ *              | skew      (power-law degree skew, 0..1)
+ *              | wentropy  (weight-threshold branch entropy, 0..1)
+ *              | shuffle   (BFS frontier shuffle probability, 0..1)
+ *              | replicate (code variants per branch site, >= 1)
+ *              | sources   (traversal restarts per run, >= 1)
+ *              | seed      (structure seed, >= 1)
+ *
+ * Examples: "graph:bfs:powerlaw",
+ * "graph:cc:uniform:nodes=4096,degree=6",
+ * "graph:bfs:powerlaw:shuffle=1,wentropy=1" (the near-random end).
+ */
+
+#ifndef BWSA_WORKLOAD_GRAPH_GRAPH_SPEC_HH
+#define BWSA_WORKLOAD_GRAPH_GRAPH_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/graph/graph.hh"
+#include "workload/graph/kernels.hh"
+
+namespace bwsa::graph
+{
+
+/** A parsed `graph:` spec: everything needed to build the workload. */
+struct GraphSpec
+{
+    GraphParams graph;
+    GraphKernelConfig kernel;
+    std::string text; ///< the spec string as given
+};
+
+/** True when @p name uses the `graph:` spec grammar. */
+bool isGraphSpec(const std::string &name);
+
+/** Parse a `graph:` spec; fatal() with the offending token and the
+ *  valid alternatives on malformed input. */
+GraphSpec parseGraphSpec(const std::string &text);
+
+/**
+ * The registered graph preset families (canonical specs resolvable
+ * with all-default knobs), for --list-presets and default bench runs.
+ */
+std::vector<std::string> graphPresetSpecs();
+
+/**
+ * A generated graph plus the kernel configuration of one run: the
+ * graph-workload counterpart of Workload.  Owns the graph, so the
+ * trace source it hands out stays valid for this object's lifetime.
+ */
+struct GraphWorkload
+{
+    std::string spec;         ///< spec string (display name)
+    Graph graph;              ///< generated structure
+    GraphKernelConfig config; ///< kernel + budget + input seed
+
+    /** Replayable trace source; references *this (must outlive). */
+    GraphTraceSource
+    source() const
+    {
+        return GraphTraceSource(graph, config);
+    }
+};
+
+/**
+ * Instantiate a graph workload from a spec.
+ *
+ * @param spec_text  `graph:` spec string
+ * @param input_label "" for the spec's seed; a decimal integer
+ *                    overrides the input seed (the graph-workload
+ *                    notion of an input set)
+ * @param scale      multiplier on the default instruction budget
+ */
+GraphWorkload makeGraphWorkload(const std::string &spec_text,
+                                const std::string &input_label = "",
+                                double scale = 1.0);
+
+} // namespace bwsa::graph
+
+#endif // BWSA_WORKLOAD_GRAPH_GRAPH_SPEC_HH

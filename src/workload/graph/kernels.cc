@@ -1,0 +1,412 @@
+#include "workload/graph/kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/phase_tracer.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace bwsa::graph
+{
+
+namespace
+{
+
+/**
+ * Branch-site slots within a variant's PC block.  Not every kernel
+ * uses every slot; the names describe the dominant use.
+ */
+enum Site : std::uint32_t
+{
+    SiteOuter = 0,    ///< frontier / stack / node sweep backedge
+    SiteNeighbor = 1, ///< neighbor-loop backedge (degree trips)
+    SiteVisited = 2,  ///< visited check / reverse-edge skip
+    SiteWeight = 3,   ///< per-edge weight-threshold branch
+    SiteLevel = 4,    ///< level advance / rank-increase check
+    SiteFind = 5,     ///< union-find climb backedge
+    SiteCompare = 6,  ///< roots-equal / rank comparator
+    SiteUnion = 7,    ///< union-by-rank direction
+};
+
+/**
+ * One kernel execution: all state local, every random draw from one
+ * Pcg32 seeded by the input seed, so a re-run replays bit-identically.
+ */
+class KernelRun
+{
+  public:
+    KernelRun(const Graph &graph, const GraphKernelConfig &config,
+              TraceSink &sink)
+        : _graph(graph), _config(config), _sink(sink),
+          _rng(config.input_seed, 0x2545f4914f6cdd1dULL),
+          _weight_cut(static_cast<std::uint32_t>(
+              config.weight_entropy * 128.0))
+    {}
+
+    GraphExecutionResult
+    run()
+    {
+        GraphExecutionResult result;
+        if (_config.kernel == GraphKernel::PageRank)
+            initRanks();
+        for (;;) {
+            switch (_config.kernel) {
+              case GraphKernel::Bfs:
+                bfsPass();
+                break;
+              case GraphKernel::Dfs:
+                dfsPass();
+                break;
+              case GraphKernel::Components:
+                componentsPass();
+                break;
+              case GraphKernel::PageRank:
+                pageRankPass();
+                break;
+            }
+            ++result.passes;
+            if (_stop)
+                break;
+            if (_config.max_instructions == 0 &&
+                result.passes >= _config.sources)
+                break;
+        }
+        _sink.onEnd();
+        result.instructions = _instructions;
+        result.dynamic_branches = _branches;
+        result.truncated = _budget_hit;
+        return result;
+    }
+
+  private:
+    void
+    retire(std::uint64_t n)
+    {
+        _instructions += n;
+        if (_config.max_instructions != 0 &&
+            _instructions >= _config.max_instructions) {
+            _budget_hit = true;
+            _stop = true;
+        }
+    }
+
+    bool
+    emit(std::uint32_t variant, std::uint32_t site, bool taken)
+    {
+        retire(1);
+        BranchRecord record;
+        record.pc = graphBranchPc(_config.kernel, variant, site);
+        record.timestamp = _instructions;
+        record.taken = taken;
+        _sink.onBranch(record);
+        ++_branches;
+        // Early stop: a sink whose budget is exhausted ends the run
+        // instead of draining the full traversal.
+        if (_sink.done())
+            _stop = true;
+        return taken;
+    }
+
+    std::uint32_t
+    variantOf(std::uint32_t node) const
+    {
+        return node % _config.replicate;
+    }
+
+    std::uint32_t
+    pickRoot()
+    {
+        return _rng.nextBounded(_graph.nodeCount());
+    }
+
+    /** Expand one node's neighbors; shared by BFS and DFS. */
+    template <typename Discover>
+    void
+    expandNode(std::uint32_t u, std::vector<std::uint8_t> &visited,
+               Discover &&discover)
+    {
+        const std::uint32_t vu = variantOf(u);
+        const std::uint32_t begin = _graph.row[u];
+        const std::uint32_t end = _graph.row[u + 1];
+        retire(2); // node pop + bounds load
+        for (std::uint32_t i = begin; i < end && !_stop; ++i) {
+            const std::uint32_t v = _graph.adj[i];
+            retire(1); // neighbor load
+            const bool seen = visited[v] != 0;
+            emit(vu, SiteVisited, seen);
+            if (!seen) {
+                visited[v] = 1;
+                retire(2); // mark + enqueue
+                discover(v);
+            }
+            const bool heavy = _graph.weights[i] < _weight_cut;
+            emit(vu, SiteWeight, heavy);
+            if (heavy)
+                retire(1); // the guarded update
+            emit(vu, SiteNeighbor, i + 1 < end);
+        }
+    }
+
+    void
+    bfsPass()
+    {
+        const std::uint32_t n = _graph.nodeCount();
+        std::vector<std::uint8_t> visited(n, 0);
+        std::vector<std::uint32_t> frontier, next;
+        const std::uint32_t root = pickRoot();
+        visited[root] = 1;
+        frontier.push_back(root);
+        std::uint32_t level = 0;
+        while (!frontier.empty() && !_stop) {
+            // Frontier-ordering randomization: a shuffled frontier
+            // decorrelates the visited-check and neighbor histories.
+            if (frontier.size() > 1 &&
+                _rng.nextBool(_config.frontier_shuffle)) {
+                for (std::uint32_t i = static_cast<std::uint32_t>(
+                         frontier.size());
+                     i > 1; --i)
+                    std::swap(frontier[i - 1],
+                              frontier[_rng.nextBounded(i)]);
+            }
+            next.clear();
+            for (std::size_t f = 0; f < frontier.size() && !_stop;
+                 ++f) {
+                const std::uint32_t u = frontier[f];
+                expandNode(u, visited,
+                           [&](std::uint32_t v) { next.push_back(v); });
+                if (_stop)
+                    return;
+                emit(variantOf(u), SiteOuter,
+                     f + 1 < frontier.size());
+            }
+            if (_stop)
+                return;
+            emit(level % _config.replicate, SiteLevel, !next.empty());
+            frontier.swap(next);
+            ++level;
+        }
+    }
+
+    void
+    dfsPass()
+    {
+        const std::uint32_t n = _graph.nodeCount();
+        std::vector<std::uint8_t> visited(n, 0);
+        std::vector<std::uint32_t> stack;
+        const std::uint32_t root = pickRoot();
+        visited[root] = 1;
+        stack.push_back(root);
+        while (!stack.empty() && !_stop) {
+            const std::uint32_t u = stack.back();
+            stack.pop_back();
+            expandNode(u, visited,
+                       [&](std::uint32_t v) { stack.push_back(v); });
+            if (_stop)
+                return;
+            emit(variantOf(u), SiteOuter, !stack.empty());
+        }
+    }
+
+    std::uint32_t
+    find(std::vector<std::uint32_t> &parent, std::uint32_t x,
+         std::uint32_t variant)
+    {
+        // Path-halving climb: the loop trip count shrinks as the
+        // forest flattens, so this backedge is nonstationary by
+        // construction.
+        for (;;) {
+            const bool climbing = parent[x] != x;
+            emit(variant, SiteFind, climbing);
+            if (!climbing || _stop)
+                return x;
+            parent[x] = parent[parent[x]];
+            retire(2); // grandparent load + store
+            x = parent[x];
+        }
+    }
+
+    void
+    componentsPass()
+    {
+        const std::uint32_t n = _graph.nodeCount();
+        std::vector<std::uint32_t> parent(n);
+        std::vector<std::uint32_t> rank(n, 0);
+        for (std::uint32_t i = 0; i < n; ++i)
+            parent[i] = i;
+        retire(n); // initialization sweep
+        for (std::uint32_t u = 0; u < n && !_stop; ++u) {
+            const std::uint32_t vu = variantOf(u);
+            const std::uint32_t begin = _graph.row[u];
+            const std::uint32_t end = _graph.row[u + 1];
+            for (std::uint32_t i = begin; i < end && !_stop; ++i) {
+                const std::uint32_t v = _graph.adj[i];
+                retire(1);
+                // Undirected edges appear once per endpoint; skip the
+                // reverse copy so each is united exactly once.
+                const bool reverse = v < u;
+                emit(vu, SiteVisited, reverse);
+                if (!reverse) {
+                    const std::uint32_t ru = find(parent, u, vu);
+                    const std::uint32_t rv = find(parent, v, vu);
+                    if (_stop)
+                        return;
+                    const bool joined = ru == rv;
+                    emit(vu, SiteCompare, joined);
+                    if (!joined) {
+                        const bool lower = rank[ru] < rank[rv];
+                        emit(vu, SiteUnion, lower);
+                        if (lower) {
+                            parent[ru] = rv;
+                        } else {
+                            parent[rv] = ru;
+                            if (rank[ru] == rank[rv])
+                                ++rank[ru];
+                        }
+                        retire(2);
+                    }
+                    emit(vu, SiteWeight,
+                         _graph.weights[i] < _weight_cut);
+                }
+                emit(vu, SiteNeighbor, i + 1 < end);
+            }
+        }
+    }
+
+    void
+    initRanks()
+    {
+        const std::uint32_t n = _graph.nodeCount();
+        _ranks.resize(n);
+        _next_ranks.assign(n, 0);
+        // Fixed-point ranks from a splitmix-style hash: deterministic
+        // and integer-only, so the comparator stream is portable.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::uint64_t z =
+                (i + 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL;
+            z ^= z >> 27;
+            _ranks[i] = (z * 0x94d049bb133111ebULL) >> 44;
+        }
+    }
+
+    void
+    pageRankPass()
+    {
+        // One power-iteration sweep per pass: per-edge rank
+        // comparators (data-dependent, drifting as ranks converge)
+        // plus the weight-entropy branch.
+        const std::uint32_t n = _graph.nodeCount();
+        for (std::uint32_t u = 0; u < n && !_stop; ++u) {
+            const std::uint32_t vu = variantOf(u);
+            const std::uint32_t begin = _graph.row[u];
+            const std::uint32_t end = _graph.row[u + 1];
+            const std::uint64_t ru = _ranks[u];
+            std::uint64_t acc = 0;
+            retire(2);
+            for (std::uint32_t i = begin; i < end && !_stop; ++i) {
+                const std::uint32_t v = _graph.adj[i];
+                retire(1);
+                emit(vu, SiteCompare, _ranks[v] > ru);
+                acc += _ranks[v] /
+                       std::max<std::uint32_t>(1, _graph.degree(v));
+                emit(vu, SiteWeight,
+                     _graph.weights[i] < _weight_cut);
+                emit(vu, SiteNeighbor, i + 1 < end);
+            }
+            const std::uint64_t fresh = (acc * 85) / 100 + 150;
+            emit(vu, SiteLevel, fresh > ru);
+            _next_ranks[u] = fresh;
+            retire(1);
+        }
+        _ranks.swap(_next_ranks);
+    }
+
+    const Graph &_graph;
+    const GraphKernelConfig &_config;
+    TraceSink &_sink;
+    Pcg32 _rng;
+    const std::uint32_t _weight_cut;
+    std::vector<std::uint64_t> _ranks;      ///< PageRank state
+    std::vector<std::uint64_t> _next_ranks; ///< PageRank double buffer
+    std::uint64_t _instructions = 0;
+    std::uint64_t _branches = 0;
+    bool _stop = false;
+    bool _budget_hit = false;
+};
+
+} // namespace
+
+std::string
+graphKernelName(GraphKernel kernel)
+{
+    switch (kernel) {
+      case GraphKernel::Bfs:
+        return "bfs";
+      case GraphKernel::Dfs:
+        return "dfs";
+      case GraphKernel::Components:
+        return "cc";
+      case GraphKernel::PageRank:
+        return "pagerank";
+    }
+    return "unknown";
+}
+
+GraphExecutionResult
+runGraphKernel(const Graph &graph, const GraphKernelConfig &config,
+               TraceSink &sink)
+{
+    if (config.replicate == 0)
+        bwsa_fatal("graph kernel replicate must be >= 1");
+    if (config.replicate > graph_branch_slots / graph_branch_sites)
+        bwsa_fatal("graph kernel replicate must be <= ",
+                   graph_branch_slots / graph_branch_sites,
+                   " (PC slot space), got ", config.replicate);
+    if (config.sources == 0)
+        bwsa_fatal("graph kernel sources must be >= 1");
+    if (config.weight_entropy < 0.0 || config.weight_entropy > 1.0)
+        bwsa_fatal("graph weight entropy must be in [0, 1], got ",
+                   config.weight_entropy);
+    if (config.frontier_shuffle < 0.0 ||
+        config.frontier_shuffle > 1.0)
+        bwsa_fatal("graph frontier shuffle must be in [0, 1], got ",
+                   config.frontier_shuffle);
+    if (graph.nodeCount() == 0)
+        bwsa_fatal("graph kernel needs a non-empty graph");
+    KernelRun run(graph, config, sink);
+    return run.run();
+}
+
+void
+GraphTraceSource::replay(TraceSink &sink) const
+{
+    obs::PhaseTracer::Span span("workload.replay");
+    GraphExecutionResult result =
+        runGraphKernel(_graph, _config, sink);
+    span.addWork(result.dynamic_branches);
+
+    // Same whole-replay counters as WorkloadTraceSource (the serve /
+    // progress layers read them), plus a graph-specific replay count.
+    static obs::Counter replays =
+        obs::MetricsRegistry::global().counter("workload.replays");
+    static obs::Counter graph_replays =
+        obs::MetricsRegistry::global().counter(
+            "workload.graph.replays");
+    static obs::Counter instructions =
+        obs::MetricsRegistry::global().counter(
+            "workload.instructions");
+    static obs::Counter branches =
+        obs::MetricsRegistry::global().counter("workload.branches");
+    static obs::Counter truncated =
+        obs::MetricsRegistry::global().counter(
+            "workload.truncated_runs");
+    replays.inc();
+    graph_replays.inc();
+    instructions.inc(result.instructions);
+    branches.inc(result.dynamic_branches);
+    if (result.truncated)
+        truncated.inc();
+}
+
+} // namespace bwsa::graph

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Data-driven traversal kernels over generated graphs.
+ *
+ * Each kernel walks a Graph and emits one BranchRecord per dynamic
+ * conditional branch into a TraceSink -- the exact contract of
+ * SyntheticExecutor, so profiling, sharding, batched replay, phase
+ * detection, telemetry and the serve daemon all consume graph traces
+ * unchanged.  The branch stream is driven by the shared data
+ * structure, not per-branch distributions: neighbor-loop trip counts
+ * follow the degree distribution, visited checks follow frontier
+ * evolution, union-find climbs follow the (path-compressed,
+ * nonstationary) forest shape.
+ *
+ * Predictability knobs:
+ *   - weight_entropy: bias of the per-edge weight-threshold branch,
+ *     from near-always-false (0, trivially predictable) to 50/50 (1);
+ *   - frontier_shuffle: probability that a BFS frontier is visited in
+ *     a randomized order, decorrelating the visited-check and
+ *     neighbor-loop histories;
+ *   - degree_skew (GraphParams): heavy-tailed vs regular loop trips.
+ *
+ * Static branch population: real graph frameworks specialize traversal
+ * code per partition / degree class (direction-optimizing BFS,
+ * hub-specialized paths), so each kernel replicates its branch sites
+ * across `replicate` code variants selected by node id.  That yields
+ * sites x replicate static branches -- enough pressure to make BHT
+ * allocation a real decision instead of a trivial one-entry-each map.
+ */
+
+#ifndef BWSA_WORKLOAD_GRAPH_KERNELS_HH
+#define BWSA_WORKLOAD_GRAPH_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+#include "workload/graph/graph.hh"
+#include "workload/program.hh"
+
+namespace bwsa::graph
+{
+
+/** Traversal kernels the subsystem can run. */
+enum class GraphKernel
+{
+    Bfs,        ///< frontier-expansion breadth-first search
+    Dfs,        ///< explicit-stack depth-first search
+    Components, ///< connected components via union-find
+    PageRank,   ///< rank-comparator sweep (power iteration shape)
+};
+
+/** Name of a kernel for specs and reports ("bfs", "cc", ...). */
+std::string graphKernelName(GraphKernel kernel);
+
+/** Code region of the graph kernels (above the synthetic programs). */
+constexpr std::uint64_t graph_text_base = text_base + 0x00200000;
+
+/** Branch sites per code variant (PC slots reserved per variant). */
+constexpr std::uint32_t graph_branch_sites = 8;
+
+/** Slot-id space per kernel; graphBranchPc permutes within it. */
+constexpr std::uint32_t graph_branch_slots = 1u << 16;
+
+/**
+ * PC of one (kernel, variant, site) branch.  Each kernel owns a 1 MiB
+ * subregion holding 2^16 instruction slots.  The (variant, site) slot
+ * id is scrambled by an odd-multiplier bijection before placement:
+ * compiled traversal code interleaves the variants' branch sites
+ * through the text section, it does not emit them as one tidy array,
+ * and a linear layout would make modulo BHT indexing artificially
+ * collision-free (same-site variants -- statistically similar
+ * branches -- would always share entries, hiding exactly the
+ * destructive aliasing this subsystem exists to measure).
+ */
+constexpr std::uint64_t
+graphBranchPc(GraphKernel kernel, std::uint32_t variant,
+              std::uint32_t site)
+{
+    // Xorshift-multiply permutation of the 16-bit slot space.  Every
+    // step is invertible, so distinct slots never share a PC; unlike
+    // a bare odd-multiplier scramble it does NOT preserve residues
+    // modulo powers of two, so power-of-two BHT collision classes are
+    // genuinely decorrelated from (variant, site) structure.
+    std::uint32_t x =
+        (variant * graph_branch_sites + site) % graph_branch_slots;
+    x ^= x >> 8;
+    x = (x * 0x88b5u) % graph_branch_slots;
+    x ^= x >> 7;
+    x = (x * 0xdb2du) % graph_branch_slots;
+    x ^= x >> 9;
+    return graph_text_base +
+           (static_cast<std::uint64_t>(kernel) << 20) +
+           static_cast<std::uint64_t>(x) * insn_size;
+}
+
+/** Run-time configuration of one kernel execution. */
+struct GraphKernelConfig
+{
+    GraphKernel kernel = GraphKernel::Bfs;
+
+    /** Stop after this many retired instructions (0 = cfg.sources
+     *  passes and stop). */
+    std::uint64_t max_instructions = 0;
+
+    /** Input-set seed: root selection and frontier shuffles. */
+    std::uint64_t input_seed = 1;
+
+    /** Weight-threshold branch bias knob in [0, 1]; the branch is
+     *  taken with probability weight_entropy / 2. */
+    double weight_entropy = 0.5;
+
+    /** Probability a BFS frontier is processed in shuffled order. */
+    double frontier_shuffle = 0.0;
+
+    /** Code variants per branch site (static branch population =
+     *  sites x replicate); >= 1. */
+    std::uint32_t replicate = 48;
+
+    /** Traversal restarts (BFS/DFS roots; CC/PageRank sweeps) per
+     *  budget-free run; >= 1. */
+    std::uint32_t sources = 8;
+};
+
+/** Aggregate result of one kernel execution. */
+struct GraphExecutionResult
+{
+    std::uint64_t instructions = 0;     ///< instructions retired
+    std::uint64_t dynamic_branches = 0; ///< conditional branches run
+    std::uint64_t passes = 0;           ///< traversals completed
+    bool truncated = false;             ///< stopped by budget
+};
+
+/**
+ * Execute one kernel over @p graph, pushing every dynamic conditional
+ * branch into @p sink (then onEnd()).  Deterministic: the stream is a
+ * pure function of (graph, config).  Honours TraceSink::done() for
+ * early stops, like SyntheticExecutor.
+ */
+GraphExecutionResult runGraphKernel(const Graph &graph,
+                                    const GraphKernelConfig &config,
+                                    TraceSink &sink);
+
+/**
+ * Replayable TraceSource that re-runs a kernel on demand.  Replay is
+ * bit-identical across calls because every run reseeds from the input
+ * seed -- the same discipline as WorkloadTraceSource, so sharded /
+ * batched / cached paths all see one stream.
+ */
+class GraphTraceSource : public TraceSource
+{
+  public:
+    /** @param graph generated graph (not owned; must outlive) */
+    GraphTraceSource(const Graph &graph,
+                     const GraphKernelConfig &config)
+        : _graph(graph), _config(config)
+    {}
+
+    void replay(TraceSink &sink) const override;
+
+    const GraphKernelConfig &config() const { return _config; }
+
+  private:
+    const Graph &_graph;
+    GraphKernelConfig _config;
+};
+
+} // namespace bwsa::graph
+
+#endif // BWSA_WORKLOAD_GRAPH_KERNELS_HH

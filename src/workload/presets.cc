@@ -278,8 +278,13 @@ findPreset(const std::string &name)
     for (const PresetDef &d : presets())
         if (name == d.name)
             return d;
-    bwsa_fatal("unknown workload preset '", name,
-               "'; see presetNames()");
+    std::string known;
+    for (const PresetDef &d : presets())
+        known += std::string(" ") + d.name;
+    bwsa_fatal("unknown workload preset '", name, "' (supported:",
+               known, "; or a graph spec like ",
+               graph::graphPresetSpecs().front(),
+               "[:key=value,...])");
 }
 
 } // namespace
@@ -346,6 +351,38 @@ makeWorkload(const std::string &name, const std::string &input_label,
         static_cast<double>(generated.expected_pass_instructions));
     w.config.input_seed = input->seed;
     return w;
+}
+
+std::unique_ptr<TraceSource>
+ResolvedWorkload::source() const
+{
+    if (graphwl)
+        return std::make_unique<graph::GraphTraceSource>(
+            graphwl->graph, graphwl->config);
+    return std::make_unique<WorkloadTraceSource>(synthetic->program,
+                                                 synthetic->config);
+}
+
+ResolvedWorkload
+resolveWorkload(const std::string &name_or_spec,
+                const std::string &input_label, double scale)
+{
+    ResolvedWorkload resolved;
+    if (graph::isGraphSpec(name_or_spec)) {
+        auto w = std::make_shared<graph::GraphWorkload>(
+            graph::makeGraphWorkload(name_or_spec, input_label,
+                                     scale));
+        resolved.name = w->spec;
+        resolved.input_label = input_label;
+        resolved.graphwl = std::move(w);
+        return resolved;
+    }
+    auto w = std::make_shared<Workload>(
+        makeWorkload(name_or_spec, input_label, scale));
+    resolved.name = w->name;
+    resolved.input_label = w->input_label;
+    resolved.synthetic = std::move(w);
+    return resolved;
 }
 
 } // namespace bwsa

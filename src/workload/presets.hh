@@ -21,11 +21,13 @@
 #ifndef BWSA_WORKLOAD_PRESETS_HH
 #define BWSA_WORKLOAD_PRESETS_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "workload/executor.hh"
 #include "workload/generator.hh"
+#include "workload/graph/graph_spec.hh"
 
 namespace bwsa
 {
@@ -79,6 +81,36 @@ struct Workload
 Workload makeWorkload(const std::string &name,
                       const std::string &input_label = "",
                       double scale = 1.0);
+
+/**
+ * A workload of either family behind one polymorphic trace source:
+ * synthetic CFG presets ("m88ksim") or graph specs
+ * ("graph:bfs:powerlaw:...").  Owns the underlying program or graph,
+ * so sources handed out stay valid for this object's lifetime; copies
+ * share the immutable underlying workload.
+ */
+struct ResolvedWorkload
+{
+    std::string name;        ///< preset name or graph spec
+    std::string input_label; ///< input set actually selected
+
+    std::shared_ptr<const Workload> synthetic;        ///< one of
+    std::shared_ptr<const graph::GraphWorkload> graphwl; ///< these
+
+    bool isGraph() const { return graphwl != nullptr; }
+
+    /** Replayable trace source; *this must outlive the source. */
+    std::unique_ptr<TraceSource> source() const;
+};
+
+/**
+ * Instantiate a workload by preset name or `graph:` spec.  Unknown
+ * names are fatal with the valid preset names and the graph grammar
+ * in the message.
+ */
+ResolvedWorkload resolveWorkload(const std::string &name_or_spec,
+                                 const std::string &input_label = "",
+                                 double scale = 1.0);
 
 } // namespace bwsa
 

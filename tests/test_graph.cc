@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests of the graph workload subsystem (workload/graph): generator
+ * determinism and topology shape, the spec grammar (including the
+ * token-naming error contract), kernel trace determinism across
+ * replays / segment ranges / read modes, and the ResolvedWorkload
+ * bridge that plugs graph traces into everything built for the
+ * synthetic workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "obs/branch_telemetry.hh"
+#include "obs/predictability.hh"
+#include "store/block_trace.hh"
+#include "trace/trace.hh"
+#include "workload/graph/graph.hh"
+#include "workload/graph/graph_spec.hh"
+#include "workload/graph/kernels.hh"
+#include "workload/presets.hh"
+
+using namespace bwsa;
+using namespace bwsa::graph;
+
+namespace
+{
+
+/** All records of one replay, collected in memory. */
+MemoryTrace
+capture(const TraceSource &source)
+{
+    MemoryTrace trace;
+    source.replay(trace);
+    return trace;
+}
+
+bool
+sameRecords(const MemoryTrace &a, const MemoryTrace &b)
+{
+    if (a.records().size() != b.records().size())
+        return false;
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        const BranchRecord &ra = a.records()[i];
+        const BranchRecord &rb = b.records()[i];
+        if (ra.pc != rb.pc || ra.timestamp != rb.timestamp ||
+            ra.taken != rb.taken)
+            return false;
+    }
+    return true;
+}
+
+/** Sink that reports done() after @p limit records. */
+class CountingStopSink : public TraceSink
+{
+  public:
+    explicit CountingStopSink(std::uint64_t limit) : _limit(limit) {}
+
+    void onBranch(const BranchRecord &) override { ++_count; }
+
+    bool done() const override { return _count >= _limit; }
+
+    std::uint64_t count() const { return _count; }
+
+  private:
+    std::uint64_t _limit;
+    std::uint64_t _count = 0;
+};
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------
+
+TEST(GraphGenerator, DeterministicForSameParams)
+{
+    GraphParams params;
+    params.topology = GraphTopology::PowerLaw;
+    params.nodes = 512;
+    params.structure_seed = 7;
+    Graph a = generateGraph(params);
+    Graph b = generateGraph(params);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.adj, b.adj);
+    EXPECT_EQ(a.weights, b.weights);
+    EXPECT_GT(a.edgeCount(), 0u);
+}
+
+TEST(GraphGenerator, SeedChangesStructure)
+{
+    GraphParams params;
+    params.nodes = 512;
+    Graph a = generateGraph(params);
+    params.structure_seed = 99;
+    Graph b = generateGraph(params);
+    EXPECT_NE(a.adj, b.adj);
+}
+
+TEST(GraphGenerator, CsrInvariantsHold)
+{
+    for (GraphTopology topology :
+         {GraphTopology::Uniform, GraphTopology::PowerLaw,
+          GraphTopology::Grid}) {
+        GraphParams params;
+        params.topology = topology;
+        params.nodes = 300;
+        Graph g = generateGraph(params);
+        ASSERT_EQ(g.row.size(), g.nodeCount() + 1);
+        EXPECT_EQ(g.row.front(), 0u);
+        EXPECT_EQ(g.row.back(), g.adj.size());
+        EXPECT_EQ(g.weights.size(), g.adj.size());
+        for (std::size_t i = 0; i + 1 < g.row.size(); ++i)
+            EXPECT_LE(g.row[i], g.row[i + 1]);
+        for (std::uint32_t v : g.adj)
+            EXPECT_LT(v, g.nodeCount());
+    }
+}
+
+TEST(GraphGenerator, GridRoundsUpToSquare)
+{
+    GraphParams params;
+    params.topology = GraphTopology::Grid;
+    params.nodes = 30; // side 6 -> 36 nodes
+    Graph g = generateGraph(params);
+    EXPECT_EQ(g.nodeCount(), 36u);
+    // Interior nodes of a 2-D grid have degree 4.
+    std::uint32_t max_degree = 0;
+    for (std::uint32_t n = 0; n < g.nodeCount(); ++n)
+        max_degree = std::max(max_degree, g.degree(n));
+    EXPECT_EQ(max_degree, 4u);
+}
+
+TEST(GraphGenerator, PowerLawIsHeavierTailedThanUniform)
+{
+    GraphParams params;
+    params.nodes = 2048;
+    params.topology = GraphTopology::Uniform;
+    Graph uniform = generateGraph(params);
+    params.topology = GraphTopology::PowerLaw;
+    Graph powerlaw = generateGraph(params);
+
+    auto maxDegree = [](const Graph &g) {
+        std::uint32_t best = 0;
+        for (std::uint32_t n = 0; n < g.nodeCount(); ++n)
+            best = std::max(best, g.degree(n));
+        return best;
+    };
+    EXPECT_GT(maxDegree(powerlaw), 2 * maxDegree(uniform));
+}
+
+TEST(GraphGeneratorDeath, RejectsDegenerateParams)
+{
+    GraphParams params;
+    params.nodes = 1;
+    EXPECT_EXIT(generateGraph(params), ::testing::ExitedWithCode(1),
+                "nodes must be >= 2");
+    params.nodes = 16;
+    params.degree_skew = 1.5;
+    EXPECT_EXIT(generateGraph(params), ::testing::ExitedWithCode(1),
+                "skew must be in");
+}
+
+// ---------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------
+
+TEST(GraphSpec, ParsesKernelTopologyAndKnobs)
+{
+    GraphSpec spec = parseGraphSpec(
+        "graph:cc:grid:nodes=128,degree=6,skew=0.25,wentropy=0.75,"
+        "shuffle=0.5,replicate=12,sources=3,seed=41");
+    EXPECT_EQ(spec.kernel.kernel, GraphKernel::Components);
+    EXPECT_EQ(spec.graph.topology, GraphTopology::Grid);
+    EXPECT_EQ(spec.graph.nodes, 128u);
+    EXPECT_DOUBLE_EQ(spec.graph.mean_degree, 6.0);
+    EXPECT_DOUBLE_EQ(spec.graph.degree_skew, 0.25);
+    EXPECT_DOUBLE_EQ(spec.kernel.weight_entropy, 0.75);
+    EXPECT_DOUBLE_EQ(spec.kernel.frontier_shuffle, 0.5);
+    EXPECT_EQ(spec.kernel.replicate, 12u);
+    EXPECT_EQ(spec.kernel.sources, 3u);
+    EXPECT_EQ(spec.graph.structure_seed, 41u);
+    // Input seed rides the structure seed unless a label overrides.
+    EXPECT_EQ(spec.kernel.input_seed, 42u);
+}
+
+TEST(GraphSpec, IsGraphSpecDetects)
+{
+    EXPECT_TRUE(isGraphSpec("graph:bfs:powerlaw"));
+    EXPECT_TRUE(isGraphSpec("  GRAPH:dfs:grid  "));
+    EXPECT_FALSE(isGraphSpec("gcc"));
+    EXPECT_FALSE(isGraphSpec("graphical"));
+}
+
+TEST(GraphSpec, PresetFamiliesAllParse)
+{
+    for (const std::string &spec_text : graphPresetSpecs()) {
+        GraphSpec spec = parseGraphSpec(spec_text);
+        EXPECT_EQ(spec.text, spec_text);
+    }
+}
+
+TEST(GraphSpecDeath, ErrorsNameTheOffendingToken)
+{
+    // Every malformed spec is fatal with the bad token and the list
+    // of supported alternatives in the message.
+    EXPECT_EXIT(parseGraphSpec("graph:bsf:powerlaw"),
+                ::testing::ExitedWithCode(1),
+                "unknown kernel 'bsf'.*bfs dfs cc pagerank");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:ring"),
+                ::testing::ExitedWithCode(1),
+                "unknown topology 'ring'.*uniform powerlaw grid");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:grid:degre=4"),
+                ::testing::ExitedWithCode(1),
+                "unknown key 'degre'.*nodes degree skew");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:grid:nodes"),
+                ::testing::ExitedWithCode(1),
+                "expected key=value, got 'nodes'");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:grid:nodes=one"),
+                ::testing::ExitedWithCode(1),
+                "key 'nodes' needs an integer >= 2, got 'one'");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:grid:skew=2"),
+                ::testing::ExitedWithCode(1),
+                "key 'skew' needs a number in \\[0, 1\\], got '2'");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs"),
+                ::testing::ExitedWithCode(1), "missing topology");
+    EXPECT_EXIT(parseGraphSpec("graph:bfs:grid:nodes=8:extra"),
+                ::testing::ExitedWithCode(1),
+                "unexpected segment 'extra'");
+}
+
+TEST(GraphSpecDeath, WorkloadInputAndScaleAreValidated)
+{
+    EXPECT_EXIT(makeGraphWorkload("graph:bfs:powerlaw", "ref"),
+                ::testing::ExitedWithCode(1),
+                "no input set 'ref'.*decimal seeds");
+    EXPECT_EXIT(makeGraphWorkload("graph:bfs:powerlaw", "", 0.0),
+                ::testing::ExitedWithCode(1),
+                "scale must be positive");
+}
+
+TEST(ResolvedWorkloadDeath, UnknownPresetListsAlternatives)
+{
+    // The unknown-preset error names the valid presets and points at
+    // the graph spec grammar.
+    EXPECT_EXIT(resolveWorkload("nosuch"),
+                ::testing::ExitedWithCode(1),
+                "unknown workload preset 'nosuch'.*compress.*graph:");
+}
+
+// ---------------------------------------------------------------------
+// Kernel traces
+// ---------------------------------------------------------------------
+
+TEST(GraphKernels, ReplayIsBitIdentical)
+{
+    for (const std::string &spec : graphPresetSpecs()) {
+        ResolvedWorkload w = resolveWorkload(spec, "", 0.05);
+        ASSERT_TRUE(w.isGraph());
+        std::unique_ptr<TraceSource> source = w.source();
+        MemoryTrace a = capture(*source);
+        MemoryTrace b = capture(*source);
+        EXPECT_GT(a.records().size(), 1000u) << spec;
+        EXPECT_TRUE(sameRecords(a, b)) << spec;
+    }
+}
+
+TEST(GraphKernels, TimestampsStrictlyAscend)
+{
+    ResolvedWorkload w = resolveWorkload("graph:cc:uniform", "", 0.05);
+    MemoryTrace trace = capture(*w.source());
+    for (std::size_t i = 1; i < trace.records().size(); ++i)
+        ASSERT_GT(trace.records()[i].timestamp,
+                  trace.records()[i - 1].timestamp);
+}
+
+TEST(GraphKernels, InputSeedChangesTrace)
+{
+    // Input labels are decimal seeds; different seeds pick different
+    // roots / shuffles over the same structure.
+    ResolvedWorkload a =
+        resolveWorkload("graph:bfs:powerlaw:shuffle=0.5", "7", 0.05);
+    ResolvedWorkload b =
+        resolveWorkload("graph:bfs:powerlaw:shuffle=0.5", "8", 0.05);
+    EXPECT_FALSE(sameRecords(capture(*a.source()),
+                             capture(*b.source())));
+}
+
+TEST(GraphKernels, BudgetTruncates)
+{
+    GraphParams params;
+    params.nodes = 256;
+    Graph g = generateGraph(params);
+    GraphKernelConfig config;
+    config.max_instructions = 5000;
+    MemoryTrace trace;
+    GraphExecutionResult result = runGraphKernel(g, config, trace);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_GE(result.instructions, config.max_instructions);
+    // The budget stops the run promptly: the largest single retire is
+    // an O(nodes) initialization sweep.
+    EXPECT_LT(result.instructions,
+              config.max_instructions + 4 * g.nodeCount());
+    EXPECT_EQ(result.dynamic_branches, trace.records().size());
+}
+
+TEST(GraphKernels, SinkDoneStopsTheRun)
+{
+    GraphParams params;
+    params.nodes = 256;
+    Graph g = generateGraph(params);
+    GraphKernelConfig config;
+    CountingStopSink sink(500);
+    GraphExecutionResult result = runGraphKernel(g, config, sink);
+    // The stop lands within one neighbor-expansion step (at most a
+    // couple of trailing branch sites).
+    EXPECT_GE(sink.count(), 500u);
+    EXPECT_LE(sink.count(), 503u);
+    EXPECT_EQ(result.dynamic_branches, sink.count());
+}
+
+TEST(GraphKernels, PcsStayInTheKernelRegion)
+{
+    for (const std::string &spec :
+         {std::string("graph:bfs:powerlaw"),
+          std::string("graph:pagerank:powerlaw")}) {
+        ResolvedWorkload w = resolveWorkload(spec, "", 0.02);
+        MemoryTrace trace = capture(*w.source());
+        std::set<std::uint64_t> pcs;
+        for (const BranchRecord &r : trace.records()) {
+            EXPECT_GE(r.pc, graph_text_base);
+            EXPECT_LT(r.pc, graph_text_base + (4ull << 20));
+            EXPECT_EQ((r.pc - graph_text_base) % insn_size, 0u);
+            pcs.insert(r.pc);
+        }
+        // sites x replicate slots exist; a healthy run touches many.
+        EXPECT_GT(pcs.size(), 100u) << spec;
+    }
+}
+
+TEST(GraphKernels, EntropySpansAtLeastThreeBins)
+{
+    // The acceptance bar of the allocation-payoff study: the default
+    // power-law BFS preset populates >= 3 predictability classes.
+    ResolvedWorkload w =
+        resolveWorkload("graph:bfs:powerlaw", "", 0.1);
+    MemoryTrace trace = capture(*w.source());
+    obs::BranchTelemetryMap telemetry;
+    for (const BranchRecord &r : trace.records())
+        telemetry.record(r.pc, r.taken, r.timestamp);
+
+    obs::PredictabilityBinner binner;
+    std::vector<std::uint64_t> bins(binner.binCount(), 0);
+    for (std::uint64_t pc : telemetry.pcs())
+        ++bins[binner.binOf(telemetry.find(pc)->entropyBits())];
+    std::size_t populated = 0;
+    for (std::uint64_t count : bins)
+        populated += count > 0 ? 1 : 0;
+    EXPECT_GE(populated, 3u);
+}
+
+TEST(GraphKernels, WeightEntropyKnobMovesEntropy)
+{
+    auto meanEntropy = [](const std::string &spec) {
+        ResolvedWorkload w = resolveWorkload(spec, "", 0.05);
+        MemoryTrace trace = capture(*w.source());
+        obs::BranchTelemetryMap telemetry;
+        for (const BranchRecord &r : trace.records())
+            telemetry.record(r.pc, r.taken, r.timestamp);
+        double sum = 0.0;
+        for (std::uint64_t pc : telemetry.pcs())
+            sum += telemetry.find(pc)->entropyBits();
+        return sum / static_cast<double>(telemetry.pcs().size());
+    };
+    EXPECT_LT(meanEntropy("graph:bfs:powerlaw:wentropy=0.05"),
+              meanEntropy("graph:bfs:powerlaw:wentropy=1.0"));
+}
+
+// ---------------------------------------------------------------------
+// Determinism across read modes and range replay
+// ---------------------------------------------------------------------
+
+TEST(GraphKernels, MmapAndStreamReadsMatchTheLiveTrace)
+{
+    ResolvedWorkload w = resolveWorkload("graph:dfs:powerlaw", "", 0.05);
+    std::unique_ptr<TraceSource> source = w.source();
+    MemoryTrace live = capture(*source);
+
+    const std::string path = tempPath("bwsa_graph_block_trace.bin");
+    {
+        store::BlockTraceWriter writer(path);
+        source->replay(writer);
+    }
+    for (store::ReadMode mode :
+         {store::ReadMode::Mmap, store::ReadMode::Stream}) {
+        store::BlockTraceReader reader(path, mode);
+        MemoryTrace loaded = capture(reader);
+        EXPECT_TRUE(sameRecords(live, loaded));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(GraphKernels, SegmentsReplayExactlyOnce)
+{
+    ResolvedWorkload w = resolveWorkload("graph:bfs:grid", "", 0.05);
+    std::unique_ptr<TraceSource> source = w.source();
+    MemoryTrace full = capture(*source);
+
+    for (unsigned k : {2u, 5u}) {
+        std::vector<TraceSegment> segments = source->segments(k);
+        MemoryTrace stitched;
+        for (const TraceSegment &segment : segments) {
+            MemoryTrace part = capture(segment);
+            for (const BranchRecord &r : part.records())
+                stitched.onBranch(r);
+        }
+        EXPECT_TRUE(sameRecords(full, stitched)) << k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictability binner
+// ---------------------------------------------------------------------
+
+TEST(PredictabilityBinner, BinsAndLabels)
+{
+    obs::PredictabilityBinner binner;
+    ASSERT_EQ(binner.binCount(), 4u);
+    EXPECT_EQ(binner.binOf(0.0), 0u);
+    EXPECT_EQ(binner.binOf(0.29), 0u);
+    EXPECT_EQ(binner.binOf(0.3), 1u);
+    EXPECT_EQ(binner.binOf(0.89), 2u);
+    EXPECT_EQ(binner.binOf(0.9), 3u);
+    EXPECT_EQ(binner.binOf(10.0), 3u);
+    EXPECT_EQ(binner.label(0), "[0.00,0.30)");
+    EXPECT_EQ(binner.label(3), "H>=0.90");
+}
+
+TEST(PredictabilityBinner, StatsArithmetic)
+{
+    obs::PredictabilityBinStats stats;
+    stats.executed = 1000;
+    stats.base_miss = 200;
+    stats.alloc_miss = 50;
+    stats.base_victims = 100;
+    stats.alloc_victims = 10;
+    EXPECT_DOUBLE_EQ(stats.baseMissPercent(), 20.0);
+    EXPECT_DOUBLE_EQ(stats.allocMissPercent(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.payoffPercent(), 75.0);
+    EXPECT_DOUBLE_EQ(stats.victimsEliminatedPercent(), 90.0);
+
+    obs::PredictabilityBinStats other = stats;
+    stats.merge(other);
+    EXPECT_EQ(stats.executed, 2000u);
+    EXPECT_DOUBLE_EQ(stats.payoffPercent(), 75.0);
+}
+
+TEST(PredictabilityBinnerDeath, RejectsBadEdges)
+{
+    EXPECT_EXIT(obs::PredictabilityBinner(std::vector<double>{}),
+                ::testing::ExitedWithCode(1), "at least one edge");
+    EXPECT_EXIT(obs::PredictabilityBinner({0.5, 0.4}),
+                ::testing::ExitedWithCode(1), "strictly ascending");
+}

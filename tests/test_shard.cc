@@ -240,6 +240,26 @@ TEST(ShardedProfile, WorkloadTraceEqualsSerial)
     EXPECT_GT(sharded.edgeCount(), 0u);
 }
 
+TEST(ShardedProfile, GraphTraceEqualsSerial)
+{
+    // Graph kernel traces go through the exact same sharded pipeline
+    // as the synthetic workloads; the conflict graph must not depend
+    // on the shard count there either.
+    ResolvedWorkload w =
+        resolveWorkload("graph:bfs:powerlaw", "", 0.05);
+    MemoryTrace trace;
+    w.source()->replay(trace);
+
+    InterleaveConfig serial_config; // default bounded window
+    ConflictGraph serial = serialReference(trace, serial_config);
+    for (unsigned shards : {2u, 5u}) {
+        ConflictGraph sharded = profileTraceShardedGraph(
+            trace, shardConfig(shards, serial_config.max_window));
+        EXPECT_TRUE(graphsIdentical(serial, sharded)) << shards;
+    }
+    EXPECT_GT(serial.edgeCount(), 0u);
+}
+
 TEST(ShardedProfile, RunStatsAccountForEveryShard)
 {
     MemoryTrace trace = makeRandomTrace(29, 3000, 100);

@@ -12,7 +12,10 @@ is cheap to diff and plot.
 The headline record carries:
   * bench name, schema, wall_seconds, the config echo;
   * per result table: the "average" row when present (the paper's
-    figures quote the averages), otherwise the first row;
+    figures quote the averages), otherwise the first row; for the
+    graph allocation-payoff table, the hardest populated
+    predictability bin of the first benchmark (its "payoff %" is the
+    does-allocation-pay-off-on-hard-branches headline);
   * per interference entry: the destructive count and percentage;
   * totals: number of timeseries exported and their point count;
   * per telemetry scope (schema v3 "branches"): the static/profiled
@@ -35,6 +38,30 @@ import os
 import sys
 
 SKIPPED_TABLE_PREFIXES = ("sweep cells:", "profile shards:")
+
+GRAPH_PAYOFF_TITLE = "graph allocation payoff vs. predictability"
+
+
+def graph_payoff_headline(table):
+    """The headline of the graph allocation-payoff table: the hardest
+    *populated* predictability bin of the first benchmark -- the row
+    that answers "does allocation still pay off where branches are
+    inherently hard?".  ("all" rows and empty bins are skipped.)"""
+    columns = table.get("columns", [])
+    rows = table.get("rows", [])
+    if not rows or "executed" not in columns:
+        return None
+    executed_col = columns.index("executed")
+    first_benchmark = rows[0][0]
+    headline = None
+    for row in rows:
+        if row[0] != first_benchmark or row[1] == "all":
+            continue
+        if int(row[executed_col].replace(",", "")) > 0:
+            headline = row
+    if headline is None:
+        return None
+    return dict(zip(columns, headline))
 
 
 def table_headline(table):
@@ -128,7 +155,10 @@ def build_record(report, label):
         title = table.get("title", "")
         if title.startswith(SKIPPED_TABLE_PREFIXES):
             continue
-        headline = table_headline(table)
+        if title == GRAPH_PAYOFF_TITLE:
+            headline = graph_payoff_headline(table)
+        else:
+            headline = table_headline(table)
         if headline is not None:
             record["tables"][title] = headline
 

@@ -20,8 +20,11 @@ attribution is reconciled the same way: per-phase executions,
 mispredictions, destructive events, births and deaths must sum
 exactly to the scope totals, and the similarity/transition matrices
 must be square, symmetric-with-unit-diagonal and row-stochastic
-respectively.  Exits non-zero with a message on the first violation,
-so CI can gate on it.
+respectively.  Reports carrying the graph allocation-payoff table
+(bench_graph_alloc) get its per-bin counters reconciled against the
+"all" row, its derived percentage columns recomputed, and the
+>= 3-populated-bins acceptance bar enforced.  Exits non-zero with a
+message on the first violation, so CI can gate on it.
 
 Only the standard library is used.
 """
@@ -110,6 +113,88 @@ def check_table(path, table):
         expect(path, len(row) == width,
                f"table {table['title']}: row width {len(row)} != "
                f"column count {width}")
+
+
+GRAPH_PAYOFF_TITLE = "graph allocation payoff vs. predictability"
+GRAPH_PAYOFF_COLUMNS = [
+    "benchmark", "bin", "branches", "executed", "base miss",
+    "base miss %", "alloc miss", "alloc miss %", "payoff %",
+    "base victims", "alloc victims", "eliminated %"]
+
+
+def parse_count(cell):
+    return int(cell.replace(",", ""))
+
+
+def check_graph_payoff_table(path, table):
+    """Reconcile the graph allocation-payoff table (bench_graph_alloc):
+    per-benchmark bin rows must sum exactly to the trailing "all" row
+    for every counter column, the derived percentage columns must
+    agree with the counters to rendering precision, and at least one
+    benchmark must populate >= 3 predictability bins."""
+    title = table["title"]
+    expect(path, table["columns"] == GRAPH_PAYOFF_COLUMNS,
+           f"table {title}: columns {table['columns']} != "
+           f"{GRAPH_PAYOFF_COLUMNS}")
+
+    groups = {}
+    order = []
+    for row in table["rows"]:
+        benchmark = row[0]
+        if benchmark not in groups:
+            groups[benchmark] = []
+            order.append(benchmark)
+        groups[benchmark].append(row)
+
+    expect(path, order, f"table {title}: no rows")
+    best_populated = 0
+    counters = (2, 3, 4, 6, 9, 10)  # the integer count columns
+    for benchmark in order:
+        rows = groups[benchmark]
+        expect(path, rows[-1][1] == "all",
+               f"table {title}: {benchmark} does not end with the "
+               "'all' row")
+        bins = rows[:-1]
+        expect(path, len(bins) >= 2,
+               f"table {title}: {benchmark} has fewer than 2 bin rows")
+        all_row = rows[-1]
+        for col in counters:
+            total = sum(parse_count(r[col]) for r in bins)
+            expect(path, total == parse_count(all_row[col]),
+                   f"table {title}: {benchmark} column "
+                   f"'{GRAPH_PAYOFF_COLUMNS[col]}' bins sum to "
+                   f"{total}, 'all' row says {all_row[col]}")
+        populated = sum(parse_count(r[3]) > 0 for r in bins)
+        best_populated = max(best_populated, populated)
+        for row in rows:
+            label = f"{benchmark}/{row[1]}"
+            executed = parse_count(row[3])
+            base_miss = parse_count(row[4])
+            alloc_miss = parse_count(row[6])
+            base_victims = parse_count(row[9])
+            alloc_victims = parse_count(row[10])
+            expect(path, base_miss <= executed,
+                   f"table {title}: {label} base miss > executed")
+            expect(path, alloc_miss <= executed,
+                   f"table {title}: {label} alloc miss > executed")
+
+            def reconcile(name, rendered, num, den, tolerance):
+                want = 100.0 * num / den if den else 0.0
+                expect(path, abs(float(rendered) - want) <= tolerance,
+                       f"table {title}: {label} {name} is {rendered}, "
+                       f"counters give {want:.4f}")
+
+            reconcile("base miss %", row[5], base_miss, executed,
+                      0.002)
+            reconcile("alloc miss %", row[7], alloc_miss, executed,
+                      0.002)
+            reconcile("payoff %", row[8], base_miss - alloc_miss,
+                      base_miss, 0.02)
+            reconcile("eliminated %", row[11],
+                      base_victims - alloc_victims, base_victims, 0.11)
+    expect(path, best_populated >= 3,
+           f"table {title}: no benchmark populates >= 3 "
+           f"predictability bins (best: {best_populated})")
 
 
 def check_series(path, series):
@@ -500,6 +585,8 @@ def check_report(path):
            "expected at least one result table")
     for table in tables:
         check_table(path, table)
+        if table["title"] == GRAPH_PAYOFF_TITLE:
+            check_graph_payoff_table(path, table)
 
     version = int(schema.rsplit(".v", 1)[1])
     extras = ""
